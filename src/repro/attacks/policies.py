@@ -1,0 +1,111 @@
+"""Concrete mining policies for the chain simulator.
+
+* :class:`HonestPolicy` -- never withholds or releases anything.
+* :class:`SelfishForksPolicy` -- replays a positional strategy computed by the
+  formal analysis on the selfish-mining MDP.
+* :class:`GreedyLeadPolicy` -- a simple hand-written heuristic (publish as soon
+  as a fork strictly overtakes the public chain); useful as a sanity baseline
+  and in tests that need a non-trivial but solver-independent policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import ModelError
+from ..mdp import Strategy
+from .base import AttackDecision, MiningPolicy
+from .fork_state import (
+    TYPE_ADVERSARY,
+    TYPE_HONEST,
+    TYPE_MINING,
+    ForkState,
+    ReleaseAction,
+)
+
+
+class HonestPolicy(MiningPolicy):
+    """The protocol-following policy: always keep mining, never release."""
+
+    def decide(self, state: ForkState) -> AttackDecision:
+        return AttackDecision.mine()
+
+    @property
+    def name(self) -> str:
+        return "honest"
+
+
+class SelfishForksPolicy(MiningPolicy):
+    """Replay a positional MDP strategy inside the simulator.
+
+    The simulator presents abstract states identical to the MDP's state labels,
+    so the policy simply looks up the chosen action.  States that were not
+    reachable in the MDP (which should not occur when parameters match) fall
+    back to mining, and the miss is counted for diagnostics.
+    """
+
+    def __init__(self, strategy: Strategy) -> None:
+        if strategy.mdp.state_labels is None:
+            raise ModelError("the strategy's MDP carries no state labels")
+        self._strategy = strategy
+        self._mdp = strategy.mdp
+        self.unknown_states = 0
+
+    def reset(self) -> None:
+        self.unknown_states = 0
+
+    def decide(self, state: ForkState) -> AttackDecision:
+        try:
+            index = self._mdp.state_of_label(state)
+        except ModelError:
+            self.unknown_states += 1
+            return AttackDecision.mine()
+        action = self._strategy.action(index)
+        if action == ("mine",):
+            return AttackDecision.mine()
+        _, depth, fork, blocks = action
+        return AttackDecision(release=ReleaseAction(depth=depth, fork=fork, blocks=blocks))
+
+    @property
+    def name(self) -> str:
+        return "selfish-forks(optimal)"
+
+
+class GreedyLeadPolicy(MiningPolicy):
+    """Publish the first fork that strictly overtakes the public chain.
+
+    After an honest block (``TYPE_HONEST``) the policy additionally publishes an
+    equal-length fork (betting on the gamma race) when no strictly longer fork is
+    available and ``race_on_tie`` is set.
+    """
+
+    def __init__(self, race_on_tie: bool = False) -> None:
+        self.race_on_tie = race_on_tie
+
+    def decide(self, state: ForkState) -> AttackDecision:
+        c_matrix, _, state_type = state
+        if state_type == TYPE_MINING:
+            return AttackDecision.mine()
+        # Number of public blocks a release must beat: i - 1 above the fork base,
+        # plus the pending honest block in a TYPE_HONEST state.
+        pending = 1 if state_type == TYPE_HONEST else 0
+        best: Optional[ReleaseAction] = None
+        for i, row in enumerate(c_matrix, start=1):
+            winning_length = i + pending
+            for j, length in enumerate(row, start=1):
+                if length >= winning_length:
+                    candidate = ReleaseAction(depth=i, fork=j, blocks=winning_length)
+                    if best is None or candidate.depth > best.depth:
+                        best = candidate
+        if best is not None:
+            return AttackDecision(release=best)
+        if self.race_on_tie and state_type == TYPE_HONEST:
+            for i, row in enumerate(c_matrix, start=1):
+                for j, length in enumerate(row, start=1):
+                    if length >= i:
+                        return AttackDecision(release=ReleaseAction(depth=i, fork=j, blocks=i))
+        return AttackDecision.mine()
+
+    @property
+    def name(self) -> str:
+        return "greedy-lead"

@@ -1,0 +1,137 @@
+"""Construction of the multi-fork selfish-mining MDP (the paper's core model).
+
+The reachable state space is explored breadth-first from the initial state; every
+discovered state receives its full action set and successor distributions from
+the transition kernel in :mod:`repro.attacks.fork_state`.  Reward vectors carry
+two components, the number of adversarial (``r_A``) and honest (``r_H``) blocks
+finalised by a transition, which Algorithm 1 combines into ``r_beta``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional
+
+from ..config import AttackParams, ProtocolParams
+from ..exceptions import ConfigurationError
+from ..mdp import MDP, MDPBuilder, Strategy
+from . import fork_state
+from .fork_state import ForkState, MineAction
+
+#: Number of reward components attached to every transition (r_A, r_H).
+NUM_REWARD_COMPONENTS = 2
+
+#: Hard cap on the number of states explored; prevents accidental explosion when
+#: a user requests an enormous configuration.
+DEFAULT_MAX_STATES = 20_000_000
+
+
+@dataclass
+class SelfishForksModel:
+    """A built selfish-mining MDP together with its parameters.
+
+    Attributes:
+        mdp: The explicit MDP (reward components: ``(r_A, r_H)``).
+        protocol: Protocol parameters the model was built for.
+        attack: Attack parameters the model was built for.
+    """
+
+    mdp: MDP
+    protocol: ProtocolParams
+    attack: AttackParams
+
+    @property
+    def num_states(self) -> int:
+        """Number of reachable states."""
+        return self.mdp.num_states
+
+    @property
+    def num_decision_states(self) -> int:
+        """Number of states with more than one available action."""
+        return sum(
+            1
+            for state in range(self.mdp.num_states)
+            if self.mdp.num_actions_of(state) > 1
+        )
+
+    def honest_strategy(self) -> Strategy:
+        """Return the strategy that never releases a fork (always ``mine``)."""
+        rows = self.mdp.uniform_random_row_choice()
+        mine_label = ("mine",)
+        for state in range(self.mdp.num_states):
+            rows[state] = self.mdp.row_index(state, mine_label)
+        return Strategy(self.mdp, rows)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the model size."""
+        return (
+            f"selfish-forks MDP: d={self.attack.depth}, f={self.attack.forks}, "
+            f"l={self.attack.max_fork_length}, p={self.protocol.p}, gamma={self.protocol.gamma}; "
+            f"{self.mdp.num_states} states, {self.mdp.num_rows} state-action pairs, "
+            f"{self.mdp.num_transitions} transitions"
+        )
+
+
+def estimate_state_space_size(attack: AttackParams) -> int:
+    """Upper bound on the state-space size of the full (non-reachable-pruned) MDP.
+
+    ``(l + 1)^(d*f)`` fork configurations times ``2^(d-1)`` ownership vectors
+    times three state types.  The reachable state space is typically smaller.
+    """
+    d, f, l = attack.depth, attack.forks, attack.max_fork_length
+    return (l + 1) ** (d * f) * 2 ** (d - 1) * 3
+
+
+def build_selfish_forks_mdp(
+    protocol: ProtocolParams,
+    attack: AttackParams,
+    *,
+    max_states: Optional[int] = DEFAULT_MAX_STATES,
+) -> SelfishForksModel:
+    """Build the reachable fragment of the selfish-mining MDP.
+
+    Args:
+        protocol: Blockchain / network parameters ``(p, gamma)``.
+        attack: Attack parameters ``(d, f, l)``.
+        max_states: Safety cap on explored states (``None`` disables the cap).
+
+    Raises:
+        ConfigurationError: If the exploration exceeds ``max_states``.
+    """
+    builder = MDPBuilder(num_reward_components=NUM_REWARD_COMPONENTS)
+    start = fork_state.initial_state(attack)
+    builder.add_state(start)
+    queue: deque[ForkState] = deque([start])
+    expanded: Dict[ForkState, bool] = {start: False}
+
+    while queue:
+        state = queue.popleft()
+        if expanded[state]:
+            continue
+        expanded[state] = True
+        for action in fork_state.available_actions(state, attack):
+            transitions = fork_state.successor_distribution(state, action, protocol, attack)
+            rows: List[tuple] = []
+            for successor, probability, reward in transitions:
+                rows.append((successor, probability, reward))
+                if successor not in expanded:
+                    expanded[successor] = False
+                    queue.append(successor)
+                    if max_states is not None and len(expanded) > max_states:
+                        raise ConfigurationError(
+                            f"state-space exploration exceeded max_states={max_states}; "
+                            f"reduce d, f or l, or raise the cap explicitly"
+                        )
+            builder.add_action(state, _action_label(action), rows)
+
+    mdp = builder.build(initial_state=start)
+    return SelfishForksModel(mdp=mdp, protocol=protocol, attack=attack)
+
+
+def _action_label(action: object) -> Hashable:
+    """Map kernel actions to compact hashable labels stored in the MDP."""
+    if isinstance(action, MineAction):
+        return ("mine",)
+    release = action  # type: ignore[assignment]
+    return ("release", release.depth, release.fork, release.blocks)

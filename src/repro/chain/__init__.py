@@ -1,0 +1,33 @@
+"""Discrete-time blockchain substrate.
+
+Concrete blocks, chains and forks together with the paper's system model
+(``(p, k)``-mining in discrete time steps, gamma tie-breaking) and a simulator
+that replays adversarial policies against honest miners.  The simulator provides
+Monte-Carlo estimates of the expected relative revenue that are *independent* of
+the MDP's reward bookkeeping, and is used to validate strategies computed by the
+formal analysis.
+"""
+
+from .block import Block, GENESIS_ID
+from .blockchain import Blockchain
+from .fork import PrivateFork
+from .mining import MiningEvent, MiningModel
+from .network import TieBreaker
+from .metrics import ChainQualityReport, chain_quality, relative_revenue, wilson_interval
+from .simulator import SelfishMiningSimulator, SimulationResult
+
+__all__ = [
+    "Block",
+    "GENESIS_ID",
+    "Blockchain",
+    "PrivateFork",
+    "MiningEvent",
+    "MiningModel",
+    "TieBreaker",
+    "ChainQualityReport",
+    "chain_quality",
+    "relative_revenue",
+    "wilson_interval",
+    "SelfishMiningSimulator",
+    "SimulationResult",
+]

@@ -1,0 +1,74 @@
+"""Block objects of the discrete-time blockchain substrate.
+
+Blocks are immutable records linked by parent identifiers.  The substrate does
+not model transactions or cryptographic hashes -- only what the selfish-mining
+analysis needs: ownership, height and parent structure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Identifier of the genesis block.
+GENESIS_ID = 0
+
+_block_counter = itertools.count(1)
+
+
+def _next_block_id() -> int:
+    """Return a process-unique block identifier."""
+    return next(_block_counter)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A block of the simulated chain.
+
+    Attributes:
+        block_id: Unique identifier of the block.
+        parent_id: Identifier of the parent block (``None`` only for genesis).
+        owner: ``"honest"`` or ``"adversary"``.
+        height: Number of ancestors (genesis has height 0).
+        timestep: Discrete time step at which the block was mined.
+    """
+
+    block_id: int
+    parent_id: Optional[int]
+    owner: str
+    height: int
+    timestep: int = 0
+
+    VALID_OWNERS = ("honest", "adversary")
+
+    def __post_init__(self) -> None:
+        if self.owner not in self.VALID_OWNERS:
+            raise ValueError(f"owner must be one of {self.VALID_OWNERS}, got {self.owner!r}")
+        if self.height < 0:
+            raise ValueError(f"height must be non-negative, got {self.height}")
+
+    @property
+    def is_genesis(self) -> bool:
+        """Whether this is the genesis block."""
+        return self.parent_id is None
+
+    @property
+    def is_adversarial(self) -> bool:
+        """Whether the block was mined by the adversarial coalition."""
+        return self.owner == "adversary"
+
+    def child(self, owner: str, timestep: int = 0) -> "Block":
+        """Create a new block extending this one."""
+        return Block(
+            block_id=_next_block_id(),
+            parent_id=self.block_id,
+            owner=owner,
+            height=self.height + 1,
+            timestep=timestep,
+        )
+
+
+def genesis_block() -> Block:
+    """Return a fresh genesis block (owned by honest miners by convention)."""
+    return Block(block_id=GENESIS_ID, parent_id=None, owner="honest", height=0, timestep=0)

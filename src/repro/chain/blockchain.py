@@ -1,0 +1,121 @@
+"""The public main chain with reorganisation support.
+
+The main chain is the longest chain known to honest miners.  The adversary can
+trigger a reorganisation by publishing a private fork: the blocks above the
+fork's base are orphaned and replaced by the published adversarial blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..exceptions import SimulationError
+from .block import Block, genesis_block
+
+
+class Blockchain:
+    """The public main chain of the simulated protocol.
+
+    The chain is stored as a list from genesis to tip; orphaned blocks are kept
+    for reporting (orphan-rate statistics) but are not part of the main chain.
+    """
+
+    def __init__(self) -> None:
+        self._chain: List[Block] = [genesis_block()]
+        self._orphans: List[Block] = []
+
+    # ------------------------------------------------------------------- queries
+
+    @property
+    def tip(self) -> Block:
+        """The most recent block of the main chain."""
+        return self._chain[-1]
+
+    @property
+    def height(self) -> int:
+        """Height of the tip (genesis has height 0)."""
+        return self.tip.height
+
+    @property
+    def length(self) -> int:
+        """Number of blocks including genesis."""
+        return len(self._chain)
+
+    @property
+    def blocks(self) -> List[Block]:
+        """The main-chain blocks from genesis to tip (copy)."""
+        return list(self._chain)
+
+    @property
+    def orphans(self) -> List[Block]:
+        """Blocks that were orphaned by reorganisations (copy)."""
+        return list(self._orphans)
+
+    def block_at_depth(self, depth: int) -> Block:
+        """Return the block at ``depth`` (1 = tip, 2 = its parent, ...)."""
+        if depth < 1 or depth > len(self._chain):
+            raise SimulationError(f"depth {depth} out of range for chain of length {len(self._chain)}")
+        return self._chain[-depth]
+
+    def owners(self, exclude_suffix: int = 0, exclude_genesis: bool = True) -> List[str]:
+        """Return the owners of main-chain blocks.
+
+        Args:
+            exclude_suffix: Drop this many most-recent blocks (e.g. the not-yet
+                final window of the attack model).
+            exclude_genesis: Whether to drop the genesis block from the count.
+        """
+        start = 1 if exclude_genesis else 0
+        end = len(self._chain) - exclude_suffix
+        if end <= start:
+            return []
+        return [block.owner for block in self._chain[start:end]]
+
+    # ----------------------------------------------------------------- mutations
+
+    def append(self, owner: str, timestep: int = 0) -> Block:
+        """Append a new block on the tip and return it."""
+        block = self.tip.child(owner=owner, timestep=timestep)
+        self._chain.append(block)
+        return block
+
+    def reorganise(self, base_depth: int, new_blocks: Iterable[Block]) -> List[Block]:
+        """Replace the blocks above the block at ``base_depth`` with ``new_blocks``.
+
+        Args:
+            base_depth: Depth (1 = tip) of the block the new sub-chain attaches to.
+            new_blocks: Blocks forming the new suffix, ordered oldest first; the
+                first one must reference the base block as parent.
+
+        Returns:
+            The list of orphaned blocks.
+
+        Raises:
+            SimulationError: If the new suffix does not correctly attach to the
+                base block or has inconsistent heights/parents.
+        """
+        new_blocks = list(new_blocks)
+        base = self.block_at_depth(base_depth)
+        orphaned = self._chain[len(self._chain) - (base_depth - 1):] if base_depth > 1 else []
+        expected_parent = base
+        for block in new_blocks:
+            if block.parent_id != expected_parent.block_id:
+                raise SimulationError(
+                    f"block {block.block_id} does not attach to {expected_parent.block_id}"
+                )
+            if block.height != expected_parent.height + 1:
+                raise SimulationError(
+                    f"block {block.block_id} has height {block.height}, "
+                    f"expected {expected_parent.height + 1}"
+                )
+            expected_parent = block
+        self._orphans.extend(orphaned)
+        self._chain = self._chain[: len(self._chain) - (base_depth - 1)] if base_depth > 1 else list(self._chain)
+        self._chain.extend(new_blocks)
+        return orphaned
+
+    def __len__(self) -> int:
+        return len(self._chain)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Blockchain(height={self.height}, orphans={len(self._orphans)})"

@@ -1,0 +1,80 @@
+"""Private forks maintained by the adversary in the simulator.
+
+A private fork is a chain of withheld adversarial blocks rooted at a main-chain
+block.  The simulator keeps one :class:`PrivateFork` per ``(depth, slot)`` pair
+of the attack's ``d x f`` grid and keeps the block objects so that published
+blocks carry correct parent links and heights when they reorganise the public
+chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..exceptions import SimulationError
+from .block import Block
+
+
+@dataclass
+class PrivateFork:
+    """A withheld adversarial fork rooted at a public block.
+
+    Attributes:
+        base: The public main-chain block the fork extends.
+        blocks: The withheld adversarial blocks, oldest first.
+    """
+
+    base: Block
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        """Number of withheld blocks in the fork."""
+        return len(self.blocks)
+
+    @property
+    def tip(self) -> Block:
+        """The most recent block of the fork (the base if the fork is empty)."""
+        return self.blocks[-1] if self.blocks else self.base
+
+    def extend(self, timestep: int = 0) -> Block:
+        """Mine one more private block on top of the fork."""
+        block = self.tip.child(owner="adversary", timestep=timestep)
+        self.blocks.append(block)
+        return block
+
+    def truncate(self, length: int) -> None:
+        """Drop blocks so that at most ``length`` remain (model's cap ``l``)."""
+        if length < 0:
+            raise SimulationError("fork length cannot be negative")
+        del self.blocks[length:]
+
+    def publish_prefix(self, count: int) -> List[Block]:
+        """Remove and return the first ``count`` blocks (the published prefix).
+
+        The remaining blocks stay withheld; after a successful release the caller
+        re-roots them at the new tip (the last published block).
+        """
+        if count < 1 or count > len(self.blocks):
+            raise SimulationError(
+                f"cannot publish {count} blocks of a fork of length {len(self.blocks)}"
+            )
+        published = self.blocks[:count]
+        self.blocks = self.blocks[count:]
+        return published
+
+    def reroot(self, new_base: Block) -> "PrivateFork":
+        """Return a fork with the same *lengths* rooted at ``new_base``.
+
+        Re-rooting is used when the unpublished remainder of a released fork
+        becomes a fork on the new tip: the withheld blocks are re-created as
+        children of the new base so that parent links stay consistent.
+        """
+        fork = PrivateFork(base=new_base)
+        for _ in self.blocks:
+            fork.extend()
+        return fork
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrivateFork(base_height={self.base.height}, length={self.length})"

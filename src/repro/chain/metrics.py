@@ -1,0 +1,109 @@
+"""Chain-quality and revenue metrics.
+
+The paper's objective is the expected relative revenue (ERRev) of the adversary,
+which equals one minus the chain quality.  These helpers compute both from block
+ownership sequences and provide a Wilson confidence interval for Monte-Carlo
+estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ChainQualityReport:
+    """Summary of the composition of a (segment of a) chain.
+
+    Attributes:
+        adversarial_blocks: Number of adversarial blocks in the segment.
+        honest_blocks: Number of honest blocks in the segment.
+        relative_revenue: Fraction of adversarial blocks (ERRev estimate).
+        chain_quality: Fraction of honest blocks (1 - relative revenue).
+        confidence_low: Lower end of the 95% Wilson interval for the relative revenue.
+        confidence_high: Upper end of the 95% Wilson interval.
+    """
+
+    adversarial_blocks: int
+    honest_blocks: int
+    relative_revenue: float
+    chain_quality: float
+    confidence_low: float
+    confidence_high: float
+
+    @property
+    def total_blocks(self) -> int:
+        """Total number of blocks in the segment."""
+        return self.adversarial_blocks + self.honest_blocks
+
+
+def relative_revenue(owners: Sequence[str]) -> float:
+    """Fraction of adversarial blocks in an ownership sequence (0 for empty)."""
+    if not owners:
+        return 0.0
+    adversarial = sum(1 for owner in owners if owner == "adversary")
+    return adversarial / len(owners)
+
+
+def chain_quality(owners: Sequence[str]) -> float:
+    """Fraction of honest blocks in an ownership sequence (1 for empty)."""
+    return 1.0 - relative_revenue(owners)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Args:
+        successes: Number of successes observed.
+        trials: Number of trials (0 yields the trivial interval [0, 1]).
+        z: Normal quantile (1.96 for a 95% interval).
+    """
+    if trials <= 0:
+        return 0.0, 1.0
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes={successes} must lie in [0, trials={trials}]")
+    proportion = successes / trials
+    denominator = 1.0 + z * z / trials
+    centre = proportion + z * z / (2.0 * trials)
+    margin = z * math.sqrt(
+        proportion * (1.0 - proportion) / trials + z * z / (4.0 * trials * trials)
+    )
+    low = (centre - margin) / denominator
+    high = (centre + margin) / denominator
+    return max(0.0, low), min(1.0, high)
+
+
+def quality_report(owners: Sequence[str]) -> ChainQualityReport:
+    """Build a :class:`ChainQualityReport` from an ownership sequence."""
+    adversarial = sum(1 for owner in owners if owner == "adversary")
+    honest = len(owners) - adversarial
+    revenue = relative_revenue(owners)
+    low, high = wilson_interval(adversarial, len(owners))
+    return ChainQualityReport(
+        adversarial_blocks=adversarial,
+        honest_blocks=honest,
+        relative_revenue=revenue,
+        chain_quality=1.0 - revenue,
+        confidence_low=low,
+        confidence_high=high,
+    )
+
+
+def satisfies_chain_quality(owners: Sequence[str], mu: float, segment_length: int) -> bool:
+    """Check the paper's ``(mu, l)``-chain-quality property on every segment.
+
+    A chain satisfies ``(mu, l)``-chain quality if every window of
+    ``segment_length`` consecutive blocks contains at least a ``mu`` fraction of
+    honest blocks.
+    """
+    if segment_length < 1:
+        raise ValueError("segment_length must be >= 1")
+    if len(owners) < segment_length:
+        return chain_quality(owners) >= mu if owners else True
+    for start in range(0, len(owners) - segment_length + 1):
+        window = owners[start : start + segment_length]
+        if chain_quality(window) < mu:
+            return False
+    return True

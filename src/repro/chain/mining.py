@@ -1,0 +1,80 @@
+"""The paper's discrete-time ``(p, k)``-mining process.
+
+At every time step exactly one block is found.  If the adversary concurrently
+mines on ``sigma`` blocks while owning a ``p`` fraction of the resource, each of
+its targets succeeds with probability ``p / (1 - p + p * sigma)`` and the honest
+miners (who always mine on the public tip) succeed with probability
+``(1 - p) / (1 - p + p * sigma)``.  This normalisation is exactly the transition
+probability used in the MDP (Section 3.2) and reflects the nothing-at-stake
+amplification of efficient proof systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_non_negative_int, check_probability
+from ..exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class MiningEvent:
+    """Outcome of one discrete mining step.
+
+    Attributes:
+        winner: ``"honest"`` or ``"adversary"``.
+        target_index: Index of the adversarial mining target that succeeded
+            (``None`` for honest wins).
+    """
+
+    winner: str
+    target_index: Optional[int] = None
+
+    @property
+    def is_adversarial(self) -> bool:
+        """Whether the adversary found the block."""
+        return self.winner == "adversary"
+
+
+class MiningModel:
+    """Samples discrete-time mining events under the ``(p, k)``-mining model."""
+
+    def __init__(self, p: float, rng: Optional[np.random.Generator] = None, seed: int = 0) -> None:
+        self.p = check_probability(p, "p")
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def probabilities(self, num_adversary_targets: int) -> tuple[float, float]:
+        """Return ``(per-target adversarial probability, honest probability)``."""
+        sigma = check_non_negative_int(num_adversary_targets, "num_adversary_targets")
+        denominator = (1.0 - self.p) + self.p * sigma
+        if denominator <= 0.0:
+            raise SimulationError(
+                "degenerate mining step: p = 1 with no adversarial mining targets"
+            )
+        per_target = self.p / denominator if sigma else 0.0
+        honest = (1.0 - self.p) / denominator
+        return per_target, honest
+
+    def sample(self, num_adversary_targets: int) -> MiningEvent:
+        """Sample the winner of one time step.
+
+        Args:
+            num_adversary_targets: Number of blocks the adversary mines on
+                (``sigma`` in the paper).
+        """
+        per_target, honest = self.probabilities(num_adversary_targets)
+        draw = self._rng.random()
+        threshold = 0.0
+        for index in range(num_adversary_targets):
+            threshold += per_target
+            if draw < threshold:
+                return MiningEvent(winner="adversary", target_index=index)
+        return MiningEvent(winner="honest")
+
+    def expected_adversarial_share(self, num_adversary_targets: int) -> float:
+        """Probability that the next block is adversarial given ``sigma`` targets."""
+        per_target, _ = self.probabilities(num_adversary_targets)
+        return per_target * num_adversary_targets

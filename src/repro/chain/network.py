@@ -1,0 +1,45 @@
+"""Broadcast / tie-breaking model.
+
+When the adversary reveals a private chain of exactly the same length as the
+public chain, honest miners adopt it with the switching probability ``gamma``
+(they keep their own chain otherwise).  Strictly longer revealed chains are
+always adopted.  This is the entire network model of the paper -- propagation
+delays are abstracted into ``gamma``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_probability
+
+
+class TieBreaker:
+    """Resolves races between equally long public and adversarial chains."""
+
+    def __init__(
+        self, gamma: float, rng: Optional[np.random.Generator] = None, seed: int = 0
+    ) -> None:
+        self.gamma = check_probability(gamma, "gamma")
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    def adopts_adversarial_chain(self, published_length: int, public_length: int) -> bool:
+        """Decide whether honest miners adopt a just-published adversarial chain.
+
+        Args:
+            published_length: Height advantage of the revealed chain relative to
+                the fork point.
+            public_length: Height advantage of the public chain relative to the
+                same fork point.
+        """
+        if published_length > public_length:
+            return True
+        if published_length < public_length:
+            return False
+        return bool(self._rng.random() < self.gamma)
+
+    def race_probability(self) -> float:
+        """Probability that the adversary wins an equal-length race."""
+        return self.gamma

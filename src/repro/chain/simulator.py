@@ -1,0 +1,238 @@
+"""Discrete-time selfish-mining simulator.
+
+The simulator replays the paper's system model with concrete block objects: at
+every time step one block is found (honest on the public tip, or adversarial on
+one of the adversary's private-fork targets), after which the adversarial policy
+may publish a prefix of one of its forks, possibly reorganising the public
+chain.  The long-run fraction of adversarial blocks in the resulting main chain
+is an ERRev estimate that is *independent* of the MDP's incremental reward
+bookkeeping, and is used to validate strategies computed by the formal analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..attacks.base import MiningPolicy
+from ..attacks.fork_state import (
+    ADVERSARY,
+    HONEST,
+    TYPE_ADVERSARY,
+    TYPE_HONEST,
+    ForkState,
+    ReleaseAction,
+    adversary_mining_targets,
+)
+from ..config import AttackParams, ProtocolParams
+from ..exceptions import SimulationError
+from .blockchain import Blockchain
+from .fork import PrivateFork
+from .metrics import quality_report, ChainQualityReport
+from .mining import MiningModel
+from .network import TieBreaker
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a simulation run.
+
+    Attributes:
+        steps: Number of simulated time steps.
+        report: Chain-quality report of the final main chain (warm-up and the
+            non-final suffix excluded).
+        relative_revenue: Convenience copy of the ERRev estimate.
+        orphaned_blocks: Number of public blocks orphaned by reorganisations.
+        releases_accepted: Number of fork publications adopted by honest miners.
+        releases_rejected: Number of equal-length races lost by the adversary.
+        policy_name: Name of the adversarial policy that was simulated.
+    """
+
+    steps: int
+    report: ChainQualityReport
+    relative_revenue: float
+    orphaned_blocks: int
+    releases_accepted: int
+    releases_rejected: int
+    policy_name: str
+
+
+class SelfishMiningSimulator:
+    """Replays an adversarial policy against honest miners in discrete time."""
+
+    def __init__(
+        self,
+        protocol: ProtocolParams,
+        attack: AttackParams,
+        policy: MiningPolicy,
+        *,
+        seed: int = 0,
+    ) -> None:
+        self.protocol = protocol
+        self.attack = attack
+        self.policy = policy
+        self._rng = np.random.default_rng(seed)
+        self._mining = MiningModel(protocol.p, rng=self._rng)
+        self._tie_breaker = TieBreaker(protocol.gamma, rng=self._rng)
+        self._reset()
+
+    # ------------------------------------------------------------------ lifecycle
+
+    def _reset(self) -> None:
+        self.chain = Blockchain()
+        # Warm-up: the MDP's initial state assumes a main chain of d honest
+        # blocks within the attack window; create them so depths are well defined.
+        for _ in range(self.attack.depth):
+            self.chain.append("honest")
+        self._warmup_length = self.chain.length
+        self.forks: Dict[Tuple[int, int], PrivateFork] = {}
+        self.orphaned_blocks = 0
+        self.releases_accepted = 0
+        self.releases_rejected = 0
+        self.policy.reset()
+
+    # ---------------------------------------------------------------- abstraction
+
+    def _fork_matrix(self) -> Tuple[Tuple[int, ...], ...]:
+        d, f = self.attack.depth, self.attack.forks
+        rows = [[0] * f for _ in range(d)]
+        for (depth, slot), fork in self.forks.items():
+            rows[depth - 1][slot - 1] = fork.length
+        return tuple(tuple(row) for row in rows)
+
+    def _ownership(self) -> Tuple[int, ...]:
+        owners = []
+        for depth in range(1, self.attack.depth):
+            block = self.chain.block_at_depth(depth)
+            owners.append(ADVERSARY if block.is_adversarial else HONEST)
+        return tuple(owners)
+
+    def _abstract_state(self, state_type: int) -> ForkState:
+        return (self._fork_matrix(), self._ownership(), state_type)
+
+    # ------------------------------------------------------------------- stepping
+
+    def _shift_forks_after_public_block(self) -> None:
+        """Re-key forks after the main chain grew by one honest block."""
+        updated: Dict[Tuple[int, int], PrivateFork] = {}
+        for (depth, slot), fork in self.forks.items():
+            new_depth = depth + 1
+            if new_depth <= self.attack.depth:
+                updated[(new_depth, slot)] = fork
+        self.forks = updated
+
+    def _rekey_forks_after_release(self, shift: int, consumed: Tuple[int, int]) -> None:
+        """Re-key forks after a successful release moved the window by ``shift``."""
+        updated: Dict[Tuple[int, int], PrivateFork] = {}
+        tip_height = self.chain.tip.height
+        for (depth, slot), fork in self.forks.items():
+            if (depth, slot) == consumed:
+                continue
+            base_depth = tip_height - fork.base.height + 1
+            if not 1 <= base_depth <= self.attack.depth:
+                continue
+            # Forks whose base was orphaned are no longer on the main chain.
+            if self.chain.block_at_depth(base_depth).block_id != fork.base.block_id:
+                continue
+            updated[(base_depth, slot)] = fork
+        self.forks = updated
+
+    def _apply_release(self, action: ReleaseAction, state_type: int) -> bool:
+        """Apply a release decision; return whether the fork was adopted.
+
+        The competing public length above the fork base is ``depth - 1``
+        confirmed blocks, plus the pending honest block in a ``TYPE_HONEST``
+        state (which is orphaned -- i.e. never appended -- when the adversary
+        wins).
+        """
+        key = (action.depth, action.fork)
+        fork = self.forks.get(key)
+        if fork is None or fork.length < action.blocks or action.blocks < 1:
+            raise SimulationError(f"policy requested an impossible release {action!r}")
+        pending = 1 if state_type == TYPE_HONEST else 0
+        public_length = action.depth - 1 + pending
+        if action.blocks < public_length:
+            raise SimulationError(
+                f"release {action!r} is shorter than the public chain and cannot win"
+            )
+        if action.blocks == public_length and state_type != TYPE_HONEST:
+            raise SimulationError(
+                f"equal-length release {action!r} is only meaningful against a pending honest block"
+            )
+        accepted = self._tie_breaker.adopts_adversarial_chain(action.blocks, public_length)
+        if not accepted:
+            self.releases_rejected += 1
+            return False
+        self.releases_accepted += 1
+        published = fork.publish_prefix(action.blocks)
+        orphaned = self.chain.reorganise(action.depth, published)
+        self.orphaned_blocks += len(orphaned) + pending
+        shift = action.blocks - (action.depth - 1)
+        self._rekey_forks_after_release(shift, consumed=key)
+        if fork.length > 0:
+            remainder = fork.reroot(self.chain.tip)
+            remainder.truncate(self.attack.max_fork_length)
+            self.forks[(1, 1)] = remainder
+        return True
+
+    def _incorporate_pending_honest_block(self, timestep: int) -> None:
+        """Append the pending honest block and shift the adversary's fork window."""
+        self.chain.append("honest", timestep=timestep)
+        self._shift_forks_after_public_block()
+
+    def step(self, timestep: int) -> None:
+        """Advance the simulation by one block event and one adversary decision."""
+        c_matrix = self._fork_matrix()
+        targets = adversary_mining_targets(c_matrix)
+        event = self._mining.sample(len(targets))
+
+        if event.is_adversarial:
+            depth, slot, is_new = targets[event.target_index]
+            if is_new:
+                base = self.chain.block_at_depth(depth)
+                fork = PrivateFork(base=base)
+                fork.extend(timestep=timestep)
+                self.forks[(depth, slot)] = fork
+            else:
+                fork = self.forks[(depth, slot)]
+                if fork.length < self.attack.max_fork_length:
+                    fork.extend(timestep=timestep)
+            decision = self.policy.decide(self._abstract_state(TYPE_ADVERSARY))
+            if decision.is_release:
+                self._apply_release(decision.release, TYPE_ADVERSARY)
+        else:
+            # The honest block is pending: the adversary reacts before it is
+            # incorporated, exactly as in the MDP's TYPE_HONEST decision states.
+            decision = self.policy.decide(self._abstract_state(TYPE_HONEST))
+            adopted = False
+            if decision.is_release:
+                adopted = self._apply_release(decision.release, TYPE_HONEST)
+            if not adopted:
+                self._incorporate_pending_honest_block(timestep)
+
+    def run(self, num_steps: int, *, reset: bool = True) -> SimulationResult:
+        """Run the simulation for ``num_steps`` block events.
+
+        Args:
+            num_steps: Number of discrete time steps (one block found per step).
+            reset: Whether to restart from a fresh chain first.
+        """
+        if num_steps < 1:
+            raise SimulationError("num_steps must be >= 1")
+        if reset:
+            self._reset()
+        for timestep in range(num_steps):
+            self.step(timestep)
+        owners = self.chain.owners(exclude_suffix=self.attack.depth)[self._warmup_length - 1 :]
+        report = quality_report(owners)
+        return SimulationResult(
+            steps=num_steps,
+            report=report,
+            relative_revenue=report.relative_revenue,
+            orphaned_blocks=self.orphaned_blocks,
+            releases_accepted=self.releases_accepted,
+            releases_rejected=self.releases_rejected,
+            policy_name=self.policy.name,
+        )

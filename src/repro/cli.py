@@ -1,0 +1,134 @@
+"""Command-line interface.
+
+Three subcommands mirror the library's main entry points::
+
+    repro-selfish-mining analyze --p 0.3 --gamma 0.5 --depth 2 --forks 1
+    repro-selfish-mining sweep   --gamma 0.5 --p-step 0.05 --csv out.csv
+    repro-selfish-mining simulate --p 0.3 --gamma 0.5 --depth 2 --forks 1 --steps 100000
+
+``analyze`` runs Algorithm 1 for one parameter point, ``sweep`` regenerates a
+Figure 2 panel, and ``simulate`` Monte-Carlo-validates the computed strategy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .config import AnalysisConfig, AttackParams, ProtocolParams
+from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
+from .core.sweep import SweepConfig, run_sweep
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--p", type=float, default=0.3, help="adversarial resource fraction")
+    parser.add_argument("--gamma", type=float, default=0.5, help="switching probability")
+    parser.add_argument("--depth", "-d", type=int, default=2, help="attack depth d")
+    parser.add_argument("--forks", "-f", type=int, default=1, help="forking number f")
+    parser.add_argument("--max-fork-length", "-l", type=int, default=4, help="maximal fork length l")
+    parser.add_argument("--epsilon", type=float, default=1e-3, help="binary search precision")
+    parser.add_argument(
+        "--solver",
+        choices=("policy_iteration", "value_iteration", "linear_program"),
+        default="policy_iteration",
+        help="mean-payoff solver backend",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-selfish-mining",
+        description="Fully automated selfish mining analysis in efficient proof systems blockchains",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="run Algorithm 1 for one parameter point")
+    _add_model_arguments(analyze)
+
+    sweep = subparsers.add_parser("sweep", help="regenerate a Figure 2 panel")
+    sweep.add_argument("--gamma", type=float, default=0.5)
+    sweep.add_argument("--p-max", type=float, default=0.3)
+    sweep.add_argument("--p-step", type=float, default=0.05)
+    sweep.add_argument("--epsilon", type=float, default=1e-3)
+    sweep.add_argument("--max-depth", type=int, default=2, help="largest attack depth to include")
+    sweep.add_argument("--csv", type=str, default=None, help="optional CSV output path")
+
+    simulate = subparsers.add_parser("simulate", help="Monte-Carlo validate the computed strategy")
+    _add_model_arguments(simulate)
+    simulate.add_argument("--steps", type=int, default=100_000, help="simulated block events")
+    simulate.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def _command_analyze(args: argparse.Namespace) -> int:
+    analyzer = SelfishMiningAnalyzer(
+        ProtocolParams(p=args.p, gamma=args.gamma),
+        AttackParams(depth=args.depth, forks=args.forks, max_fork_length=args.max_fork_length),
+        AnalysisConfig(epsilon=args.epsilon, solver=args.solver),
+    )
+    result = analyzer.run()
+    rows = [result.to_row()]
+    print(render_table(rows))
+    print(
+        f"\nERRev lower bound: {result.errev_lower_bound:.4f}  "
+        f"(strategy achieves {result.strategy_errev:.4f}, honest mining {result.honest_errev:.4f})"
+    )
+    print(f"MDP: {result.num_states} states, {result.num_transitions} transitions")
+    print(f"Time: build {result.build_seconds:.2f}s, analysis {result.analysis_seconds:.2f}s")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    num_points = int(round(args.p_max / args.p_step)) + 1
+    p_values = tuple(round(index * args.p_step, 4) for index in range(num_points))
+    attack_configs = [AttackParams(depth=1, forks=1, max_fork_length=4)]
+    if args.max_depth >= 2:
+        attack_configs.append(AttackParams(depth=2, forks=1, max_fork_length=4))
+    if args.max_depth >= 3:
+        attack_configs.append(AttackParams(depth=2, forks=2, max_fork_length=4))
+    config = SweepConfig(
+        p_values=p_values,
+        gammas=(args.gamma,),
+        attack_configs=tuple(attack_configs),
+        analysis=AnalysisConfig(epsilon=args.epsilon),
+    )
+    sweep = run_sweep(config, progress=lambda message: print(message, file=sys.stderr))
+    print(ascii_plot(sweep, args.gamma))
+    if args.csv:
+        path = write_csv([point.to_row() for point in sweep.points], args.csv)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    analyzer = SelfishMiningAnalyzer(
+        ProtocolParams(p=args.p, gamma=args.gamma),
+        AttackParams(depth=args.depth, forks=args.forks, max_fork_length=args.max_fork_length),
+        AnalysisConfig(epsilon=args.epsilon, solver=args.solver),
+    )
+    result = analyzer.run()
+    analyzer.validate_by_simulation(result, num_steps=args.steps, seed=args.seed)
+    print(
+        f"analysis ERRev = {result.strategy_errev:.4f}, "
+        f"simulated ERRev = {result.simulated_errev:.4f} over {args.steps} steps"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-selfish-mining`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "analyze":
+        return _command_analyze(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,164 @@
+"""Parameter containers for the selfish-mining analysis.
+
+The paper's model is parameterised by five quantities (Section 3.2):
+
+* ``p``      -- relative resource of the adversarial coalition,
+* ``gamma``  -- switching probability of honest miners in a tie,
+* ``d``      -- attack depth (number of recent main-chain blocks forked on),
+* ``f``      -- forking number (private forks per main-chain block),
+* ``l``      -- maximal private fork length (finiteness bound).
+
+``ProtocolParams`` carries the first two (properties of the blockchain / network),
+``AttackParams`` the last three (properties of the attack), and ``AnalysisConfig``
+collects solver choices for the formal analysis procedure (Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ._validation import (
+    check_positive_float,
+    check_positive_int,
+    check_probability,
+)
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """System-model parameters of the blockchain protocol.
+
+    Attributes:
+        p: Fraction of the total mining resource owned by the adversary.
+        gamma: Probability that honest miners switch to a just-revealed adversarial
+            chain of equal length ("switching probability" in the paper).
+    """
+
+    p: float = 0.3
+    gamma: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_probability(self.p, "p")
+        check_probability(self.gamma, "gamma")
+
+    def with_p(self, p: float) -> "ProtocolParams":
+        """Return a copy with a different adversarial resource fraction."""
+        return replace(self, p=p)
+
+    def with_gamma(self, gamma: float) -> "ProtocolParams":
+        """Return a copy with a different switching probability."""
+        return replace(self, gamma=gamma)
+
+    def honest_fraction(self) -> float:
+        """Fraction of the resource owned by honest miners."""
+        return 1.0 - self.p
+
+    def to_dict(self) -> Dict[str, float]:
+        """Serialise to a plain dictionary (for CSV / JSON reporting)."""
+        return {"p": self.p, "gamma": self.gamma}
+
+
+@dataclass(frozen=True)
+class AttackParams:
+    """Parameters of the multi-fork selfish mining attack.
+
+    Attributes:
+        depth: Attack depth ``d`` -- the adversary forks on the last ``d`` blocks
+            of the main chain.
+        forks: Forking number ``f`` -- number of private forks grown per block.
+        max_fork_length: Maximal fork length ``l`` -- private forks longer than
+            this are truncated, keeping the MDP finite.
+    """
+
+    depth: int = 2
+    forks: int = 1
+    max_fork_length: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.depth, "depth")
+        check_positive_int(self.forks, "forks")
+        check_positive_int(self.max_fork_length, "max_fork_length")
+
+    @property
+    def d(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.depth
+
+    @property
+    def f(self) -> int:
+        """Alias matching the paper's notation."""
+        return self.forks
+
+    @property
+    def l(self) -> int:  # noqa: E743 - matches the paper's symbol
+        """Alias matching the paper's notation."""
+        return self.max_fork_length
+
+    def max_mining_targets(self) -> int:
+        """Upper bound on the number of blocks the adversary mines on at once."""
+        return self.depth * self.forks
+
+    def to_dict(self) -> Dict[str, int]:
+        """Serialise to a plain dictionary (for CSV / JSON reporting)."""
+        return {
+            "depth": self.depth,
+            "forks": self.forks,
+            "max_fork_length": self.max_fork_length,
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Configuration of the formal analysis procedure (Algorithm 1).
+
+    Attributes:
+        epsilon: Precision of the binary search over the reward parameter beta.
+        solver: Mean-payoff solver backend; one of ``"policy_iteration"``,
+            ``"value_iteration"`` or ``"linear_program"``.
+        solver_tolerance: Convergence tolerance used inside the solver.
+        max_solver_iterations: Iteration budget for iterative solvers.
+        evaluate_strategy: If true, the extracted strategy is additionally
+            evaluated exactly (stationary-distribution ratio), which yields the
+            exact ERRev it guarantees.
+    """
+
+    epsilon: float = 1e-3
+    solver: str = "policy_iteration"
+    solver_tolerance: float = 1e-9
+    max_solver_iterations: int = 100_000
+    evaluate_strategy: bool = True
+
+    _VALID_SOLVERS = ("policy_iteration", "value_iteration", "linear_program")
+
+    def __post_init__(self) -> None:
+        check_positive_float(self.epsilon, "epsilon")
+        check_positive_float(self.solver_tolerance, "solver_tolerance")
+        check_positive_int(self.max_solver_iterations, "max_solver_iterations")
+        if self.solver not in self._VALID_SOLVERS:
+            raise ValueError(
+                f"solver must be one of {self._VALID_SOLVERS}, got {self.solver!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dictionary (for reporting)."""
+        return {
+            "epsilon": self.epsilon,
+            "solver": self.solver,
+            "solver_tolerance": self.solver_tolerance,
+            "max_solver_iterations": self.max_solver_iterations,
+            "evaluate_strategy": self.evaluate_strategy,
+        }
+
+
+#: Attack configurations evaluated in the paper (Table 1 / Figure 2), l = 4.
+PAPER_ATTACK_CONFIGS = (
+    AttackParams(depth=1, forks=1, max_fork_length=4),
+    AttackParams(depth=2, forks=1, max_fork_length=4),
+    AttackParams(depth=2, forks=2, max_fork_length=4),
+    AttackParams(depth=3, forks=2, max_fork_length=4),
+    AttackParams(depth=4, forks=2, max_fork_length=4),
+)
+
+#: Switching probabilities evaluated in Figure 2.
+PAPER_GAMMAS = (0.0, 0.25, 0.5, 0.75, 1.0)

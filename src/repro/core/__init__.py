@@ -1,0 +1,25 @@
+"""High-level user-facing API.
+
+:class:`~repro.core.analyzer.SelfishMiningAnalyzer` wires together the model
+construction (:mod:`repro.attacks`), the formal analysis (:mod:`repro.analysis`)
+and optional Monte-Carlo validation (:mod:`repro.chain`).  The sweep driver and
+reporting helpers regenerate the paper's Figure 2 series and Table 1 rows.
+"""
+
+from .results import AnalysisResult, SweepPoint, SweepResult
+from .analyzer import SelfishMiningAnalyzer
+from .sweep import SweepConfig, run_sweep, sweep_figure2
+from .reporting import ascii_plot, render_table, write_csv
+
+__all__ = [
+    "AnalysisResult",
+    "SweepPoint",
+    "SweepResult",
+    "SelfishMiningAnalyzer",
+    "SweepConfig",
+    "run_sweep",
+    "sweep_figure2",
+    "ascii_plot",
+    "render_table",
+    "write_csv",
+]

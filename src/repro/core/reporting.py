@@ -1,0 +1,121 @@
+"""Plain-text and CSV reporting of analysis and sweep results.
+
+The benchmark harness and the CLI use these helpers to render the paper's
+figures as ASCII plots (one chart per gamma, one marker per series) and to dump
+machine-readable CSV files next to the benchmark output.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .results import SweepResult
+
+
+def write_csv(rows: Iterable[Mapping[str, object]], path: str | Path) -> Path:
+    """Write dictionaries as CSV (columns = union of keys, insertion ordered).
+
+    Returns:
+        The path written to.
+    """
+    rows = list(rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(dict(row))
+    return path
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render dictionaries as a fixed-width text table."""
+    rows = list(rows)
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return "" if value is None else str(value)
+
+    rendered = [[fmt(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max((len(cells[index]) for cells in rendered), default=0))
+        for index, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[index]) for index, column in enumerate(columns))
+    separator = "  ".join("-" * widths[index] for index in range(len(columns)))
+    body = [
+        "  ".join(cells[index].ljust(widths[index]) for index in range(len(columns)))
+        for cells in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def ascii_plot(
+    sweep: SweepResult,
+    gamma: float,
+    *,
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """Render one Figure 2 panel (fixed gamma) as an ASCII scatter plot.
+
+    Each series gets a distinct marker; the x-axis is the adversarial resource
+    ``p`` and the y-axis the expected relative revenue.
+    """
+    markers = "ox+*#@%&"
+    series_names = sweep.series_names()
+    points_by_series: Dict[str, List] = {
+        name: sweep.series(name, gamma=gamma) for name in series_names
+    }
+    all_points = [point for points in points_by_series.values() for point in points]
+    if not all_points:
+        return f"(no data for gamma={gamma})"
+    x_values = [point.p for point in all_points]
+    y_values = [point.errev for point in all_points]
+    x_min, x_max = min(x_values), max(x_values)
+    y_min, y_max = 0.0, max(max(y_values), 1e-9)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    def to_cell(x: float, y: float) -> tuple[int, int]:
+        if x_max == x_min:
+            column = 0
+        else:
+            column = int(round((x - x_min) / (x_max - x_min) * (width - 1)))
+        row = int(round((y - y_min) / (y_max - y_min) * (height - 1)))
+        return height - 1 - row, column
+
+    legend_lines = []
+    for index, name in enumerate(series_names):
+        marker = markers[index % len(markers)]
+        legend_lines.append(f"  {marker} {name}")
+        for point in points_by_series[name]:
+            row, column = to_cell(point.p, point.errev)
+            grid[row][column] = marker
+
+    lines = [f"ERRev vs p   (gamma = {gamma})", f"y: 0 .. {y_max:.3f}   x: {x_min} .. {x_max}"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.extend(legend_lines)
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Result containers of the high-level API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.algorithm1 import FormalAnalysisResult
+from ..config import AttackParams, ProtocolParams
+
+
+@dataclass
+class AnalysisResult:
+    """Complete result of analysing one parameter point.
+
+    Attributes:
+        protocol: Protocol parameters the analysis was run for.
+        attack: Attack parameters the analysis was run for.
+        errev_lower_bound: Epsilon-tight lower bound on the optimal ERRev
+            (Algorithm 1's ``beta_low``).
+        strategy_errev: Exact ERRev of the extracted strategy (stationary
+            evaluation), ``None`` if evaluation was disabled.
+        honest_errev: ERRev of honest mining (= ``p``), for comparison.
+        num_states: Number of states of the constructed MDP.
+        num_transitions: Number of transitions of the constructed MDP.
+        build_seconds: Wall-clock time spent building the MDP.
+        analysis_seconds: Wall-clock time spent in Algorithm 1.
+        formal: The raw :class:`FormalAnalysisResult` (iteration log, strategy).
+        simulated_errev: Optional Monte-Carlo estimate of the strategy's ERRev.
+    """
+
+    protocol: ProtocolParams
+    attack: AttackParams
+    errev_lower_bound: float
+    strategy_errev: Optional[float]
+    honest_errev: float
+    num_states: int
+    num_transitions: int
+    build_seconds: float
+    analysis_seconds: float
+    formal: FormalAnalysisResult
+    simulated_errev: Optional[float] = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time (model construction plus analysis)."""
+        return self.build_seconds + self.analysis_seconds
+
+    @property
+    def advantage_over_honest(self) -> float:
+        """How much the attack improves on honest mining (in ERRev)."""
+        value = self.strategy_errev if self.strategy_errev is not None else self.errev_lower_bound
+        return value - self.honest_errev
+
+    @property
+    def chain_quality(self) -> float:
+        """Chain quality implied by the attack (1 - ERRev)."""
+        value = self.strategy_errev if self.strategy_errev is not None else self.errev_lower_bound
+        return 1.0 - value
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a dictionary suitable for CSV reporting."""
+        return {
+            "p": self.protocol.p,
+            "gamma": self.protocol.gamma,
+            "d": self.attack.depth,
+            "f": self.attack.forks,
+            "l": self.attack.max_fork_length,
+            "errev_lower_bound": self.errev_lower_bound,
+            "strategy_errev": self.strategy_errev,
+            "honest_errev": self.honest_errev,
+            "num_states": self.num_states,
+            "num_transitions": self.num_transitions,
+            "build_seconds": self.build_seconds,
+            "analysis_seconds": self.analysis_seconds,
+        }
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep (one curve sample of Figure 2).
+
+    Attributes:
+        p: Adversarial resource fraction.
+        gamma: Switching probability.
+        series: Name of the curve the point belongs to (e.g. ``"d=2,f=2"``).
+        errev: Expected relative revenue at the point.
+    """
+
+    p: float
+    gamma: float
+    series: str
+    errev: float
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a dictionary suitable for CSV reporting."""
+        return {"p": self.p, "gamma": self.gamma, "series": self.series, "errev": self.errev}
+
+
+@dataclass
+class SweepResult:
+    """A collection of sweep points grouped into named series.
+
+    Attributes:
+        points: All computed sweep points.
+        description: Human-readable description of the sweep.
+    """
+
+    points: List[SweepPoint] = field(default_factory=list)
+    description: str = ""
+
+    def series_names(self) -> List[str]:
+        """Names of all series, in first-appearance order."""
+        names: List[str] = []
+        for point in self.points:
+            if point.series not in names:
+                names.append(point.series)
+        return names
+
+    def series(self, name: str, gamma: Optional[float] = None) -> List[SweepPoint]:
+        """Return the points of one series (optionally for a single gamma)."""
+        return [
+            point
+            for point in self.points
+            if point.series == name and (gamma is None or point.gamma == gamma)
+        ]
+
+    def gammas(self) -> List[float]:
+        """Distinct gamma values present in the sweep."""
+        values: List[float] = []
+        for point in self.points:
+            if point.gamma not in values:
+                values.append(point.gamma)
+        return values
+
+    def merge(self, other: "SweepResult") -> "SweepResult":
+        """Return a new sweep containing the points of both sweeps."""
+        return SweepResult(points=self.points + other.points, description=self.description)

@@ -1,0 +1,146 @@
+"""Parameter sweeps reproducing the paper's Figure 2.
+
+Figure 2 plots the expected relative revenue as a function of the adversary's
+resource fraction ``p`` for several switching probabilities ``gamma``, comparing
+the paper's attack (for several ``(d, f)`` configurations) against honest mining
+and the single-tree baseline.  :func:`sweep_figure2` regenerates those series;
+the grid density and configuration list are configurable so the default harness
+stays within a laptop-scale time budget (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..analysis import formal_analysis
+from ..attacks import build_selfish_forks_mdp, honest_errev, single_tree_errev
+from ..attacks.single_tree import SingleTreeParams
+from ..config import AnalysisConfig, AttackParams, ProtocolParams
+from .results import SweepPoint, SweepResult
+
+#: Default (d, f) configurations of the paper that are tractable by default.
+DEFAULT_ATTACK_CONFIGS = (
+    AttackParams(depth=1, forks=1, max_fork_length=4),
+    AttackParams(depth=2, forks=1, max_fork_length=4),
+)
+
+#: Single-tree baseline parameters used in the paper (l = 4, f = 5).
+DEFAULT_SINGLE_TREE = SingleTreeParams(max_depth=4, max_width=5)
+
+
+@dataclass
+class SweepConfig:
+    """Configuration of a Figure 2 style sweep.
+
+    Attributes:
+        p_values: Grid of adversarial resource fractions.
+        gammas: Switching probabilities (one plot per gamma in the paper).
+        attack_configs: ``(d, f, l)`` configurations of the paper's attack.
+        include_honest: Whether to include the honest baseline series.
+        include_single_tree: Whether to include the single-tree baseline series.
+        single_tree: Parameters of the single-tree baseline.
+        analysis: Formal-analysis configuration used for every attack point.
+    """
+
+    p_values: Sequence[float] = tuple(round(0.05 * i, 2) for i in range(0, 7))
+    gammas: Sequence[float] = (0.0, 0.5, 1.0)
+    attack_configs: Sequence[AttackParams] = DEFAULT_ATTACK_CONFIGS
+    include_honest: bool = True
+    include_single_tree: bool = True
+    single_tree: SingleTreeParams = DEFAULT_SINGLE_TREE
+    analysis: AnalysisConfig = field(default_factory=lambda: AnalysisConfig(epsilon=1e-3))
+
+
+def attack_series_name(attack: AttackParams) -> str:
+    """Series label of an attack configuration (matches the paper's legend)."""
+    return f"ours(d={attack.depth},f={attack.forks})"
+
+
+def run_sweep(
+    config: SweepConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run a Figure 2 style sweep and return all computed points.
+
+    Args:
+        config: The sweep configuration.
+        progress: Optional callback invoked with a short message per computed point.
+    """
+    points: List[SweepPoint] = []
+
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    for gamma in config.gammas:
+        for p in config.p_values:
+            protocol = ProtocolParams(p=p, gamma=gamma)
+            if config.include_honest:
+                points.append(
+                    SweepPoint(p=p, gamma=gamma, series="honest", errev=honest_errev(protocol))
+                )
+            if config.include_single_tree:
+                points.append(
+                    SweepPoint(
+                        p=p,
+                        gamma=gamma,
+                        series=f"single-tree(f={config.single_tree.max_width})",
+                        errev=single_tree_errev(protocol, config.single_tree),
+                    )
+                )
+            for attack in config.attack_configs:
+                model = build_selfish_forks_mdp(protocol, attack)
+                result = formal_analysis(model.mdp, config.analysis)
+                errev = (
+                    result.strategy_errev
+                    if result.strategy_errev is not None
+                    else result.errev_lower_bound
+                )
+                points.append(
+                    SweepPoint(p=p, gamma=gamma, series=attack_series_name(attack), errev=errev)
+                )
+                report(
+                    f"gamma={gamma} p={p} {attack_series_name(attack)}: "
+                    f"ERRev={errev:.4f} ({model.mdp.num_states} states)"
+                )
+    return SweepResult(
+        points=points,
+        description=(
+            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)}"
+        ),
+    )
+
+
+def sweep_figure2(
+    *,
+    fine_grid: bool = False,
+    gammas: Optional[Sequence[float]] = None,
+    attack_configs: Optional[Sequence[AttackParams]] = None,
+    epsilon: float = 1e-3,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Convenience wrapper reproducing Figure 2 with sensible defaults.
+
+    Args:
+        fine_grid: Use the paper's p-step of 0.01 instead of the default 0.05.
+        gammas: Switching probabilities; defaults to the paper's five values when
+            ``fine_grid`` is set, otherwise to {0, 0.5, 1}.
+        attack_configs: Attack configurations; defaults to the tractable subset.
+        epsilon: Binary-search precision of the formal analysis.
+        progress: Optional progress callback.
+    """
+    if fine_grid:
+        p_values = tuple(round(0.01 * i, 2) for i in range(0, 31))
+        default_gammas = (0.0, 0.25, 0.5, 0.75, 1.0)
+    else:
+        p_values = tuple(round(0.05 * i, 2) for i in range(0, 7))
+        default_gammas = (0.0, 0.5, 1.0)
+    config = SweepConfig(
+        p_values=p_values,
+        gammas=tuple(gammas) if gammas is not None else default_gammas,
+        attack_configs=tuple(attack_configs) if attack_configs is not None else DEFAULT_ATTACK_CONFIGS,
+        analysis=AnalysisConfig(epsilon=epsilon),
+    )
+    return run_sweep(config, progress=progress)

@@ -1,0 +1,42 @@
+"""Explicit-state Markov decision process library.
+
+This subpackage is the substrate that replaces the Storm probabilistic model
+checker used by the paper: a from-scratch finite MDP container together with
+mean-payoff solvers (relative value iteration, Howard policy iteration and a
+linear-programming formulation), discounted value iteration, induced-Markov-chain
+stationary analysis and structural (graph) analysis.
+"""
+
+from .model import MDP, MDPBuilder, TransitionRow
+from .strategy import Strategy
+from .markov_chain import MarkovChain, induced_markov_chain
+from .value_iteration import RelativeValueIterationResult, relative_value_iteration
+from .policy_iteration import PolicyIterationResult, policy_iteration
+from .linear_program import LinearProgramResult, solve_mean_payoff_lp
+from .discounted import DiscountedValueIterationResult, discounted_value_iteration
+from .mean_payoff import MeanPayoffSolution, solve_mean_payoff
+from .reachability import end_components, is_unichain, reachable_states
+from .validation import validate_mdp
+
+__all__ = [
+    "MDP",
+    "MDPBuilder",
+    "TransitionRow",
+    "Strategy",
+    "MarkovChain",
+    "induced_markov_chain",
+    "RelativeValueIterationResult",
+    "relative_value_iteration",
+    "PolicyIterationResult",
+    "policy_iteration",
+    "LinearProgramResult",
+    "solve_mean_payoff_lp",
+    "DiscountedValueIterationResult",
+    "discounted_value_iteration",
+    "MeanPayoffSolution",
+    "solve_mean_payoff",
+    "end_components",
+    "is_unichain",
+    "reachable_states",
+    "validate_mdp",
+]

@@ -1,0 +1,101 @@
+"""Discounted value iteration.
+
+Not used directly by Algorithm 1, but provided as part of the MDP substrate:
+(i) as an independent approximation of the mean payoff through the vanishing
+discount relation ``g ≈ (1 - γ) V_γ``, useful for cross-checks, and (ii) as a
+generally useful building block for downstream users of the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .model import MDP
+from .strategy import Strategy
+
+
+@dataclass
+class DiscountedValueIterationResult:
+    """Result of discounted value iteration.
+
+    Attributes:
+        values: Optimal discounted value per state.
+        strategy: Greedy optimal strategy.
+        iterations: Number of Bellman backups performed.
+        converged: Whether the stopping criterion was met.
+        discount: Discount factor used.
+    """
+
+    values: np.ndarray
+    strategy: Strategy
+    iterations: int
+    converged: bool
+    discount: float
+
+    def mean_payoff_estimate(self) -> float:
+        """Vanishing-discount estimate of the gain at the initial state."""
+        return float((1.0 - self.discount) * self.values[self.strategy.mdp.initial_state])
+
+
+def discounted_value_iteration(
+    mdp: MDP,
+    reward_weights: Sequence[float],
+    *,
+    discount: float = 0.999,
+    tolerance: float = 1e-10,
+    max_iterations: int = 1_000_000,
+    initial_values: Optional[np.ndarray] = None,
+) -> DiscountedValueIterationResult:
+    """Solve the discounted MDP with value iteration.
+
+    The stopping rule uses the standard contraction bound: iteration stops once
+    the sup-norm of successive iterates guarantees an error below ``tolerance``.
+
+    Raises:
+        ConvergenceError: If the iteration budget is exhausted first.
+    """
+    if not 0.0 < discount < 1.0:
+        raise ValueError(f"discount must be in (0, 1), got {discount}")
+    row_rewards = mdp.expected_row_rewards(reward_weights)
+    values = (
+        np.zeros(mdp.num_states)
+        if initial_values is None
+        else np.asarray(initial_values, dtype=float).copy()
+    )
+    threshold = tolerance * (1.0 - discount) / (2.0 * discount)
+    best_rows = mdp.uniform_random_row_choice()
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        continuation = mdp.trans_prob * values[mdp.trans_succ]
+        row_values = row_rewards + discount * np.add.reduceat(
+            continuation, mdp.row_trans_offsets[:-1]
+        )
+        new_values = np.maximum.reduceat(row_values, mdp.state_row_offsets[:-1])
+        delta = float(np.max(np.abs(new_values - values)))
+        values = new_values
+        if delta < threshold:
+            converged = True
+            # Extract greedy rows at the fixed point.
+            is_best = row_values >= new_values[mdp.row_state] - 1e-12
+            row_indices = np.arange(mdp.num_rows)
+            candidate_rows = row_indices[is_best]
+            candidate_states = mdp.row_state[is_best]
+            best_rows = np.full(mdp.num_states, -1, dtype=np.int64)
+            best_rows[candidate_states[::-1]] = candidate_rows[::-1]
+            break
+    if not converged:
+        raise ConvergenceError(
+            f"discounted value iteration did not converge within {max_iterations} iterations"
+        )
+    return DiscountedValueIterationResult(
+        values=values,
+        strategy=Strategy(mdp, best_rows),
+        iterations=iterations,
+        converged=converged,
+        discount=discount,
+    )

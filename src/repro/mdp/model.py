@@ -1,0 +1,367 @@
+"""Sparse explicit-state MDP container and builder.
+
+The model stores, for every state, a contiguous block of *state-action rows*;
+every row stores a contiguous block of transitions (successor, probability,
+reward vector).  Rewards are vectors so that several reward structures can be
+attached to the same model -- the selfish-mining analysis attaches the pair
+``(r_A, r_H)`` (adversarial / honest blocks finalised by the transition) and
+combines them linearly into the paper's ``r_beta`` without rebuilding the model.
+
+All solver-facing data lives in flat numpy arrays so that value iteration can be
+fully vectorised with ``numpy.add.reduceat`` / ``numpy.maximum.reduceat``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+#: Probabilities within one state-action row must sum to one up to this tolerance.
+PROBABILITY_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class TransitionRow:
+    """A single state-action row: the distribution over successors and rewards.
+
+    Attributes:
+        state: Index of the owning state.
+        action: Hashable action label.
+        successors: Successor state indices.
+        probabilities: Transition probabilities (same length as ``successors``).
+        rewards: Reward vectors, one per successor, shape ``(len(successors), k)``.
+    """
+
+    state: int
+    action: Hashable
+    successors: Tuple[int, ...]
+    probabilities: Tuple[float, ...]
+    rewards: Tuple[Tuple[float, ...], ...]
+
+
+class MDP:
+    """A finite Markov decision process in sparse explicit form.
+
+    Instances are created through :class:`MDPBuilder`; the attributes below are
+    read-only flat arrays shared by every solver in :mod:`repro.mdp`.
+
+    Attributes:
+        num_states: Number of states.
+        num_rows: Number of state-action rows.
+        num_reward_components: Dimension of the per-transition reward vectors.
+        initial_state: Index of the initial state.
+        row_state: For each row, the owning state index (``int64`` array).
+        state_row_offsets: CSR-style offsets of shape ``(num_states + 1,)`` such
+            that the rows of state ``s`` are ``row_state_offsets[s]:row_state_offsets[s+1]``.
+        row_trans_offsets: CSR-style offsets into the transition arrays, shape
+            ``(num_rows + 1,)``.
+        trans_succ: Successor state per transition.
+        trans_prob: Probability per transition.
+        trans_reward: Reward vectors per transition, shape ``(num_transitions, k)``.
+        row_actions: Action label per row (python list).
+        state_labels: Optional hashable label per state (python list).
+    """
+
+    def __init__(
+        self,
+        *,
+        num_states: int,
+        initial_state: int,
+        row_state: np.ndarray,
+        state_row_offsets: np.ndarray,
+        row_trans_offsets: np.ndarray,
+        trans_succ: np.ndarray,
+        trans_prob: np.ndarray,
+        trans_reward: np.ndarray,
+        row_actions: List[Hashable],
+        state_labels: Optional[List[Hashable]] = None,
+    ) -> None:
+        self.num_states = int(num_states)
+        self.initial_state = int(initial_state)
+        self.row_state = row_state
+        self.state_row_offsets = state_row_offsets
+        self.row_trans_offsets = row_trans_offsets
+        self.trans_succ = trans_succ
+        self.trans_prob = trans_prob
+        self.trans_reward = trans_reward
+        self.row_actions = row_actions
+        self.state_labels = state_labels
+        self.num_rows = int(row_state.shape[0])
+        self.num_transitions = int(trans_succ.shape[0])
+        self.num_reward_components = int(trans_reward.shape[1]) if trans_reward.size else (
+            int(trans_reward.shape[1]) if trans_reward.ndim == 2 else 1
+        )
+        self._label_to_state: Optional[Dict[Hashable, int]] = None
+
+    # ------------------------------------------------------------------ queries
+
+    def actions_of(self, state: int) -> List[Hashable]:
+        """Return the action labels available in ``state``."""
+        start, end = self.state_row_offsets[state], self.state_row_offsets[state + 1]
+        return [self.row_actions[row] for row in range(start, end)]
+
+    def rows_of(self, state: int) -> range:
+        """Return the row indices belonging to ``state``."""
+        return range(int(self.state_row_offsets[state]), int(self.state_row_offsets[state + 1]))
+
+    def num_actions_of(self, state: int) -> int:
+        """Return the number of actions available in ``state``."""
+        return int(self.state_row_offsets[state + 1] - self.state_row_offsets[state])
+
+    def row_index(self, state: int, action: Hashable) -> int:
+        """Return the row index of ``(state, action)``.
+
+        Raises:
+            ModelError: If ``action`` is not available in ``state``.
+        """
+        for row in self.rows_of(state):
+            if self.row_actions[row] == action:
+                return row
+        raise ModelError(f"action {action!r} not available in state {state}")
+
+    def transitions_of_row(self, row: int) -> List[Tuple[int, float, np.ndarray]]:
+        """Return ``(successor, probability, reward_vector)`` triples of a row."""
+        start, end = self.row_trans_offsets[row], self.row_trans_offsets[row + 1]
+        return [
+            (int(self.trans_succ[t]), float(self.trans_prob[t]), self.trans_reward[t])
+            for t in range(start, end)
+        ]
+
+    def row(self, row: int) -> TransitionRow:
+        """Return a :class:`TransitionRow` view of row ``row``."""
+        triples = self.transitions_of_row(row)
+        return TransitionRow(
+            state=int(self.row_state[row]),
+            action=self.row_actions[row],
+            successors=tuple(succ for succ, _, _ in triples),
+            probabilities=tuple(prob for _, prob, _ in triples),
+            rewards=tuple(tuple(float(x) for x in reward) for _, _, reward in triples),
+        )
+
+    def state_of_label(self, label: Hashable) -> int:
+        """Return the state index carrying ``label``.
+
+        Raises:
+            ModelError: If the model has no labels or the label is unknown.
+        """
+        if self.state_labels is None:
+            raise ModelError("this MDP was built without state labels")
+        if self._label_to_state is None:
+            self._label_to_state = {lbl: idx for idx, lbl in enumerate(self.state_labels)}
+        try:
+            return self._label_to_state[label]
+        except KeyError as exc:
+            raise ModelError(f"unknown state label {label!r}") from exc
+
+    # --------------------------------------------------------------- reward math
+
+    def expected_row_rewards(self, weights: Sequence[float]) -> np.ndarray:
+        """Return the expected immediate reward of every row under ``weights``.
+
+        The scalar reward of a transition is the dot product of its reward vector
+        with ``weights``; the expectation is taken over the row's successor
+        distribution.
+        """
+        weights_arr = np.asarray(weights, dtype=float)
+        if weights_arr.shape != (self.num_reward_components,):
+            raise ModelError(
+                f"expected {self.num_reward_components} reward weights, got {weights_arr.shape}"
+            )
+        scalar = self.trans_reward @ weights_arr
+        contributions = scalar * self.trans_prob
+        return np.add.reduceat(contributions, self.row_trans_offsets[:-1]) if self.num_rows else np.zeros(0)
+
+    def expected_row_reward_components(self) -> np.ndarray:
+        """Return the expected reward vector of every row, shape ``(num_rows, k)``."""
+        weighted = self.trans_reward * self.trans_prob[:, None]
+        out = np.zeros((self.num_rows, self.num_reward_components))
+        if self.num_rows:
+            out = np.add.reduceat(weighted, self.row_trans_offsets[:-1], axis=0)
+        return out
+
+    # ------------------------------------------------------------------ utilities
+
+    def uniform_random_row_choice(self) -> np.ndarray:
+        """Return a policy choosing the first row of every state (deterministic)."""
+        return self.state_row_offsets[:-1].astype(np.int64).copy()
+
+    def max_reward_magnitude(self) -> float:
+        """Return ``max |r|`` over all transition reward entries (0 for empty models)."""
+        if self.trans_reward.size == 0:
+            return 0.0
+        return float(np.max(np.abs(self.trans_reward)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MDP(states={self.num_states}, rows={self.num_rows}, "
+            f"transitions={self.num_transitions}, rewards={self.num_reward_components})"
+        )
+
+
+class MDPBuilder:
+    """Incremental builder for :class:`MDP` instances.
+
+    States are identified by hashable labels; indices are assigned on first use.
+    Actions are added per state with an explicit successor distribution.
+
+    Example:
+        >>> builder = MDPBuilder(num_reward_components=1)
+        >>> s = builder.add_state("s")
+        >>> builder.add_action("s", "loop", [("s", 1.0, (1.0,))])
+        >>> mdp = builder.build(initial_state="s")
+        >>> mdp.num_states
+        1
+    """
+
+    def __init__(self, num_reward_components: int = 1) -> None:
+        if num_reward_components < 1:
+            raise ModelError("num_reward_components must be >= 1")
+        self.num_reward_components = int(num_reward_components)
+        self._state_ids: Dict[Hashable, int] = {}
+        self._labels: List[Hashable] = []
+        # per-state list of (action_label, [(succ_label, prob, reward_vec), ...])
+        self._actions: List[List[Tuple[Hashable, List[Tuple[Hashable, float, Tuple[float, ...]]]]]] = []
+
+    # ------------------------------------------------------------------- states
+
+    def add_state(self, label: Hashable) -> int:
+        """Register ``label`` as a state (idempotent) and return its index."""
+        if label in self._state_ids:
+            return self._state_ids[label]
+        index = len(self._labels)
+        self._state_ids[label] = index
+        self._labels.append(label)
+        self._actions.append([])
+        return index
+
+    def state_index(self, label: Hashable) -> int:
+        """Return the index of an already-registered state label."""
+        try:
+            return self._state_ids[label]
+        except KeyError as exc:
+            raise ModelError(f"unknown state label {label!r}") from exc
+
+    def has_state(self, label: Hashable) -> bool:
+        """Return whether ``label`` has been registered."""
+        return label in self._state_ids
+
+    @property
+    def num_states(self) -> int:
+        """Number of states registered so far."""
+        return len(self._labels)
+
+    # ------------------------------------------------------------------ actions
+
+    def add_action(
+        self,
+        state_label: Hashable,
+        action: Hashable,
+        transitions: Iterable[Tuple[Hashable, float, Sequence[float]]],
+    ) -> None:
+        """Add an action to a state.
+
+        Args:
+            state_label: Label of the owning state (registered automatically).
+            action: Hashable action label, unique within the state.
+            transitions: Iterable of ``(successor_label, probability, reward_vector)``;
+                successor states are registered automatically.
+
+        Raises:
+            ModelError: If the distribution is empty, contains invalid
+                probabilities, does not sum to one, or has a reward vector of the
+                wrong length, or if the action label is duplicated in the state.
+        """
+        state_index = self.add_state(state_label)
+        stored: List[Tuple[Hashable, float, Tuple[float, ...]]] = []
+        total = 0.0
+        for succ_label, prob, reward in transitions:
+            prob = float(prob)
+            if prob < -PROBABILITY_TOLERANCE:
+                raise ModelError(f"negative probability {prob} in ({state_label!r}, {action!r})")
+            if prob <= 0.0:
+                continue
+            reward_tuple = tuple(float(x) for x in reward)
+            if len(reward_tuple) != self.num_reward_components:
+                raise ModelError(
+                    f"reward vector of length {len(reward_tuple)} does not match "
+                    f"num_reward_components={self.num_reward_components}"
+                )
+            self.add_state(succ_label)
+            stored.append((succ_label, prob, reward_tuple))
+            total += prob
+        if not stored:
+            raise ModelError(f"action {action!r} of state {state_label!r} has no transitions")
+        if abs(total - 1.0) > 1e-6:
+            raise ModelError(
+                f"probabilities of ({state_label!r}, {action!r}) sum to {total}, expected 1"
+            )
+        existing = self._actions[state_index]
+        if any(existing_action == action for existing_action, _ in existing):
+            raise ModelError(f"duplicate action {action!r} in state {state_label!r}")
+        existing.append((action, stored))
+
+    def has_action(self, state_label: Hashable, action: Hashable) -> bool:
+        """Return whether ``(state_label, action)`` has already been added."""
+        if state_label not in self._state_ids:
+            return False
+        rows = self._actions[self._state_ids[state_label]]
+        return any(existing_action == action for existing_action, _ in rows)
+
+    def num_actions_of(self, state_label: Hashable) -> int:
+        """Return the number of actions added to ``state_label`` so far."""
+        return len(self._actions[self.state_index(state_label)])
+
+    # -------------------------------------------------------------------- build
+
+    def build(self, initial_state: Hashable) -> MDP:
+        """Freeze the builder into an immutable :class:`MDP`.
+
+        Raises:
+            ModelError: If any state has no actions (absorbing states must be
+                given an explicit self-loop) or the initial state is unknown.
+        """
+        if initial_state not in self._state_ids:
+            raise ModelError(f"initial state {initial_state!r} was never registered")
+        for label, index in self._state_ids.items():
+            if not self._actions[index]:
+                raise ModelError(f"state {label!r} has no actions; add an explicit self-loop")
+
+        row_state: List[int] = []
+        row_actions: List[Hashable] = []
+        state_row_offsets = np.zeros(self.num_states + 1, dtype=np.int64)
+        trans_succ: List[int] = []
+        trans_prob: List[float] = []
+        trans_reward: List[Tuple[float, ...]] = []
+        row_trans_offsets: List[int] = [0]
+
+        for state_index in range(self.num_states):
+            for action, transitions in self._actions[state_index]:
+                row_state.append(state_index)
+                row_actions.append(action)
+                # Renormalise to wash out floating-point drift in the inputs.
+                total = sum(prob for _, prob, _ in transitions)
+                for succ_label, prob, reward in transitions:
+                    trans_succ.append(self._state_ids[succ_label])
+                    trans_prob.append(prob / total)
+                    trans_reward.append(reward)
+                row_trans_offsets.append(len(trans_succ))
+            state_row_offsets[state_index + 1] = len(row_state)
+
+        return MDP(
+            num_states=self.num_states,
+            initial_state=self._state_ids[initial_state],
+            row_state=np.asarray(row_state, dtype=np.int64),
+            state_row_offsets=state_row_offsets,
+            row_trans_offsets=np.asarray(row_trans_offsets, dtype=np.int64),
+            trans_succ=np.asarray(trans_succ, dtype=np.int64),
+            trans_prob=np.asarray(trans_prob, dtype=float),
+            trans_reward=np.asarray(trans_reward, dtype=float).reshape(
+                len(trans_reward), self.num_reward_components
+            ),
+            row_actions=row_actions,
+            state_labels=list(self._labels),
+        )

@@ -1,0 +1,134 @@
+"""Positional (memoryless, deterministic) strategies for finite MDPs.
+
+A positional strategy fixes one action per state.  The mean-payoff MDP problem
+always admits an optimal positional strategy (Puterman 1994), which is why this
+is the only strategy class needed by the formal analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Optional
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .model import MDP
+
+
+class Strategy:
+    """A positional strategy represented by one chosen row per state.
+
+    Attributes:
+        mdp: The model the strategy belongs to.
+        rows: ``int64`` array of length ``mdp.num_states``; ``rows[s]`` is the
+            index of the state-action row chosen in state ``s``.
+    """
+
+    def __init__(self, mdp: MDP, rows: np.ndarray) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.shape != (mdp.num_states,):
+            raise ModelError(
+                f"strategy must choose one row per state, got shape {rows.shape}"
+            )
+        owners = mdp.row_state[rows]
+        if not np.array_equal(owners, np.arange(mdp.num_states)):
+            offending = int(np.nonzero(owners != np.arange(mdp.num_states))[0][0])
+            raise ModelError(
+                f"strategy chooses a row that does not belong to state {offending}"
+            )
+        self.mdp = mdp
+        self.rows = rows
+
+    # ----------------------------------------------------------------- factories
+
+    @classmethod
+    def from_action_map(cls, mdp: MDP, actions: Dict[Hashable, Hashable]) -> "Strategy":
+        """Build a strategy from a ``{state_label: action_label}`` mapping.
+
+        States absent from the mapping default to their first available action.
+        """
+        rows = mdp.uniform_random_row_choice()
+        for state_label, action in actions.items():
+            state = mdp.state_of_label(state_label)
+            rows[state] = mdp.row_index(state, action)
+        return cls(mdp, rows)
+
+    @classmethod
+    def first_action(cls, mdp: MDP) -> "Strategy":
+        """Return the strategy that always picks the first listed action."""
+        return cls(mdp, mdp.uniform_random_row_choice())
+
+    # ------------------------------------------------------------------- queries
+
+    def action(self, state: int) -> Hashable:
+        """Return the action label chosen in ``state``."""
+        return self.mdp.row_actions[int(self.rows[state])]
+
+    def action_of_label(self, state_label: Hashable) -> Hashable:
+        """Return the action label chosen in the state carrying ``state_label``."""
+        return self.action(self.mdp.state_of_label(state_label))
+
+    def row(self, state: int) -> int:
+        """Return the chosen row index of ``state``."""
+        return int(self.rows[state])
+
+    def to_action_map(self) -> Dict[Hashable, Hashable]:
+        """Return a ``{state_label: action_label}`` mapping (labels required)."""
+        if self.mdp.state_labels is None:
+            raise ModelError("the underlying MDP has no state labels")
+        return {
+            self.mdp.state_labels[state]: self.action(state)
+            for state in range(self.mdp.num_states)
+        }
+
+    def differs_from(self, other: "Strategy") -> int:
+        """Return the number of states where the two strategies disagree."""
+        if other.mdp is not self.mdp:
+            raise ModelError("cannot compare strategies over different MDPs")
+        return int(np.count_nonzero(self.rows != other.rows))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Strategy)
+            and other.mdp is self.mdp
+            and np.array_equal(other.rows, self.rows)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - strategies are rarely hashed
+        return hash((id(self.mdp), self.rows.tobytes()))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.rows.tolist())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Strategy(states={self.mdp.num_states})"
+
+
+def describe_strategy(
+    strategy: Strategy,
+    *,
+    only_non_default: bool = True,
+    default_action: Optional[Hashable] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Render a human-readable listing of a strategy.
+
+    Args:
+        strategy: The strategy to describe.
+        only_non_default: If true, omit states whose chosen action equals
+            ``default_action``.
+        default_action: The action considered "default" (e.g. ``("mine",)``).
+        limit: Maximum number of lines to emit; ``None`` for no limit.
+    """
+    mdp = strategy.mdp
+    lines = []
+    for state in range(mdp.num_states):
+        action = strategy.action(state)
+        if only_non_default and default_action is not None and action == default_action:
+            continue
+        label = mdp.state_labels[state] if mdp.state_labels is not None else state
+        lines.append(f"{label!r} -> {action!r}")
+        if limit is not None and len(lines) >= limit:
+            lines.append("...")
+            break
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Well-formedness checks for built MDPs.
+
+These checks are cheap enough to run inside the test suite on every constructed
+selfish-mining model: probability distributions sum to one, offsets are
+consistent, every state has at least one action, and all states are reachable
+from the initial state (unreachable states would silently inflate the model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .model import MDP
+from .reachability import reachable_states
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_mdp`.
+
+    Attributes:
+        num_states: Number of states in the model.
+        num_rows: Number of state-action rows.
+        num_transitions: Number of transitions.
+        num_unreachable: Number of states not reachable from the initial state.
+        problems: Human-readable list of detected problems (empty when valid).
+    """
+
+    num_states: int
+    num_rows: int
+    num_transitions: int
+    num_unreachable: int
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether no problems were detected."""
+        return not self.problems
+
+
+def validate_mdp(
+    mdp: MDP,
+    *,
+    require_reachable: bool = True,
+    probability_tolerance: float = 1e-8,
+    raise_on_error: bool = True,
+) -> ValidationReport:
+    """Validate structural invariants of an MDP.
+
+    Args:
+        mdp: The model to validate.
+        require_reachable: If true, unreachable states are reported as problems.
+        probability_tolerance: Allowed deviation of row probability sums from 1.
+        raise_on_error: If true, raise :class:`~repro.exceptions.ModelError` when
+            any problem is found; otherwise return the report.
+    """
+    problems: List[str] = []
+
+    if mdp.num_states == 0:
+        problems.append("model has no states")
+    if not 0 <= mdp.initial_state < max(mdp.num_states, 1):
+        problems.append(f"initial state {mdp.initial_state} out of range")
+
+    # Offsets must be monotone and cover all rows / transitions.
+    if mdp.state_row_offsets[0] != 0 or mdp.state_row_offsets[-1] != mdp.num_rows:
+        problems.append("state_row_offsets do not cover all rows")
+    if np.any(np.diff(mdp.state_row_offsets) < 1):
+        empty = int(np.nonzero(np.diff(mdp.state_row_offsets) < 1)[0][0])
+        problems.append(f"state {empty} has no actions")
+    if mdp.row_trans_offsets[0] != 0 or mdp.row_trans_offsets[-1] != mdp.num_transitions:
+        problems.append("row_trans_offsets do not cover all transitions")
+    if np.any(np.diff(mdp.row_trans_offsets) < 1):
+        empty_row = int(np.nonzero(np.diff(mdp.row_trans_offsets) < 1)[0][0])
+        problems.append(f"row {empty_row} has no transitions")
+
+    # Probabilities must be valid and sum to one per row.
+    if np.any(mdp.trans_prob < 0) or np.any(mdp.trans_prob > 1 + probability_tolerance):
+        problems.append("transition probabilities outside [0, 1]")
+    if mdp.num_rows:
+        row_sums = np.add.reduceat(mdp.trans_prob, mdp.row_trans_offsets[:-1])
+        worst = float(np.max(np.abs(row_sums - 1.0))) if row_sums.size else 0.0
+        if worst > probability_tolerance:
+            problems.append(f"row probability sums deviate from 1 by up to {worst:.2e}")
+
+    # Successor indices must be in range.
+    if mdp.num_transitions and (
+        np.any(mdp.trans_succ < 0) or np.any(mdp.trans_succ >= mdp.num_states)
+    ):
+        problems.append("transition successor indices out of range")
+
+    num_unreachable = 0
+    if require_reachable and mdp.num_states:
+        reachable = reachable_states(mdp)
+        num_unreachable = mdp.num_states - len(reachable)
+        if num_unreachable:
+            problems.append(f"{num_unreachable} states are unreachable from the initial state")
+
+    report = ValidationReport(
+        num_states=mdp.num_states,
+        num_rows=mdp.num_rows,
+        num_transitions=mdp.num_transitions,
+        num_unreachable=num_unreachable,
+        problems=problems,
+    )
+    if problems and raise_on_error:
+        raise ModelError("; ".join(problems))
+    return report

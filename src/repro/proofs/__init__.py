@@ -1,0 +1,24 @@
+"""Efficient proof system abstractions.
+
+The paper's ``(p, k)``-mining model abstracts how blocks are won: ``k = 1``
+corresponds to proof of work, finite ``k`` to proof of space-and-time (one VDF
+per concurrently extended block) and ``k = infinity`` to proof of stake.  This
+subpackage provides small, simulation-oriented models of these proof systems so
+the chain substrate can be driven by a concrete lottery, plus a toy VDF.
+"""
+
+from .base import ProofSystem, ProofChallenge, ProofOutcome
+from .proof_of_work import ProofOfWork
+from .proof_of_stake import ProofOfStake
+from .proof_of_space_time import ProofOfSpaceTime
+from .vdf import VerifiableDelayFunction
+
+__all__ = [
+    "ProofSystem",
+    "ProofChallenge",
+    "ProofOutcome",
+    "ProofOfWork",
+    "ProofOfStake",
+    "ProofOfSpaceTime",
+    "VerifiableDelayFunction",
+]

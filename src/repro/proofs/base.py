@@ -1,0 +1,90 @@
+"""Common interface of the efficient proof system models.
+
+A proof system exposes two things to the mining model:
+
+* ``max_concurrent_targets`` -- how many blocks a miner with the system's
+  resource can try to extend at the same time (the ``k`` of ``(p, k)``-mining),
+* ``attempt`` -- a lottery that decides whether a proof for a given challenge is
+  found by a miner holding a ``resource_fraction`` of the total resource.
+
+The models are deliberately lightweight: they capture the *rate* structure that
+matters for selfish mining, not the cryptography.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._validation import check_probability
+
+
+@dataclass(frozen=True)
+class ProofChallenge:
+    """A challenge derived from the tip of a chain.
+
+    Attributes:
+        parent_block_id: Identifier of the block the challenge is derived from
+            (unpredictable, Bitcoin-like derivation).
+        slot: Discrete time slot of the challenge.
+    """
+
+    parent_block_id: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class ProofOutcome:
+    """Result of a proof attempt.
+
+    Attributes:
+        success: Whether a valid proof was found.
+        quality: Tie-breaking quality of the proof (lower is better), only
+            meaningful when ``success`` is true.
+    """
+
+    success: bool
+    quality: float = float("inf")
+
+
+class ProofSystem(ABC):
+    """Abstract efficient proof system."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None, seed: int = 0) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable name of the proof system."""
+
+    @property
+    @abstractmethod
+    def max_concurrent_targets(self) -> float:
+        """The ``k`` of ``(p, k)``-mining (may be ``float('inf')``)."""
+
+    @abstractmethod
+    def attempt(self, challenge: ProofChallenge, resource_fraction: float, success_rate: float) -> ProofOutcome:
+        """Attempt to produce a proof for ``challenge``.
+
+        Args:
+            challenge: The challenge derived from the block being extended.
+            resource_fraction: The miner's share of the global resource.
+            success_rate: Base per-slot success probability of the whole network.
+        """
+
+    def _bernoulli(self, probability: float) -> bool:
+        probability = check_probability(probability, "probability")
+        return bool(self._rng.random() < probability)
+
+    def effective_targets(self, requested: int) -> int:
+        """Clamp a requested number of concurrent targets to the system's ``k``."""
+        if requested < 0:
+            raise ValueError("requested targets must be non-negative")
+        maximum = self.max_concurrent_targets
+        if maximum == float("inf"):
+            return requested
+        return min(requested, int(maximum))

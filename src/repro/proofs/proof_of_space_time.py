@@ -1,0 +1,69 @@
+"""Proof of space and time: the ``(p, k)``-mining proof system with finite ``k``.
+
+A PoST farmer answers space challenges essentially for free but must finish each
+candidate block with a VDF evaluation; owning ``k`` VDF instances therefore caps
+the number of blocks that can be extended concurrently.  This is the setting the
+paper's bounded-fork MDP captures most faithfully.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .._validation import check_positive_int
+from .base import ProofChallenge, ProofOutcome, ProofSystem
+from .vdf import VerifiableDelayFunction
+
+
+class ProofOfSpaceTime(ProofSystem):
+    """Chia-style proof of space and time with a bounded number of VDFs."""
+
+    def __init__(
+        self,
+        num_vdfs: int = 1,
+        vdf_steps: int = 1,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(rng=rng, seed=seed)
+        self.num_vdfs = check_positive_int(num_vdfs, "num_vdfs")
+        self.vdfs: List[VerifiableDelayFunction] = [
+            VerifiableDelayFunction(steps_required=vdf_steps) for _ in range(num_vdfs)
+        ]
+
+    @property
+    def name(self) -> str:
+        return "proof-of-space-time"
+
+    @property
+    def max_concurrent_targets(self) -> float:
+        return self.num_vdfs
+
+    def available_vdf(self) -> Optional[VerifiableDelayFunction]:
+        """Return an idle VDF instance, or ``None`` if all are busy."""
+        for vdf in self.vdfs:
+            if not vdf.busy:
+                return vdf
+        return None
+
+    def attempt(
+        self, challenge: ProofChallenge, resource_fraction: float, success_rate: float
+    ) -> ProofOutcome:
+        """Attempt the space lottery and claim a VDF for the winning proof.
+
+        The attempt fails outright when no VDF instance is idle, modelling the
+        sequentiality constraint that bounds the adversary's concurrency.
+        """
+        vdf = self.available_vdf()
+        if vdf is None:
+            return ProofOutcome(success=False)
+        probability = resource_fraction * success_rate
+        if not self._bernoulli(probability):
+            return ProofOutcome(success=False)
+        vdf.start(challenge.parent_block_id)
+        # The toy model finishes the VDF immediately; real chains would tick it.
+        while vdf.busy:
+            vdf.tick()
+        return ProofOutcome(success=True, quality=float(self._rng.random()))

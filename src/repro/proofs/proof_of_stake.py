@@ -1,0 +1,36 @@
+"""Proof of stake: the ``(p, infinity)``-mining proof system.
+
+Producing a PoStake proof is computationally free, so a staker can attempt to
+extend arbitrarily many blocks concurrently -- the source of the
+nothing-at-stake amplification the paper analyses.
+"""
+
+from __future__ import annotations
+
+from .base import ProofChallenge, ProofOutcome, ProofSystem
+
+
+class ProofOfStake(ProofSystem):
+    """Stake-weighted leader election (Ouroboros / post-merge Ethereum style)."""
+
+    @property
+    def name(self) -> str:
+        return "proof-of-stake"
+
+    @property
+    def max_concurrent_targets(self) -> float:
+        return float("inf")
+
+    def attempt(
+        self, challenge: ProofChallenge, resource_fraction: float, success_rate: float
+    ) -> ProofOutcome:
+        """Attempt the stake lottery for one slot and one chain tip.
+
+        Each (challenge, staker) pair is an independent lottery with success
+        probability ``resource_fraction * success_rate``; the same staker can run
+        the lottery for every block it wants to extend.
+        """
+        probability = resource_fraction * success_rate
+        if self._bernoulli(probability):
+            return ProofOutcome(success=True, quality=float(self._rng.random()))
+        return ProofOutcome(success=False)

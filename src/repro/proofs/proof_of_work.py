@@ -1,0 +1,35 @@
+"""Proof of work: the ``(p, 1)``-mining proof system.
+
+A PoW miner can only usefully direct its hashing power at a single block at a
+time, so the number of concurrent mining targets is one and the probability of
+winning a slot is simply proportional to the hashing-power fraction.
+"""
+
+from __future__ import annotations
+
+from .base import ProofChallenge, ProofOutcome, ProofSystem
+
+
+class ProofOfWork(ProofSystem):
+    """Hashcash-style proof of work."""
+
+    @property
+    def name(self) -> str:
+        return "proof-of-work"
+
+    @property
+    def max_concurrent_targets(self) -> float:
+        return 1
+
+    def attempt(
+        self, challenge: ProofChallenge, resource_fraction: float, success_rate: float
+    ) -> ProofOutcome:
+        """Attempt the hash lottery for one slot.
+
+        The success probability is ``resource_fraction * success_rate``; the
+        proof quality is a uniform draw used only for tie-breaking in tests.
+        """
+        probability = resource_fraction * success_rate
+        if self._bernoulli(probability):
+            return ProofOutcome(success=True, quality=float(self._rng.random()))
+        return ProofOutcome(success=False)

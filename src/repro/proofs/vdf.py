@@ -1,0 +1,83 @@
+"""A toy verifiable delay function (VDF).
+
+Chia-style proof-of-space-and-time chains require every candidate block to be
+finalised by a VDF: a function that takes a prescribed number of sequential
+steps to evaluate but is fast to verify.  The model below captures exactly the
+two properties the selfish-mining analysis cares about: a VDF instance can only
+work on one block at a time (which bounds the adversary's concurrent mining
+targets, the ``k`` of ``(p, k)``-mining), and evaluation takes a configurable
+number of sequential ticks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exceptions import SimulationError
+
+
+@dataclass
+class VerifiableDelayFunction:
+    """A single sequential VDF instance.
+
+    Attributes:
+        steps_required: Number of sequential ticks needed to finish an evaluation.
+    """
+
+    steps_required: int = 1
+    _current_input: Optional[int] = field(default=None, repr=False)
+    _steps_done: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.steps_required < 1:
+            raise ValueError("steps_required must be >= 1")
+
+    @property
+    def busy(self) -> bool:
+        """Whether an evaluation is currently in progress."""
+        return self._current_input is not None
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the current evaluation that is complete."""
+        if not self.busy:
+            return 0.0
+        return self._steps_done / self.steps_required
+
+    def start(self, challenge_id: int) -> None:
+        """Begin evaluating the VDF on ``challenge_id``.
+
+        Raises:
+            SimulationError: If the instance is already evaluating another input.
+        """
+        if self.busy:
+            raise SimulationError("VDF instance is already busy; sequentiality violated")
+        self._current_input = challenge_id
+        self._steps_done = 0
+
+    def tick(self) -> Optional[int]:
+        """Advance the evaluation by one sequential step.
+
+        Returns:
+            The challenge identifier when the evaluation completes, else ``None``.
+        """
+        if not self.busy:
+            return None
+        self._steps_done += 1
+        if self._steps_done >= self.steps_required:
+            finished = self._current_input
+            self._current_input = None
+            self._steps_done = 0
+            return finished
+        return None
+
+    def abort(self) -> None:
+        """Abandon the current evaluation (e.g. the target block was orphaned)."""
+        self._current_input = None
+        self._steps_done = 0
+
+    @staticmethod
+    def verify(challenge_id: int, output_id: int) -> bool:
+        """Verify an evaluation (trivially correct in the toy model)."""
+        return challenge_id == output_id

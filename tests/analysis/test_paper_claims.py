@@ -1,0 +1,101 @@
+"""End-to-end checks of the paper's qualitative experimental claims (Section 4).
+
+These tests regenerate small slices of Figure 2 and assert the *shape* results
+the paper reports: who wins, how the curves move with p, gamma, d and f, and
+where the d = f = 1 attack starts to pay off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AnalysisConfig, AttackParams, ProtocolParams
+from repro.analysis import formal_analysis
+from repro.attacks import build_selfish_forks_mdp, honest_errev, single_tree_errev
+from repro.attacks.single_tree import SingleTreeParams
+
+EPSILON = 1e-3
+
+
+def attack_errev(p: float, gamma: float, depth: int, forks: int, max_fork_length: int = 4) -> float:
+    model = build_selfish_forks_mdp(
+        ProtocolParams(p=p, gamma=gamma),
+        AttackParams(depth=depth, forks=forks, max_fork_length=max_fork_length),
+    )
+    result = formal_analysis(model.mdp, AnalysisConfig(epsilon=EPSILON))
+    return result.strategy_errev
+
+
+class TestFigure2Claims:
+    def test_attack_dominates_honest_mining(self):
+        # "Our selfish mining attack consistently achieves higher ERRev than both
+        # baselines" -- at the paper's headline point p = 0.3.
+        value = attack_errev(0.3, 0.5, depth=2, forks=1)
+        assert value > honest_errev(ProtocolParams(p=0.3, gamma=0.5))
+
+    def test_attack_dominates_single_tree_already_at_d2_f1(self):
+        # "Already for d = 2 and f = 1 ... our attack achieves higher ERRev than
+        # both baselines."
+        protocol = ProtocolParams(p=0.3, gamma=0.5)
+        ours = attack_errev(0.3, 0.5, depth=2, forks=1)
+        baseline = single_tree_errev(protocol, SingleTreeParams(max_depth=4, max_width=5))
+        assert ours > baseline
+
+    def test_errev_increases_with_forking_number(self):
+        d2f1 = attack_errev(0.3, 0.5, depth=2, forks=1)
+        d2f2 = attack_errev(0.3, 0.5, depth=2, forks=2)
+        assert d2f2 > d2f1
+
+    def test_errev_increases_with_attack_depth(self):
+        d1 = attack_errev(0.3, 0.5, depth=1, forks=1)
+        d2 = attack_errev(0.3, 0.5, depth=2, forks=1)
+        assert d2 > d1
+
+    def test_errev_increases_with_adversarial_resource(self):
+        values = [attack_errev(p, 0.5, depth=2, forks=1) for p in (0.1, 0.2, 0.3)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_errev_increases_with_gamma(self):
+        # "Larger gamma values correspond to larger ERRev in our strategies."
+        values = [attack_errev(0.3, gamma, depth=2, forks=1) for gamma in (0.0, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_zero_resource_adversary_earns_nothing(self):
+        assert attack_errev(0.0, 0.5, depth=2, forks=1) == pytest.approx(0.0, abs=EPSILON)
+
+    def test_attack_never_loses_to_honest_mining(self):
+        # Honest mining is always available as a strategy, so the optimum cannot
+        # be worse (up to the binary-search precision).
+        for p in (0.1, 0.2, 0.3):
+            assert attack_errev(p, 0.0, depth=2, forks=1) >= p - EPSILON
+
+
+class TestD1F1Claims:
+    """The paper: d = f = 1 coincides with honest mining for gamma < 0.5 and only
+    starts to pay off for gamma > 0.5 and p > 0.25."""
+
+    @pytest.mark.parametrize("gamma", [0.0, 0.25, 0.5])
+    def test_matches_honest_mining_for_low_gamma(self, gamma):
+        value = attack_errev(0.3, gamma, depth=1, forks=1)
+        assert value == pytest.approx(0.3, abs=5e-3)
+
+    @pytest.mark.parametrize("gamma", [0.75, 1.0])
+    def test_pays_off_for_high_gamma_and_large_p(self, gamma):
+        value = attack_errev(0.3, gamma, depth=1, forks=1)
+        assert value > 0.3 + 0.01
+
+    def test_does_not_pay_off_for_small_p(self):
+        # Below the classic profitability threshold for gamma = 0.75 (~0.167)
+        # withholding earns nothing extra, so the optimum collapses to honest
+        # mining.
+        value = attack_errev(0.15, 0.75, depth=1, forks=1)
+        assert value == pytest.approx(0.15, abs=5e-3)
+
+
+class TestChainQualityInterpretation:
+    def test_chain_quality_is_one_minus_errev(self):
+        protocol = ProtocolParams(p=0.3, gamma=0.5)
+        value = attack_errev(0.3, 0.5, depth=2, forks=1)
+        chain_quality = 1.0 - value
+        assert chain_quality < 1.0 - honest_errev(protocol)

@@ -1,0 +1,105 @@
+"""Tests of the r_beta reward family and exact strategy evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import AttackParams, ProtocolParams
+from repro.exceptions import ConfigurationError
+from repro.analysis import evaluate_strategy_errev
+from repro.analysis.rewards import (
+    ADVERSARY_WEIGHTS,
+    HONEST_WEIGHTS,
+    TOTAL_WEIGHTS,
+    beta_reward_weights,
+    combine_components,
+    minimum_total_block_rate,
+    reward_monotonicity_gap,
+)
+from repro.attacks import build_selfish_forks_mdp
+from repro.attacks.policies import GreedyLeadPolicy
+from repro.mdp import Strategy, solve_mean_payoff
+
+
+class TestBetaRewards:
+    def test_weight_vectors_select_components(self):
+        assert ADVERSARY_WEIGHTS == (1.0, 0.0)
+        assert HONEST_WEIGHTS == (0.0, 1.0)
+        assert TOTAL_WEIGHTS == (1.0, 1.0)
+
+    @pytest.mark.parametrize("beta", [0.0, 0.25, 0.5, 1.0])
+    def test_beta_weights_realise_the_papers_reward(self, beta):
+        weights = np.asarray(beta_reward_weights(beta))
+        r_adv, r_hon = 3.0, 2.0
+        expected = r_adv - beta * (r_adv + r_hon)
+        assert weights @ np.array([r_adv, r_hon]) == pytest.approx(expected)
+
+    def test_beta_zero_is_pure_adversary_reward(self):
+        assert beta_reward_weights(0.0) == (1.0, 0.0)
+
+    def test_beta_one_is_negative_honest_reward(self):
+        assert beta_reward_weights(1.0) == (0.0, -1.0)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            beta_reward_weights(1.5)
+
+    def test_combine_components_matches_weights(self):
+        r_adv = np.array([1.0, 0.0, 2.0])
+        r_hon = np.array([0.0, 1.0, 1.0])
+        beta = 0.4
+        combined = combine_components(r_adv, r_hon, beta)
+        weights = np.asarray(beta_reward_weights(beta))
+        stacked = np.stack([r_adv, r_hon], axis=1)
+        assert np.allclose(combined, stacked @ weights)
+
+    def test_minimum_total_block_rate_formula(self):
+        assert minimum_total_block_rate(0.3, 2, 2) == pytest.approx(0.7 / (0.7 + 0.3 * 4))
+        assert minimum_total_block_rate(0.0, 3, 2) == pytest.approx(1.0)
+        assert minimum_total_block_rate(1.0, 3, 2) == 0.0
+
+    def test_monotonicity_gap(self):
+        assert reward_monotonicity_gap(0.2, 0.5, 0.4) == pytest.approx(0.12)
+        with pytest.raises(ValueError):
+            reward_monotonicity_gap(0.5, 0.2, 0.4)
+
+
+class TestStrategyEvaluation:
+    def test_optimal_strategy_value_between_honest_and_one(self, model_d2f1, analysis_d2f1):
+        value = evaluate_strategy_errev(model_d2f1.mdp, analysis_d2f1.strategy)
+        assert 0.3 <= value <= 1.0
+
+    def test_evaluation_is_deterministic(self, model_d2f1, analysis_d2f1):
+        first = evaluate_strategy_errev(model_d2f1.mdp, analysis_d2f1.strategy)
+        second = evaluate_strategy_errev(model_d2f1.mdp, analysis_d2f1.strategy)
+        assert first == second
+
+    def test_mean_payoff_sign_matches_errev_position(self, model_d2f1):
+        # For beta strictly below the optimal ERRev the optimal mean payoff is
+        # positive; strictly above it is negative (Theorem 3.1).
+        below = solve_mean_payoff(model_d2f1.mdp, beta_reward_weights(0.05))
+        above = solve_mean_payoff(model_d2f1.mdp, beta_reward_weights(0.95))
+        assert below.gain > 0.0
+        assert above.gain < 0.0
+
+    def test_greedy_policy_is_dominated_by_optimal(self, model_d2f1, analysis_d2f1):
+        # Translate the greedy-lead heuristic into a positional strategy and
+        # check it never beats the strategy computed by Algorithm 1.
+        mdp = model_d2f1.mdp
+        policy = GreedyLeadPolicy(race_on_tie=True)
+        rows = mdp.uniform_random_row_choice()
+        for state in range(mdp.num_states):
+            decision = policy.decide(mdp.state_labels[state])
+            if decision.is_release:
+                release = decision.release
+                label = ("release", release.depth, release.fork, release.blocks)
+                try:
+                    rows[state] = mdp.row_index(state, label)
+                    continue
+                except Exception:
+                    pass
+            rows[state] = mdp.row_index(state, ("mine",))
+        greedy_value = evaluate_strategy_errev(mdp, Strategy(mdp, rows))
+        optimal_value = evaluate_strategy_errev(mdp, analysis_d2f1.strategy)
+        assert greedy_value <= optimal_value + 1e-9

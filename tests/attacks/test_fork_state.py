@@ -1,0 +1,345 @@
+"""Unit tests of the selfish-mining MDP transition kernel (Section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AttackParams, ProtocolParams
+from repro.attacks.fork_state import (
+    ADVERSARY,
+    HONEST,
+    TYPE_ADVERSARY,
+    TYPE_HONEST,
+    TYPE_MINING,
+    MineAction,
+    ReleaseAction,
+    adversary_mining_targets,
+    available_actions,
+    incorporate_pending_honest_block,
+    initial_state,
+    mining_transitions,
+    release_transitions,
+    successor_distribution,
+)
+
+P03 = ProtocolParams(p=0.3, gamma=0.5)
+D2F1 = AttackParams(depth=2, forks=1, max_fork_length=4)
+D2F2 = AttackParams(depth=2, forks=2, max_fork_length=4)
+D3F2 = AttackParams(depth=3, forks=2, max_fork_length=3)
+D1F1 = AttackParams(depth=1, forks=1, max_fork_length=4)
+
+
+def state(c_rows, owners, state_type):
+    return (tuple(tuple(row) for row in c_rows), tuple(owners), state_type)
+
+
+class TestInitialState:
+    def test_shape(self):
+        c_matrix, owners, state_type = initial_state(D3F2)
+        assert len(c_matrix) == 3 and all(len(row) == 2 for row in c_matrix)
+        assert owners == (HONEST, HONEST)
+        assert state_type == TYPE_MINING
+
+    def test_all_forks_empty(self):
+        c_matrix, _, _ = initial_state(D2F2)
+        assert all(length == 0 for row in c_matrix for length in row)
+
+    def test_depth_one_has_empty_ownership(self):
+        _, owners, _ = initial_state(D1F1)
+        assert owners == ()
+
+
+class TestMiningTargets:
+    def test_initial_targets_one_per_depth(self):
+        c_matrix, _, _ = initial_state(D3F2)
+        targets = adversary_mining_targets(c_matrix)
+        assert targets == [(1, 1, True), (2, 1, True), (3, 1, True)]
+
+    def test_nonempty_fork_is_extended_and_new_slot_offered(self):
+        targets = adversary_mining_targets(((2, 0),))
+        assert (1, 1, False) in targets
+        assert (1, 2, True) in targets
+
+    def test_full_row_offers_no_new_slot(self):
+        targets = adversary_mining_targets(((1, 2),))
+        assert targets == [(1, 1, False), (1, 2, False)]
+
+    def test_new_fork_uses_smallest_empty_slot(self):
+        targets = adversary_mining_targets(((0, 3),))
+        new_slots = [(i, j) for i, j, is_new in targets if is_new]
+        assert new_slots == [(1, 1)]
+
+
+class TestMiningTransitions:
+    def test_probabilities_sum_to_one(self):
+        transitions = mining_transitions(initial_state(D3F2), P03, D3F2)
+        assert sum(prob for _, prob, _ in transitions) == pytest.approx(1.0)
+
+    def test_honest_probability_matches_formula(self):
+        # Initial state of d=3: sigma = 3 targets.
+        transitions = mining_transitions(initial_state(D3F2), P03, D3F2)
+        honest = [prob for (_, _, t), prob, _ in transitions if t == TYPE_HONEST]
+        sigma = 3
+        expected = (1 - 0.3) / (1 - 0.3 + 0.3 * sigma)
+        assert sum(honest) == pytest.approx(expected)
+
+    def test_adversarial_success_starts_new_fork(self):
+        transitions = mining_transitions(initial_state(D2F1), P03, D2F1)
+        adversarial_states = [s for s, _, _ in transitions if s[2] == TYPE_ADVERSARY]
+        assert state([[1], [0]], [HONEST], TYPE_ADVERSARY) in adversarial_states
+        assert state([[0], [1]], [HONEST], TYPE_ADVERSARY) in adversarial_states
+
+    def test_adversarial_success_extends_existing_fork(self):
+        start = state([[2], [0]], [HONEST], TYPE_MINING)
+        transitions = mining_transitions(start, P03, D2F1)
+        successors = [s for s, _, _ in transitions]
+        assert state([[3], [0]], [HONEST], TYPE_ADVERSARY) in successors
+
+    def test_fork_length_is_capped_at_l(self):
+        start = state([[4], [0]], [HONEST], TYPE_MINING)
+        transitions = mining_transitions(start, P03, D2F1)
+        for successor, _, _ in transitions:
+            assert all(length <= 4 for row in successor[0] for length in row)
+
+    def test_capped_fork_outcomes_are_aggregated(self):
+        # Both forks capped: their two "discarded block" outcomes collapse into
+        # one successor whose probability is the sum.
+        attack = AttackParams(depth=1, forks=2, max_fork_length=1)
+        start = state([[1, 1]], [], TYPE_MINING)
+        transitions = mining_transitions(start, P03, attack)
+        capped = [
+            (s, prob)
+            for s, prob, _ in transitions
+            if s == state([[1, 1]], [], TYPE_ADVERSARY)
+        ]
+        assert len(capped) == 1
+        sigma = 2
+        assert capped[0][1] == pytest.approx(2 * 0.3 / (1 - 0.3 + 0.3 * sigma))
+
+    def test_honest_outcome_is_pending_not_shifted(self):
+        start = state([[2], [1]], [ADVERSARY], TYPE_MINING)
+        transitions = mining_transitions(start, P03, D2F1)
+        honest_successors = [s for s, _, _ in transitions if s[2] == TYPE_HONEST]
+        assert honest_successors == [state([[2], [1]], [ADVERSARY], TYPE_HONEST)]
+
+    def test_honest_outcome_has_no_immediate_reward(self):
+        transitions = mining_transitions(initial_state(D2F1), P03, D2F1)
+        for successor, _, reward in transitions:
+            if successor[2] == TYPE_HONEST:
+                assert reward == (0.0, 0.0)
+
+    def test_adversarial_private_block_has_no_reward(self):
+        transitions = mining_transitions(initial_state(D2F1), P03, D2F1)
+        for successor, _, reward in transitions:
+            if successor[2] == TYPE_ADVERSARY:
+                assert reward == (0.0, 0.0)
+
+    def test_p_zero_only_honest_outcome(self):
+        transitions = mining_transitions(initial_state(D2F1), ProtocolParams(p=0.0, gamma=0.5), D2F1)
+        assert len(transitions) == 1
+        assert transitions[0][0][2] == TYPE_HONEST
+        assert transitions[0][1] == pytest.approx(1.0)
+
+    def test_p_one_no_honest_outcome(self):
+        transitions = mining_transitions(initial_state(D2F1), ProtocolParams(p=1.0, gamma=0.5), D2F1)
+        assert all(s[2] == TYPE_ADVERSARY for s, _, _ in transitions)
+        assert sum(prob for _, prob, _ in transitions) == pytest.approx(1.0)
+
+    def test_only_defined_for_mining_states(self):
+        with pytest.raises(ValueError):
+            mining_transitions(state([[0], [0]], [HONEST], TYPE_HONEST), P03, D2F1)
+
+
+class TestIncorporatePendingBlock:
+    def test_shift_and_new_tip(self):
+        pending = state([[2], [1]], [ADVERSARY], TYPE_HONEST)
+        successor, reward = incorporate_pending_honest_block(pending, D2F1)
+        assert successor == state([[0], [2]], [HONEST], TYPE_MINING)
+        # The adversary-owned block at depth d-1 = 1 is pushed to depth 2 = d and
+        # becomes final.
+        assert reward == (1.0, 0.0)
+
+    def test_forks_at_depth_d_are_dropped(self):
+        pending = state([[1], [3]], [HONEST], TYPE_HONEST)
+        successor, reward = incorporate_pending_honest_block(pending, D2F1)
+        assert successor[0] == ((0,), (1,))
+        assert reward == (0.0, 1.0)
+
+    def test_depth_one_rewards_the_pending_block_itself(self):
+        pending = state([[2]], [], TYPE_HONEST)
+        successor, reward = incorporate_pending_honest_block(pending, D1F1)
+        assert successor == state([[0]], [], TYPE_MINING)
+        assert reward == (0.0, 1.0)
+
+    def test_requires_honest_type(self):
+        with pytest.raises(ValueError):
+            incorporate_pending_honest_block(initial_state(D2F1), D2F1)
+
+
+class TestAvailableActions:
+    def test_mining_state_only_mines(self):
+        actions = available_actions(initial_state(D3F2), D3F2)
+        assert actions == [MineAction()]
+
+    def test_adversary_state_offers_winning_releases(self):
+        s = state([[2], [1]], [HONEST], TYPE_ADVERSARY)
+        actions = available_actions(s, D2F1)
+        assert ReleaseAction(1, 1, 1) in actions
+        assert ReleaseAction(1, 1, 2) in actions
+        assert ReleaseAction(2, 1, 1) not in actions  # shorter than public chain
+
+    def test_honest_state_offers_race_and_winning_releases(self):
+        s = state([[2], [2]], [HONEST], TYPE_HONEST)
+        actions = available_actions(s, D2F1)
+        assert ReleaseAction(1, 1, 1) in actions  # race against the pending block
+        assert ReleaseAction(1, 1, 2) in actions  # beats it outright
+        assert ReleaseAction(2, 1, 2) in actions  # race from depth 2
+        assert ReleaseAction(2, 1, 1) not in actions
+
+    def test_empty_forks_offer_no_release(self):
+        s = state([[0], [0]], [HONEST], TYPE_HONEST)
+        assert available_actions(s, D2F1) == [MineAction()]
+
+    def test_release_never_exceeds_fork_length(self):
+        s = state([[3], [2]], [HONEST], TYPE_ADVERSARY)
+        for action in available_actions(s, D2F1):
+            if isinstance(action, ReleaseAction):
+                assert action.blocks <= s[0][action.depth - 1][action.fork - 1]
+
+
+class TestReleaseTransitions:
+    def test_adversary_state_release_is_deterministic(self):
+        s = state([[1], [0]], [HONEST], TYPE_ADVERSARY)
+        transitions = release_transitions(s, ReleaseAction(1, 1, 1), P03, D2F1)
+        assert len(transitions) == 1
+        successor, prob, reward = transitions[0]
+        assert prob == pytest.approx(1.0)
+        assert successor[2] == TYPE_MINING
+        # The released adversary block becomes the new tip (depth 1 < d, not yet
+        # final) and pushes the old honest tip to depth 2 = d, finalising it.
+        assert reward == (0.0, 1.0)
+        assert successor[1] == (ADVERSARY,)
+
+    def test_honest_state_race_outcomes(self):
+        s = state([[1], [0]], [HONEST], TYPE_HONEST)
+        transitions = release_transitions(s, ReleaseAction(1, 1, 1), P03, D2F1)
+        assert len(transitions) == 2
+        probabilities = sorted(prob for _, prob, _ in transitions)
+        assert probabilities == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_honest_state_race_gamma_zero_always_rejected(self):
+        s = state([[1], [0]], [HONEST], TYPE_HONEST)
+        transitions = release_transitions(
+            s, ReleaseAction(1, 1, 1), ProtocolParams(p=0.3, gamma=0.0), D2F1
+        )
+        assert len(transitions) == 1
+        successor, prob, reward = transitions[0]
+        # Rejection incorporates the pending honest block (shift + reward).
+        assert prob == pytest.approx(1.0)
+        assert successor == state([[0], [1]], [HONEST], TYPE_MINING)
+        assert reward == (0.0, 1.0)
+
+    def test_honest_state_race_gamma_one_always_accepted(self):
+        s = state([[1], [0]], [HONEST], TYPE_HONEST)
+        transitions = release_transitions(
+            s, ReleaseAction(1, 1, 1), ProtocolParams(p=0.3, gamma=1.0), D2F1
+        )
+        assert len(transitions) == 1
+        successor, prob, _ = transitions[0]
+        assert prob == pytest.approx(1.0)
+        assert successor[1] == (ADVERSARY,)
+
+    def test_honest_state_strictly_longer_release_always_accepted(self):
+        s = state([[2], [0]], [HONEST], TYPE_HONEST)
+        transitions = release_transitions(s, ReleaseAction(1, 1, 2), P03, D2F1)
+        assert len(transitions) == 1
+        successor, prob, reward = transitions[0]
+        assert prob == pytest.approx(1.0)
+        # Two adversary blocks published; the deeper one lands at depth 2 = d and
+        # is final immediately.  The old honest tip is buried at depth 3 > d and
+        # is finalised too, while the pending honest block is orphaned.
+        assert reward == (1.0, 1.0)
+        assert successor[1] == (ADVERSARY,)
+
+    def test_deep_release_finalises_overtaken_blocks(self):
+        # d = 3: fork of length 3 on the block at depth 2, tracked owners are
+        # [honest(depth1), adversary(depth2)].  Publishing 3 blocks orphans the
+        # depth-1 honest block, and pushes the new adversary blocks deep enough
+        # that one of them is final; the depth-2 block moves to depth 5 > d.
+        attack = AttackParams(depth=3, forks=1, max_fork_length=4)
+        s = state([[0], [3], [0]], [HONEST, ADVERSARY], TYPE_ADVERSARY)
+        transitions = release_transitions(s, ReleaseAction(2, 1, 3), P03, attack)
+        successor, prob, reward = transitions[0]
+        assert prob == pytest.approx(1.0)
+        # shift = 3 - 1 = 2: new adversary blocks at depths 1..3, the one at
+        # depth 3 is final (+1 adversary); the old depth-2 adversary block moves
+        # to depth 4 > d and is final (+1 adversary).
+        assert reward == (2.0, 0.0)
+        assert successor[1] == (ADVERSARY, ADVERSARY)
+        assert successor[2] == TYPE_MINING
+
+    def test_remainder_becomes_fork_on_new_tip(self):
+        s = state([[3], [0]], [HONEST], TYPE_ADVERSARY)
+        transitions = release_transitions(s, ReleaseAction(1, 1, 1), P03, D2F1)
+        successor, _, _ = transitions[0]
+        # Two unpublished blocks remain as a fork on the new tip.
+        assert successor[0][0][0] == 2
+
+    def test_surviving_forks_keep_their_slot(self):
+        # d=2, f=2: a fork on the tip is published (k=1); the *other* fork on the
+        # old tip survives rooted at what is now depth 2.
+        s = state([[1, 2], [0, 0]], [HONEST], TYPE_ADVERSARY)
+        transitions = release_transitions(s, ReleaseAction(1, 1, 1), P03, D2F2)
+        successor, _, _ = transitions[0]
+        assert successor[0] == ((0, 0), (0, 2))
+
+    def test_release_longer_than_fork_rejected(self):
+        s = state([[1], [0]], [HONEST], TYPE_ADVERSARY)
+        with pytest.raises(ValueError):
+            release_transitions(s, ReleaseAction(1, 1, 2), P03, D2F1)
+
+    def test_release_from_mining_state_rejected(self):
+        with pytest.raises(ValueError):
+            release_transitions(initial_state(D2F1), ReleaseAction(1, 1, 1), P03, D2F1)
+
+    def test_losing_release_from_adversary_state_rejected(self):
+        s = state([[0], [1]], [HONEST], TYPE_ADVERSARY)
+        with pytest.raises(ValueError):
+            release_transitions(s, ReleaseAction(2, 1, 1), P03, D2F1)
+
+
+class TestSuccessorDistribution:
+    def test_mine_in_adversary_state_resumes_mining(self):
+        s = state([[1], [0]], [HONEST], TYPE_ADVERSARY)
+        transitions = successor_distribution(s, MineAction(), P03, D2F1)
+        assert transitions == [((s[0], s[1], TYPE_MINING), 1.0, (0.0, 0.0))]
+
+    def test_mine_in_honest_state_incorporates_pending_block(self):
+        s = state([[1], [0]], [ADVERSARY], TYPE_HONEST)
+        transitions = successor_distribution(s, MineAction(), P03, D2F1)
+        assert len(transitions) == 1
+        successor, prob, reward = transitions[0]
+        assert successor == state([[0], [1]], [HONEST], TYPE_MINING)
+        assert reward == (1.0, 0.0)
+
+    def test_unknown_action_type_rejected(self):
+        with pytest.raises(TypeError):
+            successor_distribution(initial_state(D2F1), "mine", P03, D2F1)
+
+    @pytest.mark.parametrize("attack", [D1F1, D2F1, D2F2, D3F2])
+    def test_probabilities_sum_to_one_for_every_action(self, attack):
+        protocol = ProtocolParams(p=0.25, gamma=0.4)
+        start = initial_state(attack)
+        frontier = [start]
+        seen = {start}
+        for _ in range(200):
+            if not frontier:
+                break
+            current = frontier.pop()
+            for action in available_actions(current, attack):
+                transitions = successor_distribution(current, action, protocol, attack)
+                assert sum(prob for _, prob, _ in transitions) == pytest.approx(1.0)
+                for successor, _, _ in transitions:
+                    if successor not in seen:
+                        seen.add(successor)
+                        frontier.append(successor)

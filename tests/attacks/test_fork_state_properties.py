@@ -1,0 +1,140 @@
+"""Property-based tests of the transition kernel over randomly drawn states."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AttackParams, ProtocolParams
+from repro.attacks.fork_state import (
+    ADVERSARY,
+    HONEST,
+    TYPE_ADVERSARY,
+    TYPE_HONEST,
+    TYPE_MINING,
+    ReleaseAction,
+    available_actions,
+    successor_distribution,
+)
+
+
+@st.composite
+def attack_params(draw):
+    depth = draw(st.integers(min_value=1, max_value=3))
+    forks = draw(st.integers(min_value=1, max_value=2))
+    max_fork_length = draw(st.integers(min_value=1, max_value=4))
+    return AttackParams(depth=depth, forks=forks, max_fork_length=max_fork_length)
+
+
+@st.composite
+def protocol_params(draw):
+    p = draw(st.floats(min_value=0.01, max_value=0.45))
+    gamma = draw(st.sampled_from([0.0, 0.25, 0.5, 0.75, 1.0]))
+    return ProtocolParams(p=p, gamma=gamma)
+
+
+@st.composite
+def fork_states(draw, attack: AttackParams):
+    c_matrix = tuple(
+        tuple(
+            draw(st.integers(min_value=0, max_value=attack.max_fork_length))
+            for _ in range(attack.forks)
+        )
+        for _ in range(attack.depth)
+    )
+    owners = tuple(
+        draw(st.sampled_from([HONEST, ADVERSARY])) for _ in range(attack.depth - 1)
+    )
+    state_type = draw(st.sampled_from([TYPE_MINING, TYPE_HONEST, TYPE_ADVERSARY]))
+    return (c_matrix, owners, state_type)
+
+
+@st.composite
+def states_with_params(draw):
+    attack = draw(attack_params())
+    protocol = draw(protocol_params())
+    state = draw(fork_states(attack))
+    return protocol, attack, state
+
+
+@settings(max_examples=150, deadline=None)
+@given(bundle=states_with_params())
+def test_every_action_yields_a_probability_distribution(bundle):
+    protocol, attack, state = bundle
+    for action in available_actions(state, attack):
+        transitions = successor_distribution(state, action, protocol, attack)
+        total = sum(prob for _, prob, _ in transitions)
+        assert total == pytest.approx(1.0)
+        assert all(prob > 0.0 for _, prob, _ in transitions)
+
+
+@settings(max_examples=150, deadline=None)
+@given(bundle=states_with_params())
+def test_successor_states_are_well_formed(bundle):
+    protocol, attack, state = bundle
+    for action in available_actions(state, attack):
+        for successor, _, _ in successor_distribution(state, action, protocol, attack):
+            c_matrix, owners, state_type = successor
+            assert len(c_matrix) == attack.depth
+            assert all(len(row) == attack.forks for row in c_matrix)
+            assert all(
+                0 <= length <= attack.max_fork_length for row in c_matrix for length in row
+            )
+            assert len(owners) == attack.depth - 1
+            assert all(owner in (HONEST, ADVERSARY) for owner in owners)
+            assert state_type in (TYPE_MINING, TYPE_HONEST, TYPE_ADVERSARY)
+
+
+@settings(max_examples=150, deadline=None)
+@given(bundle=states_with_params())
+def test_rewards_are_bounded_block_counts(bundle):
+    protocol, attack, state = bundle
+    # A single transition can finalise at most l new adversary blocks plus the
+    # d - 1 tracked window blocks (plus, for d = 1, the pending honest block).
+    bound = attack.max_fork_length + attack.depth
+    for action in available_actions(state, attack):
+        for _, _, (r_adv, r_hon) in successor_distribution(state, action, protocol, attack):
+            assert 0.0 <= r_adv <= bound
+            assert 0.0 <= r_hon <= bound
+
+
+@settings(max_examples=150, deadline=None)
+@given(bundle=states_with_params())
+def test_mining_states_offer_only_mine(bundle):
+    _, attack, state = bundle
+    if state[2] == TYPE_MINING:
+        assert len(available_actions(state, attack)) == 1
+
+
+@settings(max_examples=150, deadline=None)
+@given(bundle=states_with_params())
+def test_release_actions_can_always_win_or_race(bundle):
+    _, attack, state = bundle
+    for action in available_actions(state, attack):
+        if not isinstance(action, ReleaseAction):
+            continue
+        fork_length = state[0][action.depth - 1][action.fork - 1]
+        assert 1 <= action.blocks <= fork_length
+        # The published prefix must at least tie with the competing public chain.
+        competing = action.depth - 1 + (1 if state[2] == TYPE_HONEST else 0)
+        assert action.blocks >= competing
+        assert action.blocks >= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(bundle=states_with_params())
+def test_accepted_releases_put_adversary_blocks_on_top(bundle):
+    protocol, attack, state = bundle
+    if state[2] == TYPE_MINING:
+        return
+    for action in available_actions(state, attack):
+        if not isinstance(action, ReleaseAction):
+            continue
+        competing = action.depth - 1 + (1 if state[2] == TYPE_HONEST else 0)
+        if action.blocks <= competing:
+            continue  # race outcome may be rejected; only check guaranteed wins
+        for successor, _, _ in successor_distribution(state, action, protocol, attack):
+            owners = successor[1]
+            top = min(action.blocks, attack.depth - 1)
+            assert all(owner == ADVERSARY for owner in owners[:top])

@@ -1,0 +1,158 @@
+"""Tests of the block / blockchain / private fork substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Block, Blockchain, PrivateFork
+from repro.chain.block import genesis_block
+from repro.exceptions import SimulationError
+
+
+class TestBlock:
+    def test_genesis_properties(self):
+        genesis = genesis_block()
+        assert genesis.is_genesis
+        assert genesis.height == 0
+        assert genesis.owner == "honest"
+
+    def test_child_links_to_parent(self):
+        genesis = genesis_block()
+        child = genesis.child(owner="adversary", timestep=7)
+        assert child.parent_id == genesis.block_id
+        assert child.height == 1
+        assert child.is_adversarial
+        assert child.timestep == 7
+
+    def test_block_ids_are_unique(self):
+        genesis = genesis_block()
+        children = [genesis.child(owner="honest") for _ in range(10)]
+        assert len({block.block_id for block in children}) == 10
+
+    def test_invalid_owner_rejected(self):
+        with pytest.raises(ValueError):
+            Block(block_id=1, parent_id=0, owner="martian", height=1)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ValueError):
+            Block(block_id=1, parent_id=0, owner="honest", height=-1)
+
+
+class TestBlockchain:
+    def test_fresh_chain_has_only_genesis(self):
+        chain = Blockchain()
+        assert chain.length == 1
+        assert chain.height == 0
+        assert chain.tip.is_genesis
+
+    def test_append_grows_the_chain(self):
+        chain = Blockchain()
+        block = chain.append("adversary")
+        assert chain.tip is block
+        assert chain.height == 1
+
+    def test_block_at_depth(self):
+        chain = Blockchain()
+        first = chain.append("honest")
+        second = chain.append("adversary")
+        assert chain.block_at_depth(1) is second
+        assert chain.block_at_depth(2) is first
+
+    def test_block_at_depth_out_of_range(self):
+        chain = Blockchain()
+        with pytest.raises(SimulationError):
+            chain.block_at_depth(5)
+
+    def test_owners_excludes_genesis_and_suffix(self):
+        chain = Blockchain()
+        chain.append("honest")
+        chain.append("adversary")
+        chain.append("adversary")
+        assert chain.owners() == ["honest", "adversary", "adversary"]
+        assert chain.owners(exclude_suffix=2) == ["honest"]
+        assert chain.owners(exclude_suffix=5) == []
+
+    def test_reorganise_replaces_suffix(self):
+        chain = Blockchain()
+        chain.append("honest")
+        orphan_candidate = chain.append("honest")
+        base = chain.block_at_depth(2)
+        new_blocks = [base.child("adversary")]
+        new_blocks.append(new_blocks[0].child("adversary"))
+        orphaned = chain.reorganise(2, new_blocks)
+        assert orphaned == [orphan_candidate]
+        assert chain.tip is new_blocks[-1]
+        assert chain.orphans == [orphan_candidate]
+        assert [block.owner for block in chain.blocks[-2:]] == ["adversary", "adversary"]
+
+    def test_reorganise_on_tip_appends_without_orphans(self):
+        chain = Blockchain()
+        chain.append("honest")
+        new_block = chain.tip.child("adversary")
+        orphaned = chain.reorganise(1, [new_block])
+        assert orphaned == []
+        assert chain.tip is new_block
+
+    def test_reorganise_rejects_detached_blocks(self):
+        chain = Blockchain()
+        chain.append("honest")
+        stranger = genesis_block().child("adversary")
+        with pytest.raises(SimulationError):
+            chain.reorganise(1, [stranger])
+
+    def test_reorganise_rejects_wrong_heights(self):
+        chain = Blockchain()
+        chain.append("honest")
+        bad = Block(block_id=999_999, parent_id=chain.tip.block_id, owner="adversary", height=7)
+        with pytest.raises(SimulationError):
+            chain.reorganise(1, [bad])
+
+
+class TestPrivateFork:
+    def test_extend_builds_a_chain_on_the_base(self):
+        chain = Blockchain()
+        base = chain.append("honest")
+        fork = PrivateFork(base=base)
+        first = fork.extend()
+        second = fork.extend()
+        assert fork.length == 2
+        assert first.parent_id == base.block_id
+        assert second.parent_id == first.block_id
+        assert fork.tip is second
+
+    def test_tip_of_empty_fork_is_base(self):
+        base = genesis_block()
+        assert PrivateFork(base=base).tip is base
+
+    def test_publish_prefix_removes_blocks(self):
+        fork = PrivateFork(base=genesis_block())
+        blocks = [fork.extend() for _ in range(3)]
+        published = fork.publish_prefix(2)
+        assert published == blocks[:2]
+        assert fork.length == 1
+
+    def test_publish_prefix_bounds_checked(self):
+        fork = PrivateFork(base=genesis_block())
+        fork.extend()
+        with pytest.raises(SimulationError):
+            fork.publish_prefix(2)
+        with pytest.raises(SimulationError):
+            fork.publish_prefix(0)
+
+    def test_truncate_caps_length(self):
+        fork = PrivateFork(base=genesis_block())
+        for _ in range(5):
+            fork.extend()
+        fork.truncate(3)
+        assert fork.length == 3
+        with pytest.raises(SimulationError):
+            fork.truncate(-1)
+
+    def test_reroot_preserves_length_and_attaches_to_new_base(self):
+        fork = PrivateFork(base=genesis_block())
+        for _ in range(3):
+            fork.extend()
+        new_base = genesis_block().child("adversary")
+        rerooted = fork.reroot(new_base)
+        assert rerooted.length == 3
+        assert rerooted.blocks[0].parent_id == new_base.block_id

@@ -1,0 +1,125 @@
+"""Tests of the mining model, tie-breaker and chain-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chain import MiningModel, TieBreaker, chain_quality, relative_revenue, wilson_interval
+from repro.chain.metrics import quality_report, satisfies_chain_quality
+from repro.exceptions import SimulationError
+
+
+class TestMiningModel:
+    def test_probabilities_match_paper_formula(self):
+        model = MiningModel(p=0.3)
+        per_target, honest = model.probabilities(4)
+        denominator = 0.7 + 0.3 * 4
+        assert per_target == pytest.approx(0.3 / denominator)
+        assert honest == pytest.approx(0.7 / denominator)
+
+    def test_probabilities_sum_to_one(self):
+        model = MiningModel(p=0.3)
+        for sigma in (0, 1, 3, 8):
+            per_target, honest = model.probabilities(sigma)
+            assert per_target * sigma + honest == pytest.approx(1.0)
+
+    def test_zero_targets_all_honest(self):
+        model = MiningModel(p=0.3)
+        per_target, honest = model.probabilities(0)
+        assert per_target == 0.0
+        assert honest == pytest.approx(1.0)
+
+    def test_degenerate_case_rejected(self):
+        model = MiningModel(p=1.0)
+        with pytest.raises(SimulationError):
+            model.probabilities(0)
+
+    def test_expected_adversarial_share_increases_with_targets(self):
+        model = MiningModel(p=0.3)
+        shares = [model.expected_adversarial_share(sigma) for sigma in (1, 2, 4, 8)]
+        assert shares == sorted(shares)
+        assert shares[0] == pytest.approx(0.3)
+
+    def test_sampling_frequencies_match_probabilities(self):
+        model = MiningModel(p=0.3, rng=np.random.default_rng(42))
+        sigma = 3
+        draws = [model.sample(sigma) for _ in range(20_000)]
+        adversarial = sum(1 for event in draws if event.is_adversarial)
+        expected = model.expected_adversarial_share(sigma)
+        assert adversarial / len(draws) == pytest.approx(expected, abs=0.02)
+
+    def test_sample_target_indices_in_range(self):
+        model = MiningModel(p=0.5, rng=np.random.default_rng(1))
+        for _ in range(200):
+            event = model.sample(3)
+            if event.is_adversarial:
+                assert 0 <= event.target_index < 3
+            else:
+                assert event.target_index is None
+
+
+class TestTieBreaker:
+    def test_longer_chain_always_adopted(self):
+        breaker = TieBreaker(gamma=0.0, rng=np.random.default_rng(0))
+        assert breaker.adopts_adversarial_chain(3, 2)
+
+    def test_shorter_chain_never_adopted(self):
+        breaker = TieBreaker(gamma=1.0, rng=np.random.default_rng(0))
+        assert not breaker.adopts_adversarial_chain(1, 2)
+
+    def test_tie_follows_gamma_frequency(self):
+        breaker = TieBreaker(gamma=0.25, rng=np.random.default_rng(3))
+        adopted = sum(breaker.adopts_adversarial_chain(2, 2) for _ in range(20_000))
+        assert adopted / 20_000 == pytest.approx(0.25, abs=0.02)
+
+    def test_race_probability_exposed(self):
+        assert TieBreaker(gamma=0.7).race_probability() == 0.7
+
+
+class TestMetrics:
+    def test_relative_revenue_and_chain_quality_sum_to_one(self):
+        owners = ["honest", "adversary", "adversary", "honest"]
+        assert relative_revenue(owners) + chain_quality(owners) == pytest.approx(1.0)
+        assert relative_revenue(owners) == pytest.approx(0.5)
+
+    def test_empty_sequence_conventions(self):
+        assert relative_revenue([]) == 0.0
+        assert chain_quality([]) == 1.0
+
+    def test_wilson_interval_contains_proportion(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_wilson_interval_degenerate_cases(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        low, high = wilson_interval(0, 50)
+        assert low == pytest.approx(0.0, abs=1e-9)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    def test_wilson_interval_narrows_with_more_samples(self):
+        small = wilson_interval(30, 100)
+        large = wilson_interval(300, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_quality_report_counts(self):
+        report = quality_report(["adversary", "honest", "adversary"])
+        assert report.adversarial_blocks == 2
+        assert report.honest_blocks == 1
+        assert report.total_blocks == 3
+        assert report.relative_revenue == pytest.approx(2 / 3)
+        assert report.confidence_low < report.relative_revenue < report.confidence_high
+
+    def test_satisfies_chain_quality_window_check(self):
+        owners = ["honest"] * 5 + ["adversary"] * 5
+        assert satisfies_chain_quality(owners, mu=0.0, segment_length=5)
+        assert not satisfies_chain_quality(owners, mu=0.5, segment_length=5)
+        assert satisfies_chain_quality(owners, mu=0.5, segment_length=10)
+
+    def test_satisfies_chain_quality_short_sequences(self):
+        assert satisfies_chain_quality([], mu=0.9, segment_length=5)
+        assert satisfies_chain_quality(["honest"], mu=0.9, segment_length=5)
+        with pytest.raises(ValueError):
+            satisfies_chain_quality(["honest"], mu=0.5, segment_length=0)

@@ -1,0 +1,108 @@
+"""Tests of the parameter containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams
+from repro.config import PAPER_ATTACK_CONFIGS, PAPER_GAMMAS
+from repro.exceptions import ConfigurationError
+
+
+class TestProtocolParams:
+    def test_defaults(self):
+        params = ProtocolParams()
+        assert params.p == 0.3
+        assert params.gamma == 0.5
+        assert params.honest_fraction() == pytest.approx(0.7)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 2.0])
+    def test_invalid_p_rejected(self, p):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(p=p)
+
+    @pytest.mark.parametrize("gamma", [-0.5, 1.5])
+    def test_invalid_gamma_rejected(self, gamma):
+        with pytest.raises(ConfigurationError):
+            ProtocolParams(gamma=gamma)
+
+    def test_with_p_and_with_gamma(self):
+        params = ProtocolParams(p=0.2, gamma=0.4)
+        assert params.with_p(0.25).p == 0.25
+        assert params.with_p(0.25).gamma == 0.4
+        assert params.with_gamma(0.9).gamma == 0.9
+
+    def test_boundary_values_allowed(self):
+        assert ProtocolParams(p=0.0, gamma=0.0).p == 0.0
+        assert ProtocolParams(p=1.0, gamma=1.0).gamma == 1.0
+
+    def test_to_dict(self):
+        assert ProtocolParams(p=0.1, gamma=0.2).to_dict() == {"p": 0.1, "gamma": 0.2}
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ProtocolParams().p = 0.5  # type: ignore[misc]
+
+
+class TestAttackParams:
+    def test_defaults_and_aliases(self):
+        params = AttackParams()
+        assert (params.d, params.f, params.l) == (params.depth, params.forks, params.max_fork_length)
+
+    @pytest.mark.parametrize("field", ["depth", "forks", "max_fork_length"])
+    @pytest.mark.parametrize("value", [0, -1, 1.5, "two"])
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            AttackParams(**{field: value})
+
+    def test_max_mining_targets(self):
+        assert AttackParams(depth=3, forks=2).max_mining_targets() == 6
+
+    def test_to_dict(self):
+        params = AttackParams(depth=2, forks=2, max_fork_length=3)
+        assert params.to_dict() == {"depth": 2, "forks": 2, "max_fork_length": 3}
+
+    def test_paper_configurations(self):
+        assert len(PAPER_ATTACK_CONFIGS) == 5
+        assert all(config.max_fork_length == 4 for config in PAPER_ATTACK_CONFIGS)
+        assert [(c.depth, c.forks) for c in PAPER_ATTACK_CONFIGS] == [
+            (1, 1),
+            (2, 1),
+            (2, 2),
+            (3, 2),
+            (4, 2),
+        ]
+
+    def test_paper_gammas(self):
+        assert PAPER_GAMMAS == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class TestAnalysisConfig:
+    def test_defaults(self):
+        config = AnalysisConfig()
+        assert config.solver == "policy_iteration"
+        assert config.evaluate_strategy
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(epsilon=0.0)
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(solver="storm")
+
+    def test_invalid_iteration_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnalysisConfig(max_solver_iterations=0)
+
+    def test_to_dict_roundtrip_keys(self):
+        config = AnalysisConfig(epsilon=1e-2)
+        data = config.to_dict()
+        assert data["epsilon"] == 1e-2
+        assert set(data) == {
+            "epsilon",
+            "solver",
+            "solver_tolerance",
+            "max_solver_iterations",
+            "evaluate_strategy",
+        }

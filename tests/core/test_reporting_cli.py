@@ -1,0 +1,154 @@
+"""Tests of CSV / table / ASCII-plot reporting and the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.cli import main
+from repro.core.reporting import ascii_plot, render_table, write_csv
+from repro.core.results import SweepPoint, SweepResult
+
+
+@pytest.fixture()
+def sample_sweep():
+    points = []
+    for p in (0.0, 0.1, 0.2, 0.3):
+        points.append(SweepPoint(p=p, gamma=0.5, series="honest", errev=p))
+        points.append(SweepPoint(p=p, gamma=0.5, series="ours(d=2,f=1)", errev=min(1.0, p * 1.3)))
+    return SweepResult(points=points, description="sample")
+
+
+class TestWriteCsv:
+    def test_writes_header_and_rows(self, tmp_path):
+        path = write_csv([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5, "c": "x"}], tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["a"] == "1"
+        assert rows[1]["c"] == "x"
+        assert set(rows[0].keys()) == {"a", "b", "c"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv([{"x": 1}], tmp_path / "nested" / "dir" / "out.csv")
+        assert path.exists()
+
+    def test_empty_rows_produce_empty_file(self, tmp_path):
+        path = write_csv([], tmp_path / "empty.csv")
+        assert path.read_text().strip() == ""
+
+
+class TestRenderTable:
+    def test_contains_all_columns_and_values(self):
+        text = render_table([{"name": "x", "value": 1.23456}])
+        assert "name" in text and "value" in text
+        assert "1.2346" in text  # default float format
+
+    def test_column_selection_and_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_none_rendered_as_empty(self):
+        text = render_table([{"a": None}])
+        assert text.splitlines()[-1].strip() == ""
+
+    def test_empty_table(self):
+        assert render_table([]) == "(empty table)"
+
+
+class TestAsciiPlot:
+    def test_contains_legend_and_markers(self, sample_sweep):
+        text = ascii_plot(sample_sweep, gamma=0.5)
+        assert "honest" in text
+        assert "ours(d=2,f=1)" in text
+        assert "gamma = 0.5" in text
+
+    def test_missing_gamma_handled(self, sample_sweep):
+        assert "no data" in ascii_plot(sample_sweep, gamma=0.9)
+
+    def test_plot_dimensions(self, sample_sweep):
+        lines = ascii_plot(sample_sweep, gamma=0.5, width=40, height=10).splitlines()
+        plot_lines = [line for line in lines if line.startswith("|")]
+        assert len(plot_lines) == 10
+        assert all(len(line) <= 41 for line in plot_lines)
+
+
+class TestCli:
+    def test_analyze_command(self, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                "--p",
+                "0.3",
+                "--gamma",
+                "0.5",
+                "--depth",
+                "1",
+                "--forks",
+                "1",
+                "--epsilon",
+                "0.01",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ERRev lower bound" in captured.out
+        assert "states" in captured.out
+
+    def test_sweep_command_writes_csv(self, tmp_path, capsys):
+        out_csv = tmp_path / "sweep.csv"
+        exit_code = main(
+            [
+                "sweep",
+                "--gamma",
+                "0.5",
+                "--p-max",
+                "0.2",
+                "--p-step",
+                "0.1",
+                "--epsilon",
+                "0.02",
+                "--max-depth",
+                "1",
+                "--csv",
+                str(out_csv),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert out_csv.exists()
+        assert "ERRev vs p" in captured.out
+        with out_csv.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert {row["series"] for row in rows} >= {"honest", "ours(d=1,f=1)"}
+
+    def test_simulate_command(self, capsys):
+        exit_code = main(
+            [
+                "simulate",
+                "--p",
+                "0.3",
+                "--gamma",
+                "0.5",
+                "--depth",
+                "1",
+                "--forks",
+                "1",
+                "--epsilon",
+                "0.01",
+                "--steps",
+                "20000",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "simulated ERRev" in captured.out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_invalid_parameter_propagates(self):
+        with pytest.raises(Exception):
+            main(["analyze", "--p", "1.5", "--epsilon", "0.01"])

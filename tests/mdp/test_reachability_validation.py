@@ -1,0 +1,135 @@
+"""Tests of graph analysis (reachability, end components, unichain) and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mdp import (
+    MDPBuilder,
+    Strategy,
+    end_components,
+    is_unichain,
+    reachable_states,
+    validate_mdp,
+)
+from repro.mdp.reachability import recurrent_classes, strategy_digraph, underlying_digraph
+
+
+def chain_mdp():
+    """a -> b -> c (c absorbing), all deterministic."""
+    builder = MDPBuilder()
+    builder.add_action("a", "go", [("b", 1.0, (0.0,))])
+    builder.add_action("b", "go", [("c", 1.0, (0.0,))])
+    builder.add_action("c", "stay", [("c", 1.0, (0.0,))])
+    return builder.build(initial_state="a")
+
+
+def two_component_mdp():
+    """Two disjoint absorbing loops reachable by a single initial choice."""
+    builder = MDPBuilder()
+    builder.add_action("s", "left", [("l", 1.0, (0.0,))])
+    builder.add_action("s", "right", [("r", 1.0, (0.0,))])
+    builder.add_action("l", "stay", [("l", 1.0, (1.0,))])
+    builder.add_action("r", "stay", [("r", 1.0, (2.0,))])
+    return builder.build(initial_state="s")
+
+
+class TestReachability:
+    def test_all_states_reachable_in_chain(self):
+        mdp = chain_mdp()
+        assert reachable_states(mdp) == {0, 1, 2}
+
+    def test_reachable_from_intermediate_state(self):
+        mdp = chain_mdp()
+        state_b = mdp.state_of_label("b")
+        assert reachable_states(mdp, from_state=state_b) == {state_b, mdp.state_of_label("c")}
+
+    def test_underlying_digraph_edges(self):
+        graph = underlying_digraph(chain_mdp())
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 0)
+
+    def test_strategy_digraph_follows_choice(self):
+        mdp = two_component_mdp()
+        strategy = Strategy.from_action_map(mdp, {"s": "right"})
+        graph = strategy_digraph(mdp, strategy)
+        assert graph.has_edge(mdp.state_of_label("s"), mdp.state_of_label("r"))
+        assert not graph.has_edge(mdp.state_of_label("s"), mdp.state_of_label("l"))
+
+
+class TestRecurrence:
+    def test_single_recurrent_class_in_chain(self):
+        mdp = chain_mdp()
+        classes = recurrent_classes(mdp, Strategy.first_action(mdp))
+        assert classes == [{mdp.state_of_label("c")}]
+
+    def test_unichain_detects_single_class(self):
+        assert is_unichain(chain_mdp())
+
+    def test_two_component_mdp_is_not_unichain(self):
+        # Under any fixed strategy the loop that was not chosen is still a bottom
+        # SCC of the induced chain, so the model has two recurrent classes and
+        # fails the unichain check.
+        assert not is_unichain(two_component_mdp())
+
+    def test_multichain_strategy_detected(self):
+        builder = MDPBuilder()
+        builder.add_action("a", "stay", [("a", 1.0, (0.0,))])
+        builder.add_action("b", "stay", [("b", 1.0, (0.0,))])
+        builder.add_action("a", "go", [("b", 1.0, (0.0,))])
+        mdp = builder.build(initial_state="a")
+        stay_everywhere = Strategy.from_action_map(mdp, {"a": "stay", "b": "stay"})
+        assert len(recurrent_classes(mdp, stay_everywhere)) == 2
+        assert not is_unichain(mdp, strategies=[stay_everywhere])
+
+    def test_end_components_of_two_component_mdp(self):
+        mdp = two_component_mdp()
+        components = end_components(mdp)
+        as_sets = {frozenset(component) for component in components}
+        assert frozenset({mdp.state_of_label("l")}) in as_sets
+        assert frozenset({mdp.state_of_label("r")}) in as_sets
+
+    def test_end_components_of_selfish_mining_model(self, model_d1f1):
+        # The selfish-mining MDP is strongly connected enough that the initial
+        # state lies inside a maximal end component.
+        components = end_components(model_d1f1.mdp)
+        assert any(model_d1f1.mdp.initial_state in component for component in components)
+
+
+class TestValidation:
+    def test_valid_model_passes(self):
+        report = validate_mdp(chain_mdp())
+        assert report.is_valid
+        assert report.num_states == 3
+        assert report.num_unreachable == 0
+
+    def test_unreachable_states_detected(self):
+        builder = MDPBuilder()
+        builder.add_action("a", "stay", [("a", 1.0, (0.0,))])
+        builder.add_action("zombie", "stay", [("zombie", 1.0, (0.0,))])
+        mdp = builder.build(initial_state="a")
+        with pytest.raises(ModelError):
+            validate_mdp(mdp)
+        report = validate_mdp(mdp, raise_on_error=False)
+        assert report.num_unreachable == 1
+        assert not report.is_valid
+
+    def test_unreachable_states_can_be_allowed(self):
+        builder = MDPBuilder()
+        builder.add_action("a", "stay", [("a", 1.0, (0.0,))])
+        builder.add_action("zombie", "stay", [("zombie", 1.0, (0.0,))])
+        mdp = builder.build(initial_state="a")
+        report = validate_mdp(mdp, require_reachable=False, raise_on_error=False)
+        assert report.is_valid
+
+    def test_corrupted_probabilities_detected(self):
+        mdp = chain_mdp()
+        mdp.trans_prob = np.array([0.5, 1.0, 1.0])  # break row 0 on purpose
+        report = validate_mdp(mdp, raise_on_error=False)
+        assert any("probability" in problem for problem in report.problems)
+
+    def test_selfish_mining_models_are_valid(self, model_d1f1, model_d2f1):
+        assert validate_mdp(model_d1f1.mdp).is_valid
+        assert validate_mdp(model_d2f1.mdp).is_valid

@@ -1,0 +1,93 @@
+"""Tests of positional strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mdp import MDPBuilder, Strategy
+from repro.mdp.strategy import describe_strategy
+
+
+@pytest.fixture()
+def mdp():
+    builder = MDPBuilder()
+    builder.add_action("a", "stay", [("a", 1.0, (1.0,))])
+    builder.add_action("a", "go", [("b", 1.0, (0.0,))])
+    builder.add_action("b", "back", [("a", 1.0, (2.0,))])
+    builder.add_action("b", "loop", [("b", 1.0, (0.5,))])
+    return builder.build(initial_state="a")
+
+
+class TestStrategy:
+    def test_first_action(self, mdp):
+        strategy = Strategy.first_action(mdp)
+        assert strategy.action(mdp.state_of_label("a")) == "stay"
+        assert strategy.action(mdp.state_of_label("b")) == "back"
+
+    def test_from_action_map(self, mdp):
+        strategy = Strategy.from_action_map(mdp, {"a": "go", "b": "loop"})
+        assert strategy.action_of_label("a") == "go"
+        assert strategy.action_of_label("b") == "loop"
+
+    def test_from_action_map_defaults_missing_states(self, mdp):
+        strategy = Strategy.from_action_map(mdp, {"a": "go"})
+        assert strategy.action_of_label("b") == "back"
+
+    def test_to_action_map_roundtrip(self, mdp):
+        strategy = Strategy.from_action_map(mdp, {"a": "go", "b": "loop"})
+        assert strategy.to_action_map() == {"a": "go", "b": "loop"}
+
+    def test_rejects_wrong_shape(self, mdp):
+        with pytest.raises(ModelError):
+            Strategy(mdp, np.array([0]))
+
+    def test_rejects_rows_of_other_states(self, mdp):
+        # Row 0 belongs to state "a"; assigning it to state "b" must fail.
+        with pytest.raises(ModelError):
+            Strategy(mdp, np.array([0, 0]))
+
+    def test_differs_from(self, mdp):
+        one = Strategy.from_action_map(mdp, {"a": "stay", "b": "back"})
+        two = Strategy.from_action_map(mdp, {"a": "go", "b": "back"})
+        assert one.differs_from(two) == 1
+        assert one.differs_from(one) == 0
+
+    def test_differs_from_other_mdp_raises(self, mdp):
+        builder = MDPBuilder()
+        builder.add_action("x", "loop", [("x", 1.0, (0.0,))])
+        other = builder.build(initial_state="x")
+        with pytest.raises(ModelError):
+            Strategy.first_action(mdp).differs_from(Strategy.first_action(other))
+
+    def test_equality(self, mdp):
+        assert Strategy.first_action(mdp) == Strategy.first_action(mdp)
+        assert Strategy.first_action(mdp) != Strategy.from_action_map(mdp, {"a": "go"})
+
+    def test_iteration_yields_rows(self, mdp):
+        strategy = Strategy.first_action(mdp)
+        assert list(strategy) == strategy.rows.tolist()
+
+    def test_row_accessor(self, mdp):
+        strategy = Strategy.from_action_map(mdp, {"a": "go"})
+        state_a = mdp.state_of_label("a")
+        assert mdp.row_actions[strategy.row(state_a)] == "go"
+
+
+class TestDescribeStrategy:
+    def test_lists_all_states(self, mdp):
+        text = describe_strategy(Strategy.first_action(mdp), only_non_default=False)
+        assert "'a'" in text and "'b'" in text
+
+    def test_omits_default_action(self, mdp):
+        strategy = Strategy.from_action_map(mdp, {"a": "stay", "b": "loop"})
+        text = describe_strategy(strategy, default_action="stay")
+        assert "'a'" not in text
+        assert "'b'" in text
+
+    def test_limit_truncates(self, mdp):
+        text = describe_strategy(
+            Strategy.first_action(mdp), only_non_default=False, limit=1
+        )
+        assert text.endswith("...")

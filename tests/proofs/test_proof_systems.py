@@ -1,0 +1,130 @@
+"""Tests of the efficient proof system models and the toy VDF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.proofs import (
+    ProofChallenge,
+    ProofOfSpaceTime,
+    ProofOfStake,
+    ProofOfWork,
+    VerifiableDelayFunction,
+)
+
+CHALLENGE = ProofChallenge(parent_block_id=42, slot=7)
+
+
+class TestProofOfWork:
+    def test_single_concurrent_target(self):
+        assert ProofOfWork().max_concurrent_targets == 1
+
+    def test_effective_targets_clamped(self):
+        assert ProofOfWork().effective_targets(5) == 1
+        assert ProofOfWork().effective_targets(0) == 0
+
+    def test_attempt_frequency_matches_probability(self):
+        pow_system = ProofOfWork(rng=np.random.default_rng(0))
+        successes = sum(
+            pow_system.attempt(CHALLENGE, resource_fraction=0.3, success_rate=0.5).success
+            for _ in range(20_000)
+        )
+        assert successes / 20_000 == pytest.approx(0.15, abs=0.01)
+
+    def test_success_has_finite_quality(self):
+        pow_system = ProofOfWork(rng=np.random.default_rng(1))
+        outcome = pow_system.attempt(CHALLENGE, resource_fraction=1.0, success_rate=1.0)
+        assert outcome.success
+        assert outcome.quality < float("inf")
+
+
+class TestProofOfStake:
+    def test_unbounded_concurrency(self):
+        system = ProofOfStake()
+        assert system.max_concurrent_targets == float("inf")
+        assert system.effective_targets(1000) == 1000
+
+    def test_zero_stake_never_wins(self):
+        system = ProofOfStake(rng=np.random.default_rng(2))
+        assert not any(
+            system.attempt(CHALLENGE, resource_fraction=0.0, success_rate=1.0).success
+            for _ in range(100)
+        )
+
+    def test_full_stake_always_wins(self):
+        system = ProofOfStake(rng=np.random.default_rng(3))
+        assert all(
+            system.attempt(CHALLENGE, resource_fraction=1.0, success_rate=1.0).success
+            for _ in range(100)
+        )
+
+
+class TestProofOfSpaceTime:
+    def test_concurrency_bounded_by_vdfs(self):
+        system = ProofOfSpaceTime(num_vdfs=3)
+        assert system.max_concurrent_targets == 3
+        assert system.effective_targets(10) == 3
+
+    def test_invalid_vdf_count_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ProofOfSpaceTime(num_vdfs=0)
+
+    def test_attempt_uses_an_idle_vdf(self):
+        system = ProofOfSpaceTime(num_vdfs=1, rng=np.random.default_rng(4))
+        outcome = system.attempt(CHALLENGE, resource_fraction=1.0, success_rate=1.0)
+        assert outcome.success
+        # The toy model finishes the VDF synchronously, so it is idle again.
+        assert system.available_vdf() is not None
+
+    def test_attempt_fails_when_all_vdfs_busy(self):
+        system = ProofOfSpaceTime(num_vdfs=1, rng=np.random.default_rng(5))
+        system.vdfs[0].start(challenge_id=1)
+        outcome = system.attempt(CHALLENGE, resource_fraction=1.0, success_rate=1.0)
+        assert not outcome.success
+
+
+class TestVerifiableDelayFunction:
+    def test_requires_positive_steps(self):
+        with pytest.raises(ValueError):
+            VerifiableDelayFunction(steps_required=0)
+
+    def test_sequential_evaluation(self):
+        vdf = VerifiableDelayFunction(steps_required=3)
+        vdf.start(challenge_id=9)
+        assert vdf.busy
+        assert vdf.tick() is None
+        assert vdf.tick() is None
+        assert vdf.tick() == 9
+        assert not vdf.busy
+
+    def test_progress_fraction(self):
+        vdf = VerifiableDelayFunction(steps_required=4)
+        assert vdf.progress == 0.0
+        vdf.start(challenge_id=1)
+        vdf.tick()
+        assert vdf.progress == pytest.approx(0.25)
+
+    def test_cannot_start_while_busy(self):
+        vdf = VerifiableDelayFunction(steps_required=2)
+        vdf.start(challenge_id=1)
+        with pytest.raises(SimulationError):
+            vdf.start(challenge_id=2)
+
+    def test_abort_frees_the_instance(self):
+        vdf = VerifiableDelayFunction(steps_required=2)
+        vdf.start(challenge_id=1)
+        vdf.abort()
+        assert not vdf.busy
+        vdf.start(challenge_id=2)  # does not raise
+
+    def test_tick_when_idle_is_noop(self):
+        vdf = VerifiableDelayFunction(steps_required=2)
+        assert vdf.tick() is None
+
+    def test_verification(self):
+        assert VerifiableDelayFunction.verify(5, 5)
+        assert not VerifiableDelayFunction.verify(5, 6)
