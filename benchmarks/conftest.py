@@ -4,6 +4,10 @@ Set the environment variable ``REPRO_FULL=1`` to run the paper's full parameter
 grid (all attack configurations of Table 1 and the 0.01-step p-grid of
 Figure 2).  The default configuration keeps every benchmark laptop-scale; see
 DESIGN.md for the rationale.
+
+Set ``REPRO_BENCH_SMOKE=1`` (used by the CI benchmark job) to shrink the grids
+further so every perf path is exercised within a couple of minutes on a shared
+runner; ``REPRO_FULL`` wins when both are set.
 """
 
 from __future__ import annotations
@@ -25,6 +29,13 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 def full_mode() -> bool:
     """Whether the full (paper-sized) benchmark grid was requested."""
     return os.environ.get("REPRO_FULL", "0") not in ("", "0", "false", "False")
+
+
+def smoke_mode() -> bool:
+    """Whether the reduced CI smoke grid was requested (``REPRO_FULL`` wins)."""
+    if full_mode():
+        return False
+    return os.environ.get("REPRO_BENCH_SMOKE", "0") not in ("", "0", "false", "False")
 
 
 @pytest.fixture(scope="session")

@@ -34,9 +34,18 @@ _ROWS: list[dict] = []
     "attack", GRID, ids=lambda a: f"d{a.depth}_f{a.forks}_l{a.max_fork_length}"
 )
 def test_model_construction_scaling(benchmark, attack):
-    """Time the reachable-state exploration for one configuration."""
+    """Time the reachable-state exploration for one configuration.
+
+    The structure cache is bypassed here on purpose: earlier benchmarks in the
+    session have already populated it, and a cache hit would measure a dict
+    lookup instead of the exploration this benchmark is about.
+    """
     model = benchmark.pedantic(
-        build_selfish_forks_mdp, args=(PROTOCOL, attack), rounds=1, iterations=1
+        build_selfish_forks_mdp,
+        args=(PROTOCOL, attack),
+        kwargs={"use_structure_cache": False},
+        rounds=1,
+        iterations=1,
     )
     _ROWS.append(
         {

@@ -5,7 +5,10 @@ Sweeps the adversarial resource p for a fixed switching probability gamma and
 plots the expected relative revenue of the multi-fork attack (d = 1 and d = 2)
 against the honest-mining and single-tree baselines.
 
-Run with:  python examples/parameter_sweep.py [gamma]
+Run with:  python examples/parameter_sweep.py [gamma] [workers]
+
+Passing a worker count > 1 fans the attack grid out over a process pool; the
+computed series are identical to the serial run, only faster.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from repro.core.sweep import SweepConfig, run_sweep
 
 def main() -> None:
     gamma = float(sys.argv[1]) if len(sys.argv) > 1 else 0.5
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
     config = SweepConfig(
         p_values=tuple(round(0.05 * index, 2) for index in range(0, 7)),
         gammas=(gamma,),
@@ -27,10 +31,16 @@ def main() -> None:
             AttackParams(depth=2, forks=1, max_fork_length=4),
         ),
         analysis=AnalysisConfig(epsilon=1e-3),
+        workers=workers,
+        warm_start_across_points=True,
     )
 
     print(f"sweeping p in {list(config.p_values)} at gamma={gamma} ...")
     sweep = run_sweep(config, progress=lambda message: print("  " + message))
+    for failure in sweep.failures:
+        print(f"  FAILED p={failure.p} gamma={failure.gamma} {failure.series}: {failure.message}")
+    if sweep.failures:
+        sys.exit(1)
 
     print()
     print(ascii_plot(sweep, gamma))

@@ -16,7 +16,10 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+import numpy as np
+
 from ..config import AnalysisConfig
+from ..exceptions import ModelError
 from ..mdp import MDP, MeanPayoffSolution, Strategy, solve_mean_payoff
 from .errev import evaluate_strategy_errev
 from .rewards import beta_reward_weights
@@ -32,6 +35,8 @@ class BinarySearchIteration:
         beta_low: Lower end of the beta interval after the update.
         beta_up: Upper end of the beta interval after the update.
         solve_seconds: Wall-clock time of the mean-payoff solve.
+        solver_iterations: Iterations the mean-payoff backend needed (policy
+            improvement rounds or value-iteration sweeps; 0 for the LP).
     """
 
     beta: float
@@ -39,6 +44,7 @@ class BinarySearchIteration:
     beta_low: float
     beta_up: float
     solve_seconds: float
+    solver_iterations: int = 0
 
 
 @dataclass
@@ -59,6 +65,12 @@ class FormalAnalysisResult:
         iterations: Per-iteration log of the binary search.
         total_seconds: Total wall-clock time of the analysis.
         solver: Mean-payoff solver backend used.
+        total_solver_iterations: Sum of backend iterations over every solve of
+            the analysis (including the final strategy-extraction solve) -- the
+            primary measure of warm-starting effectiveness.
+        final_bias: Bias vector of the final solve, reusable as a warm start
+            for an adjacent parameter point (``None`` for the LP backend only
+            when no bias was produced).
     """
 
     errev_lower_bound: float
@@ -70,6 +82,8 @@ class FormalAnalysisResult:
     iterations: List[BinarySearchIteration] = field(default_factory=list)
     total_seconds: float = 0.0
     solver: str = "policy_iteration"
+    total_solver_iterations: int = 0
+    final_bias: Optional[np.ndarray] = None
 
     @property
     def num_iterations(self) -> int:
@@ -88,6 +102,8 @@ def formal_analysis(
     *,
     beta_low: float = 0.0,
     beta_up: float = 1.0,
+    initial_strategy_rows: Optional[np.ndarray] = None,
+    initial_bias: Optional[np.ndarray] = None,
 ) -> FormalAnalysisResult:
     """Run the paper's Algorithm 1 on a selfish-mining MDP.
 
@@ -98,6 +114,14 @@ def formal_analysis(
         beta_low: Initial lower end of the search interval (0 in the paper;
             callers may tighten it, e.g. to ``p``, since ERRev* >= p).
         beta_up: Initial upper end of the search interval.
+        initial_strategy_rows: Optional warm-start row choices for the first
+            solve, typically ``result.strategy.rows`` of an adjacent parameter
+            point over a structurally identical MDP.  Silently ignored when
+            incompatible with ``mdp`` (wrong length or rows not belonging to
+            their states) or when ``config.warm_start`` is false.
+        initial_bias: Optional warm-start bias vector for the first solve
+            (``result.final_bias`` of an adjacent point); ignored under the
+            same conditions.
 
     Returns:
         A :class:`FormalAnalysisResult` with the epsilon-tight lower bound, the
@@ -109,14 +133,23 @@ def formal_analysis(
 
     start_time = time.perf_counter()
     iterations: List[BinarySearchIteration] = []
-    warm_start: Optional[Strategy] = None
+    warm_strategy: Optional[Strategy] = None
+    warm_bias: Optional[np.ndarray] = None
+    if config.warm_start:
+        warm_strategy = _strategy_from_rows(mdp, initial_strategy_rows)
+        if initial_bias is not None:
+            warm_bias = np.asarray(initial_bias, dtype=float)
+    total_solver_iterations = 0
 
     while beta_up - beta_low >= config.epsilon:
         beta = 0.5 * (beta_low + beta_up)
         solve_start = time.perf_counter()
-        solution = _solve(mdp, beta, config, warm_start)
+        solution = _solve(mdp, beta, config, warm_strategy, warm_bias)
         solve_seconds = time.perf_counter() - solve_start
-        warm_start = solution.strategy
+        total_solver_iterations += solution.iterations
+        if config.warm_start:
+            warm_strategy = solution.strategy
+            warm_bias = solution.bias
         if solution.gain < 0.0:
             beta_up = beta
         else:
@@ -128,11 +161,13 @@ def formal_analysis(
                 beta_low=beta_low,
                 beta_up=beta_up,
                 solve_seconds=solve_seconds,
+                solver_iterations=solution.iterations,
             )
         )
 
     # Final solve at beta_low to extract the certified strategy.
-    final_solution = _solve(mdp, beta_low, config, warm_start)
+    final_solution = _solve(mdp, beta_low, config, warm_strategy, warm_bias)
+    total_solver_iterations += final_solution.iterations
     strategy = final_solution.strategy
     strategy_errev = (
         evaluate_strategy_errev(mdp, strategy) if config.evaluate_strategy else None
@@ -148,11 +183,37 @@ def formal_analysis(
         iterations=iterations,
         total_seconds=time.perf_counter() - start_time,
         solver=config.solver,
+        total_solver_iterations=total_solver_iterations,
+        final_bias=final_solution.bias,
     )
 
 
+def _strategy_from_rows(mdp: MDP, rows: Optional[np.ndarray]) -> Optional[Strategy]:
+    """Build a warm-start strategy from raw row choices, or ``None`` if invalid.
+
+    Warm starts carried across sweep grid points are advisory: when the rows do
+    not fit this MDP (e.g. the adjacent point has a different support signature
+    and hence a different state space) they are simply dropped.
+    """
+    if rows is None:
+        return None
+    rows = np.asarray(rows)
+    if rows.shape != (mdp.num_states,):
+        return None
+    try:
+        return Strategy(mdp, rows)
+    except (ModelError, IndexError):
+        # IndexError: row indices out of range for this MDP (donor model had
+        # the same state count but more action rows).
+        return None
+
+
 def _solve(
-    mdp: MDP, beta: float, config: AnalysisConfig, warm_start: Optional[Strategy]
+    mdp: MDP,
+    beta: float,
+    config: AnalysisConfig,
+    warm_start: Optional[Strategy],
+    warm_start_bias: Optional[np.ndarray],
 ) -> MeanPayoffSolution:
     """Solve the mean-payoff MDP under ``r_beta`` with the configured backend."""
     return solve_mean_payoff(
@@ -162,4 +223,5 @@ def _solve(
         tolerance=config.solver_tolerance,
         max_iterations=config.max_solver_iterations,
         warm_start=warm_start,
+        warm_start_bias=warm_start_bias,
     )

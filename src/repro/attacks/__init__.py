@@ -18,11 +18,21 @@ from .fork_state import (
     ForkState,
     MineAction,
     ReleaseAction,
+    SymbolicTransition,
     available_actions,
     initial_state,
     successor_distribution,
+    symbolic_successor_distribution,
 )
 from .selfish_forks import SelfishForksModel, build_selfish_forks_mdp
+from .structure import (
+    SelfishForksStructure,
+    SupportSignature,
+    build_model_structure,
+    clear_structure_cache,
+    get_model_structure,
+    structure_cache_stats,
+)
 from .honest import honest_errev, honest_strategy, honest_strategy_rows
 from .eyal_sirer import (
     eyal_sirer_profitability_threshold,
@@ -41,11 +51,19 @@ __all__ = [
     "ForkState",
     "MineAction",
     "ReleaseAction",
+    "SymbolicTransition",
     "available_actions",
     "initial_state",
     "successor_distribution",
+    "symbolic_successor_distribution",
     "SelfishForksModel",
     "build_selfish_forks_mdp",
+    "SelfishForksStructure",
+    "SupportSignature",
+    "build_model_structure",
+    "clear_structure_cache",
+    "get_model_structure",
+    "structure_cache_stats",
     "honest_errev",
     "honest_strategy",
     "honest_strategy_rows",

@@ -53,7 +53,7 @@ Release actions are only offered when they can be accepted:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from ..config import AttackParams, ProtocolParams
 
@@ -106,6 +106,20 @@ def initial_state(attack: AttackParams) -> ForkState:
     c0 = tuple(tuple(0 for _ in range(attack.forks)) for _ in range(attack.depth))
     o0 = tuple(HONEST for _ in range(attack.depth - 1))
     return (c0, o0, TYPE_MINING)
+
+
+def action_label(action: object) -> Hashable:
+    """Map kernel actions to the compact hashable labels stored in the MDP.
+
+    Both the legacy :class:`~repro.mdp.MDPBuilder` construction and the cached
+    structural skeleton use this single mapping, so the two build paths can
+    never diverge in their action labelling.
+    """
+    if isinstance(action, MineAction):
+        return ("mine",)
+    if isinstance(action, ReleaseAction):
+        return ("release", action.depth, action.fork, action.blocks)
+    raise TypeError(f"unknown action {action!r}")
 
 
 # --------------------------------------------------------------------------- helpers
@@ -351,6 +365,118 @@ def release_transitions(
     raise ValueError(
         f"release action {action!r} is shorter than the public chain and cannot be accepted"
     )
+
+
+# ------------------------------------------------------------- symbolic transitions
+
+#: Symbolic probability kinds used by the cached model structure
+#: (:mod:`repro.attacks.structure`).  The numeric probability of a transition is
+#: recovered from its kind, its ``sigma`` (mining-denominator arity) and the
+#: protocol parameters ``(p, gamma)``.
+PROB_ONE = 0  #: probability 1
+PROB_ADVERSARY = 1  #: p / ((1 - p) + p * sigma)
+PROB_HONEST = 2  #: (1 - p) / ((1 - p) + p * sigma)
+PROB_GAMMA = 3  #: gamma
+PROB_ONE_MINUS_GAMMA = 4  #: 1 - gamma
+
+
+@dataclass(frozen=True)
+class SymbolicTransition:
+    """One transition with its probability expressed symbolically in ``(p, gamma)``.
+
+    The reward vector of every transition of the kernel is a constant that does
+    not depend on the protocol parameters, so only the probability needs a
+    symbolic representation.
+
+    Attributes:
+        successor: Successor state.
+        kind: One of the ``PROB_*`` tags above.
+        sigma: Number of concurrent adversarial mining targets (the arity of the
+            mining-distribution denominator); 0 for non-mining kinds.
+        multiplicity: Number of merged mining outcomes mapping to ``successor``
+            (several capped forks can collapse onto the same state); 1 otherwise.
+        reward: Constant ``(r_A, r_H)`` reward vector.
+    """
+
+    successor: ForkState
+    kind: int
+    sigma: int
+    multiplicity: int
+    reward: RewardVector
+
+
+def symbolic_successor_distribution(
+    state: ForkState, action: object, attack: AttackParams
+) -> List[SymbolicTransition]:
+    """Protocol-independent form of :func:`successor_distribution`.
+
+    Returns the successor list of ``(state, action)`` with probabilities as
+    symbolic tags instead of numbers, in the same enumeration order that
+    :func:`successor_distribution` produces for protocol parameters of full
+    support (``0 < p < 1``, ``0 < gamma < 1``).  Filtering the tags by a support
+    signature reproduces the enumeration for boundary parameters.
+    """
+    c_matrix, owners, state_type = state
+    if isinstance(action, MineAction):
+        if state_type == TYPE_MINING:
+            targets = adversary_mining_targets(c_matrix)
+            sigma = len(targets)
+            merged: Dict[ForkState, int] = {}
+            for depth, fork, is_new in targets:
+                if is_new:
+                    new_c = _replace_fork(c_matrix, depth, fork, 1)
+                else:
+                    current = c_matrix[depth - 1][fork - 1]
+                    new_c = _replace_fork(
+                        c_matrix, depth, fork, min(current + 1, attack.max_fork_length)
+                    )
+                successor = (new_c, owners, TYPE_ADVERSARY)
+                merged[successor] = merged.get(successor, 0) + 1
+            result = [
+                SymbolicTransition(successor, PROB_ADVERSARY, sigma, multiplicity, (0.0, 0.0))
+                for successor, multiplicity in merged.items()
+            ]
+            result.append(
+                SymbolicTransition(
+                    (c_matrix, owners, TYPE_HONEST), PROB_HONEST, sigma, 1, (0.0, 0.0)
+                )
+            )
+            return result
+        if state_type == TYPE_HONEST:
+            successor, reward = incorporate_pending_honest_block(state, attack)
+            return [SymbolicTransition(successor, PROB_ONE, 0, 1, reward)]
+        # TYPE_ADVERSARY: resume mining without revealing anything.
+        return [
+            SymbolicTransition((c_matrix, owners, TYPE_MINING), PROB_ONE, 0, 1, (0.0, 0.0))
+        ]
+    if isinstance(action, ReleaseAction):
+        if state_type not in (TYPE_HONEST, TYPE_ADVERSARY):
+            raise ValueError("release actions are only available in decision states")
+        i, j, k = action.depth, action.fork, action.blocks
+        if k < 1 or k > c_matrix[i - 1][j - 1]:
+            raise ValueError(
+                f"cannot publish {k} blocks of fork ({i}, {j}) of length {c_matrix[i - 1][j - 1]}"
+            )
+        accepted_state, accepted_reward = _accepted_release_state(state, action, attack)
+        if state_type == TYPE_ADVERSARY:
+            if k >= i:
+                return [SymbolicTransition(accepted_state, PROB_ONE, 0, 1, accepted_reward)]
+            raise ValueError(
+                f"release action {action!r} cannot beat the public chain from a "
+                f"TYPE_ADVERSARY state"
+            )
+        if k > i:
+            return [SymbolicTransition(accepted_state, PROB_ONE, 0, 1, accepted_reward)]
+        if k == i:
+            rejected_state, rejected_reward = incorporate_pending_honest_block(state, attack)
+            return [
+                SymbolicTransition(accepted_state, PROB_GAMMA, 0, 1, accepted_reward),
+                SymbolicTransition(rejected_state, PROB_ONE_MINUS_GAMMA, 0, 1, rejected_reward),
+            ]
+        raise ValueError(
+            f"release action {action!r} is shorter than the public chain and cannot be accepted"
+        )
+    raise TypeError(f"unknown action {action!r}")
 
 
 # ----------------------------------------------------------------------- action space

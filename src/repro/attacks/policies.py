@@ -16,7 +16,6 @@ from ..exceptions import ModelError
 from ..mdp import Strategy
 from .base import AttackDecision, MiningPolicy
 from .fork_state import (
-    TYPE_ADVERSARY,
     TYPE_HONEST,
     TYPE_MINING,
     ForkState,

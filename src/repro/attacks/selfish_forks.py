@@ -11,20 +11,17 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, List, Optional
 
 from ..config import AttackParams, ProtocolParams
 from ..exceptions import ConfigurationError
 from ..mdp import MDP, MDPBuilder, Strategy
 from . import fork_state
-from .fork_state import ForkState, MineAction
+from .fork_state import ForkState, action_label
+from .structure import DEFAULT_MAX_STATES, get_model_structure
 
 #: Number of reward components attached to every transition (r_A, r_H).
 NUM_REWARD_COMPONENTS = 2
-
-#: Hard cap on the number of states explored; prevents accidental explosion when
-#: a user requests an enormous configuration.
-DEFAULT_MAX_STATES = 20_000_000
 
 
 @dataclass
@@ -88,17 +85,32 @@ def build_selfish_forks_mdp(
     attack: AttackParams,
     *,
     max_states: Optional[int] = DEFAULT_MAX_STATES,
+    use_structure_cache: bool = True,
 ) -> SelfishForksModel:
     """Build the reachable fragment of the selfish-mining MDP.
+
+    By default the state/action/successor skeleton -- which depends only on
+    ``(d, f, l)`` and the support of ``(p, gamma)`` -- is taken from the
+    process-local structure cache (:mod:`repro.attacks.structure`) and only the
+    probability array is refilled for the concrete parameter point.  Passing
+    ``use_structure_cache=False`` forces the legacy from-scratch exploration via
+    :class:`~repro.mdp.MDPBuilder`, which serves as an independent reference
+    implementation in the test suite.
 
     Args:
         protocol: Blockchain / network parameters ``(p, gamma)``.
         attack: Attack parameters ``(d, f, l)``.
         max_states: Safety cap on explored states (``None`` disables the cap).
+        use_structure_cache: Build through the cached structural skeleton.
 
     Raises:
         ConfigurationError: If the exploration exceeds ``max_states``.
     """
+    if use_structure_cache:
+        structure = get_model_structure(attack, protocol, max_states=max_states)
+        return SelfishForksModel(
+            mdp=structure.instantiate(protocol), protocol=protocol, attack=attack
+        )
     builder = MDPBuilder(num_reward_components=NUM_REWARD_COMPONENTS)
     start = fork_state.initial_state(attack)
     builder.add_state(start)
@@ -123,15 +135,7 @@ def build_selfish_forks_mdp(
                             f"state-space exploration exceeded max_states={max_states}; "
                             f"reduce d, f or l, or raise the cap explicitly"
                         )
-            builder.add_action(state, _action_label(action), rows)
+            builder.add_action(state, action_label(action), rows)
 
     mdp = builder.build(initial_state=start)
     return SelfishForksModel(mdp=mdp, protocol=protocol, attack=attack)
-
-
-def _action_label(action: object) -> Hashable:
-    """Map kernel actions to compact hashable labels stored in the MDP."""
-    if isinstance(action, MineAction):
-        return ("mine",)
-    release = action  # type: ignore[assignment]
-    return ("release", release.depth, release.fork, release.blocks)

@@ -1,0 +1,341 @@
+"""Cached structural skeletons of the multi-fork selfish-mining MDP.
+
+For fixed attack parameters ``(d, f, l)`` the reachable state set, the per-state
+action sets and the successor lists of the selfish-mining MDP do not depend on
+the numeric protocol parameters ``(p, gamma)`` -- only the transition
+probabilities do, and those only through a handful of closed forms (see the
+``PROB_*`` tags in :mod:`repro.attacks.fork_state`).  The sole structural
+influence of ``(p, gamma)`` is the *support*: at the boundary values ``p = 0``,
+``p = 1``, ``gamma = 0`` and ``gamma = 1`` some symbolic branches have
+probability zero and are pruned from the reachable fragment.
+
+This module therefore splits model construction into
+
+1. a :class:`SelfishForksStructure` -- the breadth-first exploration of the
+   reachable fragment for one ``(d, f, l)`` and one :class:`SupportSignature`,
+   stored as flat arrays of successors, probability tags and constant rewards
+   (the expensive part: pure-Python state enumeration), and
+2. :meth:`SelfishForksStructure.instantiate` -- a cheap, fully vectorised refill
+   of the probability array for a concrete ``(p, gamma)``.
+
+Structures are memoised in a process-local cache so that a parameter sweep pays
+the exploration cost once per ``(attack, signature)`` instead of once per grid
+point.  Worker processes forked by the sweep engine inherit a pre-warmed cache
+for free.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import AttackParams, ProtocolParams
+from ..exceptions import ConfigurationError, ModelError
+from ..mdp import MDP
+from . import fork_state
+from .fork_state import (
+    PROB_ADVERSARY,
+    PROB_GAMMA,
+    PROB_HONEST,
+    PROB_ONE_MINUS_GAMMA,
+    ForkState,
+    action_label,
+    symbolic_successor_distribution,
+)
+
+#: Hard cap on the number of states explored; prevents accidental explosion when
+#: a user requests an enormous configuration.
+DEFAULT_MAX_STATES = 20_000_000
+
+
+@dataclass(frozen=True)
+class SupportSignature:
+    """Which symbolic transition branches have positive probability.
+
+    Two protocol parameter points with the same signature induce exactly the
+    same reachable fragment, so the signature is part of the structure-cache
+    key.
+
+    Attributes:
+        adversary_mines: ``p > 0`` -- adversarial mining outcomes exist.
+        honest_mines: ``p < 1`` -- honest mining outcomes exist.
+        race_win: ``gamma > 0`` -- an equal-length release can be accepted.
+        race_loss: ``gamma < 1`` -- an equal-length release can be rejected.
+    """
+
+    adversary_mines: bool
+    honest_mines: bool
+    race_win: bool
+    race_loss: bool
+
+    @classmethod
+    def of(cls, protocol: ProtocolParams) -> "SupportSignature":
+        """Return the signature of a concrete protocol parameter point."""
+        return cls(
+            adversary_mines=protocol.p > 0.0,
+            honest_mines=protocol.p < 1.0,
+            race_win=protocol.gamma > 0.0,
+            race_loss=protocol.gamma < 1.0,
+        )
+
+    def keeps(self, kind: int) -> bool:
+        """Whether transitions of symbolic ``kind`` have positive probability."""
+        if kind == PROB_ADVERSARY:
+            return self.adversary_mines
+        if kind == PROB_HONEST:
+            return self.honest_mines
+        if kind == PROB_GAMMA:
+            return self.race_win
+        if kind == PROB_ONE_MINUS_GAMMA:
+            return self.race_loss
+        return True
+
+
+class SelfishForksStructure:
+    """The ``(p, gamma)``-independent skeleton of one selfish-forks MDP.
+
+    Holds the reachable states, the per-state action rows and, per transition,
+    the successor index, the symbolic probability tag and the constant reward
+    vector.  :meth:`instantiate` turns the skeleton into a concrete
+    :class:`~repro.mdp.MDP` for one parameter point by refilling only the
+    probability array.
+    """
+
+    def __init__(
+        self,
+        *,
+        attack: AttackParams,
+        signature: SupportSignature,
+        initial_state: int,
+        state_labels: List[Hashable],
+        row_state: np.ndarray,
+        state_row_offsets: np.ndarray,
+        row_trans_offsets: np.ndarray,
+        row_actions: List[Hashable],
+        trans_succ: np.ndarray,
+        trans_kind: np.ndarray,
+        trans_sigma: np.ndarray,
+        trans_mult: np.ndarray,
+        trans_reward: np.ndarray,
+    ) -> None:
+        self.attack = attack
+        self.signature = signature
+        self.initial_state = initial_state
+        self.state_labels = state_labels
+        self.row_state = row_state
+        self.state_row_offsets = state_row_offsets
+        self.row_trans_offsets = row_trans_offsets
+        self.row_actions = row_actions
+        self.trans_succ = trans_succ
+        self.trans_kind = trans_kind
+        self.trans_sigma = trans_sigma
+        self.trans_mult = trans_mult
+        self.trans_reward = trans_reward
+        self.num_states = len(state_labels)
+        self.num_rows = int(row_state.shape[0])
+        self.num_transitions = int(trans_succ.shape[0])
+        # Row index of every transition, for the vectorised renormalisation.
+        self._trans_row = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), np.diff(row_trans_offsets)
+        )
+
+    def instantiate(self, protocol: ProtocolParams) -> MDP:
+        """Refill the probability array for ``protocol`` and return the MDP.
+
+        Raises:
+            ModelError: If ``protocol`` has a different support signature than
+                the one this structure was explored for.
+        """
+        signature = SupportSignature.of(protocol)
+        if signature != self.signature:
+            raise ModelError(
+                f"structure was built for support {self.signature}, cannot instantiate "
+                f"for {signature} (p={protocol.p}, gamma={protocol.gamma})"
+            )
+        p, gamma = protocol.p, protocol.gamma
+        prob = np.ones(self.num_transitions)
+        adversary = self.trans_kind == PROB_ADVERSARY
+        honest = self.trans_kind == PROB_HONEST
+        if adversary.any():
+            denominator = (1.0 - p) + p * self.trans_sigma[adversary]
+            prob[adversary] = p / denominator
+        if honest.any():
+            denominator = (1.0 - p) + p * self.trans_sigma[honest]
+            prob[honest] = (1.0 - p) / denominator
+        prob[self.trans_kind == PROB_GAMMA] = gamma
+        prob[self.trans_kind == PROB_ONE_MINUS_GAMMA] = 1.0 - gamma
+        prob *= self.trans_mult
+        # Renormalise each row (mirrors MDPBuilder.build washing out float drift).
+        totals = np.add.reduceat(prob, self.row_trans_offsets[:-1])
+        prob /= totals[self._trans_row]
+        return MDP(
+            num_states=self.num_states,
+            initial_state=self.initial_state,
+            row_state=self.row_state,
+            state_row_offsets=self.state_row_offsets,
+            row_trans_offsets=self.row_trans_offsets,
+            trans_succ=self.trans_succ,
+            trans_prob=prob,
+            trans_reward=self.trans_reward,
+            row_actions=self.row_actions,
+            state_labels=self.state_labels,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SelfishForksStructure(d={self.attack.depth}, f={self.attack.forks}, "
+            f"l={self.attack.max_fork_length}, states={self.num_states}, "
+            f"rows={self.num_rows}, transitions={self.num_transitions})"
+        )
+
+
+def build_model_structure(
+    attack: AttackParams,
+    signature: SupportSignature,
+    *,
+    max_states: Optional[int] = DEFAULT_MAX_STATES,
+) -> SelfishForksStructure:
+    """Explore the reachable fragment for ``(attack, signature)`` breadth-first.
+
+    The exploration mirrors the legacy :class:`~repro.mdp.MDPBuilder` path of
+    :func:`repro.attacks.selfish_forks.build_selfish_forks_mdp` exactly -- same
+    discovery order, hence the same state indices, row order and transition
+    order -- but records symbolic probability tags instead of numbers.
+
+    Raises:
+        ConfigurationError: If the exploration exceeds ``max_states``.
+    """
+    start = fork_state.initial_state(attack)
+    state_ids: Dict[ForkState, int] = {start: 0}
+    labels: List[Hashable] = [start]
+    queue: deque[ForkState] = deque([start])
+
+    row_state: List[int] = []
+    row_actions: List[Hashable] = []
+    state_row_counts: List[int] = []
+    trans_succ: List[int] = []
+    trans_kind: List[int] = []
+    trans_sigma: List[int] = []
+    trans_mult: List[int] = []
+    trans_reward: List[Tuple[float, float]] = []
+    row_trans_offsets: List[int] = [0]
+
+    def state_index(label: ForkState) -> int:
+        index = state_ids.get(label)
+        if index is None:
+            index = len(labels)
+            state_ids[label] = index
+            labels.append(label)
+            queue.append(label)
+            if max_states is not None and len(labels) > max_states:
+                raise ConfigurationError(
+                    f"state-space exploration exceeded max_states={max_states}; "
+                    f"reduce d, f or l, or raise the cap explicitly"
+                )
+        return index
+
+    while queue:
+        # Each state enters the queue exactly once (on first discovery), and
+        # discovery order equals index order, so rows are emitted grouped by
+        # owning state in increasing index order.
+        state = queue.popleft()
+        owner_index = state_ids[state]
+        num_rows_before = len(row_state)
+        for action in fork_state.available_actions(state, attack):
+            transitions = [
+                symbolic
+                for symbolic in symbolic_successor_distribution(state, action, attack)
+                if signature.keeps(symbolic.kind)
+            ]
+            if not transitions:
+                continue
+            row_state.append(owner_index)
+            row_actions.append(action_label(action))
+            for symbolic in transitions:
+                trans_succ.append(state_index(symbolic.successor))
+                trans_kind.append(symbolic.kind)
+                trans_sigma.append(symbolic.sigma)
+                trans_mult.append(symbolic.multiplicity)
+                trans_reward.append(symbolic.reward)
+            row_trans_offsets.append(len(trans_succ))
+        if len(row_state) == num_rows_before:
+            raise ConfigurationError(
+                f"state {state!r} has no actions with positive probability under "
+                f"support {signature}"
+            )
+        state_row_counts.append(len(row_state) - num_rows_before)
+
+    # The BFS expands states in index order, so row blocks are already grouped
+    # by owning state and the per-state counts accumulate into CSR offsets.
+    state_row_offsets = np.zeros(len(labels) + 1, dtype=np.int64)
+    np.cumsum(np.asarray(state_row_counts, dtype=np.int64), out=state_row_offsets[1:])
+
+    return SelfishForksStructure(
+        attack=attack,
+        signature=signature,
+        initial_state=0,
+        state_labels=labels,
+        row_state=np.asarray(row_state, dtype=np.int64),
+        state_row_offsets=state_row_offsets,
+        row_trans_offsets=np.asarray(row_trans_offsets, dtype=np.int64),
+        row_actions=row_actions,
+        trans_succ=np.asarray(trans_succ, dtype=np.int64),
+        trans_kind=np.asarray(trans_kind, dtype=np.int8),
+        trans_sigma=np.asarray(trans_sigma, dtype=np.int64),
+        trans_mult=np.asarray(trans_mult, dtype=float),
+        trans_reward=np.asarray(trans_reward, dtype=float).reshape(len(trans_reward), 2),
+    )
+
+
+# ------------------------------------------------------------------ process cache
+
+_STRUCTURE_CACHE: Dict[Tuple[AttackParams, SupportSignature], SelfishForksStructure] = {}
+_CACHE_LOCK = threading.Lock()
+
+
+def get_model_structure(
+    attack: AttackParams,
+    protocol: ProtocolParams,
+    *,
+    max_states: Optional[int] = DEFAULT_MAX_STATES,
+) -> SelfishForksStructure:
+    """Return the (memoised) structure for ``attack`` at ``protocol``'s support.
+
+    The cache is process-local; worker processes forked by the sweep engine
+    inherit whatever the parent built before the fork.
+    """
+    signature = SupportSignature.of(protocol)
+    key = (attack, signature)
+    with _CACHE_LOCK:
+        structure = _STRUCTURE_CACHE.get(key)
+        if structure is None:
+            structure = build_model_structure(attack, signature, max_states=max_states)
+            _STRUCTURE_CACHE[key] = structure
+    # The cap must hold even when a previous caller already paid the exploration.
+    if max_states is not None and structure.num_states > max_states:
+        raise ConfigurationError(
+            f"state-space exploration exceeded max_states={max_states}; "
+            f"reduce d, f or l, or raise the cap explicitly"
+        )
+    return structure
+
+
+def clear_structure_cache() -> None:
+    """Drop every cached structure (mainly for tests and memory pressure)."""
+    with _CACHE_LOCK:
+        _STRUCTURE_CACHE.clear()
+
+
+def structure_cache_stats() -> Dict[str, int]:
+    """Return summary statistics of the process-local structure cache."""
+    with _CACHE_LOCK:
+        structures = list(_STRUCTURE_CACHE.values())
+    return {
+        "entries": len(structures),
+        "states": sum(structure.num_states for structure in structures),
+        "transitions": sum(structure.num_transitions for structure in structures),
+    }

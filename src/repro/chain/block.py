@@ -8,7 +8,7 @@ analysis needs: ownership, height and parent structure.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 #: Identifier of the genesis block.

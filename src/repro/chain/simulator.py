@@ -11,8 +11,8 @@ bookkeeping, and is used to validate strategies computed by the formal analysis.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 

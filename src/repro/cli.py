@@ -21,6 +21,13 @@ from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
 from .core.sweep import SweepConfig, run_sweep
 
 
+def _positive_int(value: str) -> int:
+    workers = int(value)
+    if workers < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return workers
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--p", type=float, default=0.3, help="adversarial resource fraction")
     parser.add_argument("--gamma", type=float, default=0.5, help="switching probability")
@@ -53,6 +60,22 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--epsilon", type=float, default=1e-3)
     sweep.add_argument("--max-depth", type=int, default=2, help="largest attack depth to include")
     sweep.add_argument("--csv", type=str, default=None, help="optional CSV output path")
+    sweep.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="worker processes for the sweep engine (1 = serial)",
+    )
+    sweep.add_argument(
+        "--warm-start-across-points",
+        action="store_true",
+        help="chain solver warm starts along the p axis of each series",
+    )
+    sweep.add_argument(
+        "--no-structure-cache",
+        action="store_true",
+        help="rebuild the MDP from scratch at every grid point (disable the skeleton cache)",
+    )
 
     simulate = subparsers.add_parser("simulate", help="Monte-Carlo validate the computed strategy")
     _add_model_arguments(simulate)
@@ -92,13 +115,21 @@ def _command_sweep(args: argparse.Namespace) -> int:
         gammas=(args.gamma,),
         attack_configs=tuple(attack_configs),
         analysis=AnalysisConfig(epsilon=args.epsilon),
+        workers=args.workers,
+        use_structure_cache=not args.no_structure_cache,
+        warm_start_across_points=args.warm_start_across_points,
     )
     sweep = run_sweep(config, progress=lambda message: print(message, file=sys.stderr))
     print(ascii_plot(sweep, args.gamma))
+    for failure in sweep.failures:
+        print(
+            f"FAILED p={failure.p} gamma={failure.gamma} {failure.series}: {failure.message}",
+            file=sys.stderr,
+        )
     if args.csv:
         path = write_csv([point.to_row() for point in sweep.points], args.csv)
         print(f"\nwrote {path}")
-    return 0
+    return 0 if not sweep.failures else 1
 
 
 def _command_simulate(args: argparse.Namespace) -> int:

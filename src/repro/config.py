@@ -15,7 +15,7 @@ collects solver choices for the formal analysis procedure (Algorithm 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from ._validation import (
@@ -121,6 +121,11 @@ class AnalysisConfig:
         evaluate_strategy: If true, the extracted strategy is additionally
             evaluated exactly (stationary-distribution ratio), which yields the
             exact ERRev it guarantees.
+        warm_start: If true (default), each binary-search iteration warm-starts
+            the mean-payoff solver with the strategy and bias vector of the
+            previous iteration, and externally supplied warm starts (e.g. from
+            an adjacent sweep grid point) are honoured.  Setting this to false
+            forces every solve to start cold, which is useful for ablations.
     """
 
     epsilon: float = 1e-3
@@ -128,6 +133,7 @@ class AnalysisConfig:
     solver_tolerance: float = 1e-9
     max_solver_iterations: int = 100_000
     evaluate_strategy: bool = True
+    warm_start: bool = True
 
     _VALID_SOLVERS = ("policy_iteration", "value_iteration", "linear_program")
 
@@ -148,6 +154,7 @@ class AnalysisConfig:
             "solver_tolerance": self.solver_tolerance,
             "max_solver_iterations": self.max_solver_iterations,
             "evaluate_strategy": self.evaluate_strategy,
+            "warm_start": self.warm_start,
         }
 
 

@@ -6,17 +6,21 @@ and optional Monte-Carlo validation (:mod:`repro.chain`).  The sweep driver and
 reporting helpers regenerate the paper's Figure 2 series and Table 1 rows.
 """
 
-from .results import AnalysisResult, SweepPoint, SweepResult
+from .results import AnalysisResult, SweepFailure, SweepPoint, SweepResult
 from .analyzer import SelfishMiningAnalyzer
+from .engine import attack_series_name, execute_sweep
 from .sweep import SweepConfig, run_sweep, sweep_figure2
 from .reporting import ascii_plot, render_table, write_csv
 
 __all__ = [
     "AnalysisResult",
+    "SweepFailure",
     "SweepPoint",
     "SweepResult",
     "SelfishMiningAnalyzer",
     "SweepConfig",
+    "attack_series_name",
+    "execute_sweep",
     "run_sweep",
     "sweep_figure2",
     "ascii_plot",

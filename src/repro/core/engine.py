@@ -1,0 +1,379 @@
+"""Parallel, cache-aware execution engine for parameter sweeps.
+
+The engine decomposes a Figure 2 style grid into independent units of work and
+fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
+
+* Baseline series (honest mining, single tree) are closed forms and are
+  evaluated inline in the parent process.
+* Every attack configuration contributes one task per ``(gamma, p)`` point --
+  or, when warm starts are chained across adjacent ``p`` points, one task per
+  ``(gamma, attack)`` series so that the chain stays within a single worker.
+
+Determinism and failure isolation are the two design invariants:
+
+* ``workers=1`` runs every task in-process in submission order; ``workers>1``
+  runs exactly the same per-task code in subprocesses, so the computed values
+  are bit-for-bit identical across worker counts and only the wall-clock
+  changes.  Results are re-assembled in the canonical ``gamma -> p -> series``
+  order regardless of completion order.  (Relative to the pre-engine serial
+  sweep, the default structure-cache path may differ in the last float ulp
+  because probabilities are refilled vectorised; ``use_structure_cache=False``
+  reproduces the legacy construction exactly.)
+* A point whose model construction or analysis raises is recorded as a
+  :class:`~repro.core.results.SweepFailure` instead of aborting the grid; the
+  remaining points are unaffected.  The same holds for the closed-form
+  baseline series evaluated in the parent.
+
+Model-structure caching (:mod:`repro.attacks.structure`) is enabled by default:
+the parent pre-builds every ``(attack, support)`` skeleton before the pool is
+created, so forked workers inherit a warm cache and each grid point pays only
+the cheap probability refill.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis import formal_analysis
+from ..attacks import (
+    SupportSignature,
+    build_selfish_forks_mdp,
+    get_model_structure,
+    honest_errev,
+    single_tree_errev,
+)
+from ..config import AnalysisConfig, AttackParams, ProtocolParams
+from .results import SweepFailure, SweepPoint, SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .sweep import SweepConfig
+
+
+def attack_series_name(attack: AttackParams) -> str:
+    """Series label of an attack configuration (matches the paper's legend)."""
+    return f"ours(d={attack.depth},f={attack.forks})"
+
+
+@dataclass(frozen=True)
+class AttackTask:
+    """One unit of work: one ``(gamma, attack)`` pair over a block of p values.
+
+    When warm starts are not chained the block holds a single p value, giving
+    the finest-grained fan-out; with chaining it holds the whole p grid of the
+    series so the chain never crosses a process boundary.
+    """
+
+    gamma: float
+    gamma_index: int
+    attack: AttackParams
+    attack_index: int
+    p_values: Tuple[float, ...]
+    p_indices: Tuple[int, ...]
+    series: str
+    analysis: AnalysisConfig
+    use_structure_cache: bool
+    warm_start_across_points: bool
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """Result of one attack grid point, as returned from a worker process."""
+
+    gamma_index: int
+    p_index: int
+    attack_index: int
+    p: float
+    gamma: float
+    series: str
+    errev: Optional[float]
+    seconds: float
+    solver_iterations: int
+    num_states: int
+    error: Optional[str] = None
+
+
+def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
+    """Worker entry point; must stay importable at module top level (pickling)."""
+    outcomes: List[PointOutcome] = []
+    warm_rows: Optional[np.ndarray] = None
+    warm_bias: Optional[np.ndarray] = None
+    for p, p_index in zip(task.p_values, task.p_indices):
+        start = time.perf_counter()
+        try:
+            protocol = ProtocolParams(p=p, gamma=task.gamma)
+            model = build_selfish_forks_mdp(
+                protocol, task.attack, use_structure_cache=task.use_structure_cache
+            )
+            result = formal_analysis(
+                model.mdp,
+                task.analysis,
+                initial_strategy_rows=warm_rows,
+                initial_bias=warm_bias,
+            )
+            if task.warm_start_across_points:
+                warm_rows = result.strategy.rows
+                warm_bias = result.final_bias
+            errev = (
+                result.strategy_errev
+                if result.strategy_errev is not None
+                else result.errev_lower_bound
+            )
+            outcomes.append(
+                PointOutcome(
+                    gamma_index=task.gamma_index,
+                    p_index=p_index,
+                    attack_index=task.attack_index,
+                    p=p,
+                    gamma=task.gamma,
+                    series=task.series,
+                    errev=errev,
+                    seconds=time.perf_counter() - start,
+                    solver_iterations=result.total_solver_iterations,
+                    num_states=model.mdp.num_states,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - failure isolation is the point
+            outcomes.append(
+                PointOutcome(
+                    gamma_index=task.gamma_index,
+                    p_index=p_index,
+                    attack_index=task.attack_index,
+                    p=p,
+                    gamma=task.gamma,
+                    series=task.series,
+                    errev=None,
+                    seconds=time.perf_counter() - start,
+                    solver_iterations=0,
+                    num_states=0,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+            # A failed point cannot seed the next one.
+            warm_rows = None
+            warm_bias = None
+    return outcomes
+
+
+def _build_tasks(config: "SweepConfig") -> List[AttackTask]:
+    """Decompose the sweep grid into worker tasks in deterministic order."""
+    tasks: List[AttackTask] = []
+    p_indices = tuple(range(len(config.p_values)))
+    p_values = tuple(config.p_values)
+    for gamma_index, gamma in enumerate(config.gammas):
+        for attack_index, attack in enumerate(config.attack_configs):
+            common = dict(
+                gamma=gamma,
+                gamma_index=gamma_index,
+                attack=attack,
+                attack_index=attack_index,
+                series=attack_series_name(attack),
+                analysis=config.analysis,
+                use_structure_cache=config.use_structure_cache,
+                warm_start_across_points=config.warm_start_across_points,
+            )
+            if config.warm_start_across_points:
+                tasks.append(AttackTask(p_values=p_values, p_indices=p_indices, **common))
+            else:
+                for p_index, p in zip(p_indices, p_values):
+                    tasks.append(AttackTask(p_values=(p,), p_indices=(p_index,), **common))
+    return tasks
+
+
+def _prewarm_structure_cache(config: "SweepConfig") -> None:
+    """Build every ``(attack, support)`` skeleton the grid needs, once, in-parent.
+
+    Worker processes forked after this call inherit the populated cache and
+    never repeat the exploration.  Parameter points that are invalid (and will
+    be reported as failures by their worker) are skipped.
+    """
+    seen = set()
+    for gamma in config.gammas:
+        for p in config.p_values:
+            try:
+                protocol = ProtocolParams(p=p, gamma=gamma)
+            except Exception:
+                continue
+            for attack in config.attack_configs:
+                key = (attack, SupportSignature.of(protocol))
+                if key in seen:
+                    continue
+                seen.add(key)
+                try:
+                    get_model_structure(attack, protocol)
+                except Exception:
+                    # Leave the failure to surface per point inside the worker,
+                    # where it is isolated as a SweepFailure.
+                    continue
+
+
+def _baseline_points(
+    config: "SweepConfig",
+    p: float,
+    gamma: float,
+    failures: List[SweepFailure],
+    report: Callable[[str], None],
+) -> List[SweepPoint]:
+    """Closed-form baseline points of one grid point, with failures isolated.
+
+    An invalid parameter point (or a raising baseline formula) must not abort
+    the sweep any more than a failing attack point does.
+    """
+    points: List[SweepPoint] = []
+    series_fns = []
+    if config.include_honest:
+        series_fns.append(("honest", lambda protocol: honest_errev(protocol)))
+    if config.include_single_tree:
+        series_fns.append(
+            (
+                f"single-tree(f={config.single_tree.max_width})",
+                lambda protocol: single_tree_errev(protocol, config.single_tree),
+            )
+        )
+    for series, fn in series_fns:
+        try:
+            errev = fn(ProtocolParams(p=p, gamma=gamma))
+        except Exception as exc:
+            failures.append(
+                SweepFailure(p=p, gamma=gamma, series=series, message=f"{type(exc).__name__}: {exc}")
+            )
+            report(f"gamma={gamma} p={p} {series}: FAILED ({type(exc).__name__}: {exc})")
+            continue
+        points.append(SweepPoint(p=p, gamma=gamma, series=series, errev=errev))
+    return points
+
+
+def execute_sweep(
+    config: "SweepConfig",
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Run a Figure 2 style sweep, serially or over a process pool.
+
+    Args:
+        config: The sweep configuration; ``config.workers`` selects the degree
+            of parallelism (1 = in-process serial execution).
+        progress: Optional callback invoked with a short message per attack
+            point (and per failure) as results become available -- in task
+            order when serial, in completion order when parallel.
+
+    Returns:
+        A :class:`SweepResult` whose points are ordered ``gamma -> p ->
+        (honest, single-tree, attacks...)`` independent of worker scheduling,
+        with per-point timings attached and failures isolated.
+    """
+    workers = int(config.workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {config.workers}")
+
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    def report_outcome(outcome: PointOutcome) -> None:
+        if outcome.error is not None:
+            report(
+                f"gamma={outcome.gamma} p={outcome.p} {outcome.series}: "
+                f"FAILED ({outcome.error})"
+            )
+        else:
+            report(
+                f"gamma={outcome.gamma} p={outcome.p} {outcome.series}: "
+                f"ERRev={outcome.errev:.4f} ({outcome.num_states} states)"
+            )
+
+    tasks = _build_tasks(config)
+    outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
+
+    def collect(task_outcomes: List[PointOutcome]) -> None:
+        for outcome in task_outcomes:
+            outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
+            report_outcome(outcome)
+
+    if workers == 1 or not tasks:
+        for task in tasks:
+            collect(_run_attack_task(task))
+    else:
+        # Pre-warming the structure cache only helps when workers inherit the
+        # parent's memory.  Fork is pinned on Linux only: macOS lists "fork"
+        # as available but fork-after-threads is unsafe there (that is why its
+        # default moved to spawn), so everywhere else the platform default is
+        # kept and each worker builds its cache lazily instead.
+        fork_context = (
+            multiprocessing.get_context("fork")
+            if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        if config.use_structure_cache and fork_context is not None:
+            _prewarm_structure_cache(config)
+        pool_kwargs = {} if fork_context is None else {"mp_context": fork_context}
+        with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
+            futures = {pool.submit(_run_attack_task, task): task for task in tasks}
+            for future in as_completed(futures):
+                task = futures[future]
+                try:
+                    collect(future.result())
+                except Exception as exc:
+                    # A worker that died (OOM kill, segfault, broken pool) must
+                    # not discard the outcomes already collected from others;
+                    # record its points as failures and keep assembling.
+                    collect(
+                        [
+                            PointOutcome(
+                                gamma_index=task.gamma_index,
+                                p_index=p_index,
+                                attack_index=task.attack_index,
+                                p=p,
+                                gamma=task.gamma,
+                                series=task.series,
+                                errev=None,
+                                seconds=0.0,
+                                solver_iterations=0,
+                                num_states=0,
+                                error=f"worker crashed: {type(exc).__name__}: {exc}",
+                            )
+                            for p, p_index in zip(task.p_values, task.p_indices)
+                        ]
+                    )
+
+    points: List[SweepPoint] = []
+    failures: List[SweepFailure] = []
+    for gamma_index, gamma in enumerate(config.gammas):
+        for p_index, p in enumerate(config.p_values):
+            points.extend(_baseline_points(config, p, gamma, failures, report))
+            for attack_index in range(len(config.attack_configs)):
+                outcome = outcomes[(gamma_index, p_index, attack_index)]
+                if outcome.error is not None:
+                    failures.append(
+                        SweepFailure(
+                            p=outcome.p,
+                            gamma=outcome.gamma,
+                            series=outcome.series,
+                            message=outcome.error,
+                        )
+                    )
+                    continue
+                points.append(
+                    SweepPoint(
+                        p=outcome.p,
+                        gamma=outcome.gamma,
+                        series=outcome.series,
+                        errev=outcome.errev,
+                        seconds=outcome.seconds,
+                        solver_iterations=outcome.solver_iterations,
+                    )
+                )
+    return SweepResult(
+        points=points,
+        description=(
+            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
+            f"(workers={workers})"
+        ),
+        failures=failures,
+    )

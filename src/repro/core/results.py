@@ -85,16 +85,49 @@ class SweepPoint:
         gamma: Switching probability.
         series: Name of the curve the point belongs to (e.g. ``"d=2,f=2"``).
         errev: Expected relative revenue at the point.
+        seconds: Wall-clock time spent computing the point (``None`` for
+            closed-form baseline points, which are effectively free).
+        solver_iterations: Total mean-payoff solver iterations Algorithm 1
+            spent on the point (``None`` for baseline points).
     """
 
     p: float
     gamma: float
     series: str
     errev: float
+    seconds: Optional[float] = None
+    solver_iterations: Optional[int] = None
 
     def to_row(self) -> Dict[str, object]:
         """Flatten into a dictionary suitable for CSV reporting."""
-        return {"p": self.p, "gamma": self.gamma, "series": self.series, "errev": self.errev}
+        row: Dict[str, object] = {
+            "p": self.p,
+            "gamma": self.gamma,
+            "series": self.series,
+            "errev": self.errev,
+        }
+        if self.seconds is not None:
+            row["seconds"] = self.seconds
+        if self.solver_iterations is not None:
+            row["solver_iterations"] = self.solver_iterations
+        return row
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """A parameter point whose analysis raised, isolated from the rest of the sweep.
+
+    Attributes:
+        p: Adversarial resource fraction of the failed point.
+        gamma: Switching probability of the failed point.
+        series: Series the point belonged to.
+        message: ``"ExceptionType: message"`` captured in the worker.
+    """
+
+    p: float
+    gamma: float
+    series: str
+    message: str
 
 
 @dataclass
@@ -104,10 +137,23 @@ class SweepResult:
     Attributes:
         points: All computed sweep points.
         description: Human-readable description of the sweep.
+        failures: Points whose analysis raised; the sweep engine isolates
+            per-point failures instead of aborting the whole grid.
     """
 
     points: List[SweepPoint] = field(default_factory=list)
     description: str = ""
+    failures: List[SweepFailure] = field(default_factory=list)
+
+    @property
+    def total_compute_seconds(self) -> float:
+        """Sum of per-point compute times (0.0 when no point carries timing)."""
+        return sum(point.seconds or 0.0 for point in self.points)
+
+    @property
+    def total_solver_iterations(self) -> int:
+        """Sum of per-point solver iterations across the sweep."""
+        return sum(point.solver_iterations or 0 for point in self.points)
 
     def series_names(self) -> List[str]:
         """Names of all series, in first-appearance order."""
@@ -135,4 +181,8 @@ class SweepResult:
 
     def merge(self, other: "SweepResult") -> "SweepResult":
         """Return a new sweep containing the points of both sweeps."""
-        return SweepResult(points=self.points + other.points, description=self.description)
+        return SweepResult(
+            points=self.points + other.points,
+            description=self.description,
+            failures=self.failures + other.failures,
+        )

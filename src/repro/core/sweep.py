@@ -6,18 +6,32 @@ the paper's attack (for several ``(d, f)`` configurations) against honest mining
 and the single-tree baseline.  :func:`sweep_figure2` regenerates those series;
 the grid density and configuration list are configurable so the default harness
 stays within a laptop-scale time budget (see DESIGN.md).
+
+Execution is delegated to the sweep engine (:mod:`repro.core.engine`), which
+fans the attack grid out over a process pool (``workers``), reuses cached model
+structures across grid points and can chain solver warm starts along the ``p``
+axis (``warm_start_across_points``).  ``workers=1`` with chaining disabled is
+the legacy serial behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from ..analysis import formal_analysis
-from ..attacks import build_selfish_forks_mdp, honest_errev, single_tree_errev
 from ..attacks.single_tree import SingleTreeParams
-from ..config import AnalysisConfig, AttackParams, ProtocolParams
-from .results import SweepPoint, SweepResult
+from ..config import AnalysisConfig, AttackParams
+from .engine import attack_series_name, execute_sweep
+from .results import SweepResult
+
+__all__ = [
+    "DEFAULT_ATTACK_CONFIGS",
+    "DEFAULT_SINGLE_TREE",
+    "SweepConfig",
+    "attack_series_name",
+    "run_sweep",
+    "sweep_figure2",
+]
 
 #: Default (d, f) configurations of the paper that are tractable by default.
 DEFAULT_ATTACK_CONFIGS = (
@@ -41,6 +55,18 @@ class SweepConfig:
         include_single_tree: Whether to include the single-tree baseline series.
         single_tree: Parameters of the single-tree baseline.
         analysis: Formal-analysis configuration used for every attack point.
+        workers: Worker processes the engine fans attack points out over;
+            1 (default) executes in-process.  Results are bit-for-bit
+            identical across worker counts; relative to the pre-engine serial
+            sweep the default cached build may differ in the last float ulp
+            (use ``use_structure_cache=False`` for the legacy construction).
+        use_structure_cache: Reuse the cached ``(d, f, l)`` model skeleton
+            across grid points and only refill probabilities per point.
+        warm_start_across_points: Chain each attack series along the ``p``
+            axis, seeding every Algorithm 1 run with the optimal strategy and
+            bias of the previous grid point.  Changes results only within
+            solver tolerance; disabled by default so every point is computed
+            independently.
     """
 
     p_values: Sequence[float] = tuple(round(0.05 * i, 2) for i in range(0, 7))
@@ -50,11 +76,9 @@ class SweepConfig:
     include_single_tree: bool = True
     single_tree: SingleTreeParams = DEFAULT_SINGLE_TREE
     analysis: AnalysisConfig = field(default_factory=lambda: AnalysisConfig(epsilon=1e-3))
-
-
-def attack_series_name(attack: AttackParams) -> str:
-    """Series label of an attack configuration (matches the paper's legend)."""
-    return f"ours(d={attack.depth},f={attack.forks})"
+    workers: int = 1
+    use_structure_cache: bool = True
+    warm_start_across_points: bool = False
 
 
 def run_sweep(
@@ -65,52 +89,12 @@ def run_sweep(
     """Run a Figure 2 style sweep and return all computed points.
 
     Args:
-        config: The sweep configuration.
-        progress: Optional callback invoked with a short message per computed point.
+        config: The sweep configuration (including engine settings such as
+            ``workers``).
+        progress: Optional callback invoked with a short message per computed
+            attack point.
     """
-    points: List[SweepPoint] = []
-
-    def report(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
-    for gamma in config.gammas:
-        for p in config.p_values:
-            protocol = ProtocolParams(p=p, gamma=gamma)
-            if config.include_honest:
-                points.append(
-                    SweepPoint(p=p, gamma=gamma, series="honest", errev=honest_errev(protocol))
-                )
-            if config.include_single_tree:
-                points.append(
-                    SweepPoint(
-                        p=p,
-                        gamma=gamma,
-                        series=f"single-tree(f={config.single_tree.max_width})",
-                        errev=single_tree_errev(protocol, config.single_tree),
-                    )
-                )
-            for attack in config.attack_configs:
-                model = build_selfish_forks_mdp(protocol, attack)
-                result = formal_analysis(model.mdp, config.analysis)
-                errev = (
-                    result.strategy_errev
-                    if result.strategy_errev is not None
-                    else result.errev_lower_bound
-                )
-                points.append(
-                    SweepPoint(p=p, gamma=gamma, series=attack_series_name(attack), errev=errev)
-                )
-                report(
-                    f"gamma={gamma} p={p} {attack_series_name(attack)}: "
-                    f"ERRev={errev:.4f} ({model.mdp.num_states} states)"
-                )
-    return SweepResult(
-        points=points,
-        description=(
-            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)}"
-        ),
-    )
+    return execute_sweep(config, progress=progress)
 
 
 def sweep_figure2(
@@ -119,6 +103,9 @@ def sweep_figure2(
     gammas: Optional[Sequence[float]] = None,
     attack_configs: Optional[Sequence[AttackParams]] = None,
     epsilon: float = 1e-3,
+    workers: int = 1,
+    use_structure_cache: bool = True,
+    warm_start_across_points: bool = False,
     progress: Optional[Callable[[str], None]] = None,
 ) -> SweepResult:
     """Convenience wrapper reproducing Figure 2 with sensible defaults.
@@ -129,6 +116,9 @@ def sweep_figure2(
             ``fine_grid`` is set, otherwise to {0, 0.5, 1}.
         attack_configs: Attack configurations; defaults to the tractable subset.
         epsilon: Binary-search precision of the formal analysis.
+        workers: Worker processes for the sweep engine (1 = serial).
+        use_structure_cache: Reuse cached model skeletons across grid points.
+        warm_start_across_points: Chain solver warm starts along the p axis.
         progress: Optional progress callback.
     """
     if fine_grid:
@@ -142,5 +132,8 @@ def sweep_figure2(
         gammas=tuple(gammas) if gammas is not None else default_gammas,
         attack_configs=tuple(attack_configs) if attack_configs is not None else DEFAULT_ATTACK_CONFIGS,
         analysis=AnalysisConfig(epsilon=epsilon),
+        workers=workers,
+        use_structure_cache=use_structure_cache,
+        warm_start_across_points=warm_start_across_points,
     )
     return run_sweep(config, progress=progress)

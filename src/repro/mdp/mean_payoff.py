@@ -55,6 +55,7 @@ def solve_mean_payoff(
     tolerance: float = 1e-9,
     max_iterations: int = 100_000,
     warm_start: Optional[Strategy] = None,
+    warm_start_bias: Optional[np.ndarray] = None,
 ) -> MeanPayoffSolution:
     """Compute the optimal mean payoff and an optimal strategy.
 
@@ -66,11 +67,21 @@ def solve_mean_payoff(
             (certified bounds) or ``"linear_program"`` (independent cross-check).
         tolerance: Numerical tolerance of the backend.
         max_iterations: Iteration budget of the backend.
-        warm_start: Optional strategy to warm-start iterative backends with.
+        warm_start: Optional strategy to warm-start iterative backends with
+            (used by policy iteration as the initial policy).
+        warm_start_bias: Optional bias vector to warm-start value iteration with
+            (e.g. the bias of the previous binary-search iterate); silently
+            ignored when its shape does not match ``mdp.num_states`` so that
+            callers can pass vectors carried across structurally different
+            models without checking.
 
     Raises:
         SolverError: If ``solver`` is not a known backend.
     """
+    if warm_start_bias is not None:
+        warm_start_bias = np.asarray(warm_start_bias, dtype=float)
+        if warm_start_bias.shape != (mdp.num_states,):
+            warm_start_bias = None
     if solver == "policy_iteration":
         result = policy_iteration(
             mdp,
@@ -94,7 +105,7 @@ def solve_mean_payoff(
             reward_weights,
             tolerance=tolerance,
             max_iterations=max_iterations,
-            initial_bias=None if warm_start is None else None,
+            initial_bias=warm_start_bias,
         )
         return MeanPayoffSolution(
             gain=result.gain,

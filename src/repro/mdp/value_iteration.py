@@ -102,11 +102,14 @@ def relative_value_iteration(
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
     row_rewards = mdp.expected_row_rewards(reward_weights)
-    values = (
-        np.zeros(mdp.num_states)
-        if initial_bias is None
-        else np.asarray(initial_bias, dtype=float).copy()
-    )
+    if initial_bias is not None:
+        initial_bias = np.asarray(initial_bias, dtype=float)
+        if initial_bias.shape != (mdp.num_states,):
+            raise ValueError(
+                f"initial_bias must have shape ({mdp.num_states},), "
+                f"got {initial_bias.shape}"
+            )
+    values = np.zeros(mdp.num_states) if initial_bias is None else initial_bias.copy()
     reference = mdp.initial_state
     lower = -np.inf
     upper = np.inf

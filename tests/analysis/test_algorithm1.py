@@ -4,14 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import AnalysisConfig, AttackParams, ProtocolParams
+from repro.config import AnalysisConfig
 from repro.analysis import (
     check_theorem_premises,
     dinkelbach_analysis,
     evaluate_strategy_errev,
     formal_analysis,
 )
-from repro.attacks import build_selfish_forks_mdp
 
 
 class TestAlgorithm1:

@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import AttackParams, ProtocolParams
 from repro.exceptions import ConfigurationError
 from repro.analysis import evaluate_strategy_errev
 from repro.analysis.rewards import (
@@ -17,7 +16,6 @@ from repro.analysis.rewards import (
     minimum_total_block_rate,
     reward_monotonicity_gap,
 )
-from repro.attacks import build_selfish_forks_mdp
 from repro.attacks.policies import GreedyLeadPolicy
 from repro.mdp import Strategy, solve_mean_payoff
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from repro.config import AttackParams, ProtocolParams
-from repro.analysis import evaluate_strategy_errev
 from repro.attacks import build_selfish_forks_mdp, honest_errev
 from repro.attacks.policies import GreedyLeadPolicy, HonestPolicy, SelfishForksPolicy
 from repro.chain import SelfishMiningSimulator

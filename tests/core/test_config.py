@@ -105,4 +105,5 @@ class TestAnalysisConfig:
             "solver_tolerance",
             "max_solver_iterations",
             "evaluate_strategy",
+            "warm_start",
         }

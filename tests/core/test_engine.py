@@ -1,0 +1,251 @@
+"""Tests of the parallel sweep engine (:mod:`repro.core.engine`).
+
+The two contract-level guarantees are exercised here: parallel execution
+reproduces the serial values exactly, and warm-started analyses agree with
+cold-started ones within the binary-search precision while spending fewer
+solver iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AnalysisConfig,
+    AttackParams,
+    ProtocolParams,
+    SweepConfig,
+    run_sweep,
+)
+from repro.analysis import formal_analysis
+from repro.attacks import build_selfish_forks_mdp
+from repro.core.engine import _build_tasks, execute_sweep
+
+
+def small_grid(**engine_kwargs) -> SweepConfig:
+    return SweepConfig(
+        p_values=(0.0, 0.15, 0.3),
+        gammas=(0.0, 0.5),
+        attack_configs=(
+            AttackParams(depth=1, forks=1, max_fork_length=4),
+            AttackParams(depth=2, forks=1, max_fork_length=4),
+        ),
+        analysis=AnalysisConfig(epsilon=1e-2),
+        **engine_kwargs,
+    )
+
+
+def point_tuples(sweep):
+    return [(point.p, point.gamma, point.series, point.errev) for point in sweep.points]
+
+
+class TestParallelEqualsSerial:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_sweep(small_grid(workers=1))
+
+    def test_parallel_points_identical(self, serial):
+        parallel = run_sweep(small_grid(workers=4))
+        assert point_tuples(parallel) == point_tuples(serial)
+
+    def test_parallel_with_warm_chaining_identical(self):
+        chained_serial = run_sweep(small_grid(workers=1, warm_start_across_points=True))
+        chained_parallel = run_sweep(small_grid(workers=3, warm_start_across_points=True))
+        assert point_tuples(chained_parallel) == point_tuples(chained_serial)
+
+    def test_warm_chaining_matches_independent_points_within_epsilon(self, serial):
+        chained = run_sweep(small_grid(workers=1, warm_start_across_points=True))
+        for independent, warm in zip(serial.points, chained.points):
+            assert (independent.p, independent.gamma, independent.series) == (
+                warm.p,
+                warm.gamma,
+                warm.series,
+            )
+            assert warm.errev == pytest.approx(independent.errev, abs=1e-2)
+
+    def test_points_in_canonical_order(self, serial):
+        expected = []
+        for gamma in (0.0, 0.5):
+            for p in (0.0, 0.15, 0.3):
+                expected.extend(
+                    [
+                        (p, gamma, "honest"),
+                        (p, gamma, "single-tree(f=5)"),
+                        (p, gamma, "ours(d=1,f=1)"),
+                        (p, gamma, "ours(d=2,f=1)"),
+                    ]
+                )
+        assert [(pt.p, pt.gamma, pt.series) for pt in serial.points] == expected
+
+    def test_attack_points_carry_timings(self, serial):
+        for point in serial.points:
+            if point.series.startswith("ours"):
+                assert point.seconds is not None and point.seconds >= 0.0
+                assert point.solver_iterations is not None and point.solver_iterations > 0
+                assert "seconds" in point.to_row()
+            else:
+                assert point.seconds is None
+                assert "seconds" not in point.to_row()
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            execute_sweep(small_grid(workers=0))
+
+
+class TestFailureIsolation:
+    def failing_grid(self, workers: int) -> SweepConfig:
+        # p = 1.5 is invalid and raises inside the worker; baselines are
+        # disabled so the parent never touches the bad point itself.
+        return SweepConfig(
+            p_values=(0.1, 1.5, 0.3),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+            include_honest=False,
+            include_single_tree=False,
+            analysis=AnalysisConfig(epsilon=1e-2),
+            workers=workers,
+        )
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_bad_point_is_isolated(self, workers):
+        sweep = run_sweep(self.failing_grid(workers))
+        assert [point.p for point in sweep.points] == [0.1, 0.3]
+        assert len(sweep.failures) == 1
+        failure = sweep.failures[0]
+        assert failure.p == 1.5 and failure.series == "ours(d=1,f=1)"
+        assert "ConfigurationError" in failure.message
+
+    def test_failure_reported_via_progress(self):
+        messages = []
+        run_sweep(self.failing_grid(1), progress=messages.append)
+        assert sum("FAILED" in message for message in messages) == 1
+
+    def test_warm_chain_restarts_after_failure(self):
+        config = self.failing_grid(1)
+        config.warm_start_across_points = True
+        sweep = run_sweep(config)
+        assert [point.p for point in sweep.points] == [0.1, 0.3]
+        assert len(sweep.failures) == 1
+
+    def test_crashed_worker_recorded_as_failures(self, monkeypatch):
+        """A worker that dies (not merely raises) must not abort the sweep."""
+        import os
+
+        import repro.core.engine as engine_module
+
+        def die(task):
+            os._exit(1)
+
+        # Fork-started workers inherit the patched module, so every task's
+        # worker kills itself and the pool breaks.
+        monkeypatch.setattr(engine_module, "_run_attack_task", die)
+        config = SweepConfig(
+            p_values=(0.1, 0.2),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+            analysis=AnalysisConfig(epsilon=1e-2),
+            workers=2,
+        )
+        sweep = engine_module.execute_sweep(config)
+        assert len(sweep.failures) == 2
+        assert all("worker crashed" in failure.message for failure in sweep.failures)
+        # Baselines computed in the parent survive.
+        assert {point.series for point in sweep.points} == {"honest", "single-tree(f=5)"}
+
+    def test_baseline_failures_isolated_too(self):
+        config = self.failing_grid(1)
+        config.include_honest = True
+        config.include_single_tree = True
+        sweep = run_sweep(config)
+        # The bad point fails once per series (honest, single-tree, attack)
+        # instead of aborting the sweep in the parent.
+        assert {failure.series for failure in sweep.failures} == {
+            "honest",
+            "single-tree(f=5)",
+            "ours(d=1,f=1)",
+        }
+        assert all(failure.p == 1.5 for failure in sweep.failures)
+        assert [point.p for point in sweep.points if point.series == "honest"] == [0.1, 0.3]
+
+
+class TestTaskDecomposition:
+    def test_point_tasks_without_chaining(self):
+        tasks = _build_tasks(small_grid(workers=2))
+        # 2 gammas x 2 attacks x 3 p values, one point each.
+        assert len(tasks) == 12
+        assert all(len(task.p_values) == 1 for task in tasks)
+
+    def test_series_tasks_with_chaining(self):
+        tasks = _build_tasks(small_grid(workers=2, warm_start_across_points=True))
+        # 2 gammas x 2 attacks, whole p block each.
+        assert len(tasks) == 4
+        assert all(task.p_values == (0.0, 0.15, 0.3) for task in tasks)
+
+
+class TestWarmStartedAlgorithm1:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_selfish_forks_mdp(
+            ProtocolParams(p=0.3, gamma=0.5), AttackParams(depth=2, forks=1, max_fork_length=4)
+        )
+
+    @pytest.mark.parametrize("solver", ["policy_iteration", "value_iteration"])
+    def test_same_bounds_fewer_sweeps(self, model, solver):
+        cold = formal_analysis(
+            model.mdp,
+            AnalysisConfig(epsilon=1e-3, solver=solver, warm_start=False, solver_tolerance=1e-7),
+        )
+        warm = formal_analysis(
+            model.mdp,
+            AnalysisConfig(epsilon=1e-3, solver=solver, warm_start=True, solver_tolerance=1e-7),
+        )
+        assert warm.errev_lower_bound == pytest.approx(cold.errev_lower_bound, abs=cold.epsilon)
+        assert warm.beta_up == pytest.approx(cold.beta_up, abs=cold.epsilon)
+        assert warm.total_solver_iterations < cold.total_solver_iterations
+
+    def test_cross_point_warm_start_same_result(self, model):
+        config = AnalysisConfig(epsilon=1e-3)
+        seed = formal_analysis(model.mdp, config)
+        adjacent = build_selfish_forks_mdp(
+            ProtocolParams(p=0.29, gamma=0.5), AttackParams(depth=2, forks=1, max_fork_length=4)
+        )
+        cold = formal_analysis(adjacent.mdp, config)
+        warm = formal_analysis(
+            adjacent.mdp,
+            config,
+            initial_strategy_rows=seed.strategy.rows,
+            initial_bias=seed.final_bias,
+        )
+        assert warm.errev_lower_bound == pytest.approx(cold.errev_lower_bound, abs=config.epsilon)
+        assert warm.total_solver_iterations <= cold.total_solver_iterations
+
+    def test_incompatible_warm_start_ignored(self, model):
+        small = build_selfish_forks_mdp(
+            ProtocolParams(p=0.3, gamma=0.5), AttackParams(depth=1, forks=1, max_fork_length=4)
+        )
+        donor = formal_analysis(small.mdp, AnalysisConfig(epsilon=1e-2))
+        result = formal_analysis(
+            model.mdp,
+            AnalysisConfig(epsilon=1e-2),
+            initial_strategy_rows=donor.strategy.rows,
+            initial_bias=donor.final_bias,
+        )
+        assert result.interval_width < 1e-2
+
+    def test_out_of_range_warm_start_rows_ignored(self, model):
+        """Correct length but out-of-range row indices must fall back to cold."""
+        import numpy as np
+
+        bogus_rows = np.full(model.mdp.num_states, model.mdp.num_rows + 100, dtype=np.int64)
+        result = formal_analysis(
+            model.mdp, AnalysisConfig(epsilon=1e-2), initial_strategy_rows=bogus_rows
+        )
+        assert result.interval_width < 1e-2
+
+    def test_iteration_log_carries_solver_counts(self, model):
+        result = formal_analysis(model.mdp, AnalysisConfig(epsilon=1e-2))
+        assert all(record.solver_iterations > 0 for record in result.iterations)
+        assert result.total_solver_iterations >= sum(
+            record.solver_iterations for record in result.iterations
+        )
+        assert result.final_bias is not None

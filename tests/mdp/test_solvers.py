@@ -2,13 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConvergenceError, SolverError
 from repro.mdp import (
     MDPBuilder,
-    Strategy,
     discounted_value_iteration,
     policy_iteration,
     relative_value_iteration,
