@@ -1,0 +1,103 @@
+"""Ablation: batched beta probes and the racing solver portfolio.
+
+Algorithm 1's classic bisection halves the beta interval once per solve; the
+batched mode stacks ``k`` probes against the shared model structure and shrinks
+the interval by ``k + 1`` per vectorised round, trading more (cheaper) probes
+for fewer rounds.  The portfolio backend races policy iteration against value
+iteration per probe.  This benchmark times every variant on the same model,
+checks that all of them reproduce the sequential search's certified lower bound
+within epsilon, and persists the timings plus solver-iteration counts to
+``benchmarks/results/batched_probe_ablation.csv``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams
+from repro.analysis import formal_analysis
+from repro.attacks import build_selfish_forks_mdp
+from repro.core.reporting import render_table, write_csv
+
+from conftest import smoke_mode
+
+PROTOCOL = ProtocolParams(p=0.3, gamma=0.5)
+ATTACK = (
+    AttackParams(depth=1, forks=1, max_fork_length=4)
+    if smoke_mode()
+    else AttackParams(depth=2, forks=1, max_fork_length=4)
+)
+EPSILON = 1e-3
+
+#: (label, solver, batch_probes) variants of the ablation.
+VARIANTS = [
+    ("sequential/pi", "policy_iteration", 1),
+    ("batched-3/pi", "policy_iteration", 3),
+    ("batched-7/pi", "policy_iteration", 7),
+    ("sequential/vi", "value_iteration", 1),
+    ("batched-3/vi", "value_iteration", 3),
+    ("batched-7/vi", "value_iteration", 7),
+    ("sequential/portfolio", "portfolio", 1),
+    ("batched-3/portfolio", "portfolio", 3),
+]
+
+_ROWS: list[dict] = []
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_selfish_forks_mdp(PROTOCOL, ATTACK)
+
+
+def _run_variant(mdp, label, solver, batch_probes) -> dict:
+    config = AnalysisConfig(epsilon=EPSILON, solver=solver, batch_probes=batch_probes)
+    start = time.perf_counter()
+    result = formal_analysis(mdp, config)
+    seconds = time.perf_counter() - start
+    assert result.interval_width < EPSILON
+    return {
+        "variant": label,
+        "solver": solver,
+        "batch_probes": batch_probes,
+        "errev_lower_bound": result.errev_lower_bound,
+        "beta_up": result.beta_up,
+        "num_solves": result.num_iterations,
+        "rounds": result.num_iterations // batch_probes,
+        "total_solver_iterations": result.total_solver_iterations,
+        "seconds": seconds,
+        "winning_backend": result.winning_solver or "",
+    }
+
+
+@pytest.mark.parametrize("label,solver,batch_probes", VARIANTS)
+def test_ablation_batched_probe_variant(benchmark, model, label, solver, batch_probes):
+    """One Algorithm 1 run per (solver, batch size) variant."""
+    row = benchmark.pedantic(
+        _run_variant, args=(model.mdp, label, solver, batch_probes), rounds=1, iterations=1
+    )
+    _ROWS.append(row)
+
+
+def test_ablation_variants_agree_and_persist(results_dir, model):
+    """Every variant must certify the same lower bound; persist the ablation."""
+    # Recompute any variant whose timing test did not run (e.g. under -k /
+    # --last-failed) so this check never depends on test selection order.
+    done = {row["variant"] for row in _ROWS}
+    for label, solver, batch_probes in VARIANTS:
+        if label not in done:
+            _ROWS.append(_run_variant(model.mdp, label, solver, batch_probes))
+    reference = next(row for row in _ROWS if row["variant"] == "sequential/pi")
+    for row in _ROWS:
+        assert row["errev_lower_bound"] == pytest.approx(
+            reference["errev_lower_bound"], abs=EPSILON
+        ), row["variant"]
+        # Batched rounds shrink the interval (k+1)-fold, so a k-probe variant
+        # needs strictly fewer rounds than the sequential search's solves.
+        if row["batch_probes"] > 1:
+            assert row["rounds"] < reference["num_solves"], row["variant"]
+    path = write_csv(_ROWS, results_dir / "batched_probe_ablation.csv")
+    print()
+    print(render_table(_ROWS))
+    print(f"ablation written to {path}")

@@ -8,19 +8,29 @@ decides the half in which the optimal expected relative revenue ``ERRev*`` lies
 and crosses zero exactly at ``ERRev*``).  On termination ``beta_low`` is an
 ``epsilon``-tight lower bound on ``ERRev*`` and the strategy that is optimal for
 ``r_{beta_low}`` achieves an ERRev within ``[ERRev* - epsilon, ERRev*]``.
+
+With ``AnalysisConfig.batch_probes = k > 1`` every round instead places ``k``
+evenly spaced probes inside the current interval and solves all of them in one
+vectorised batched call against the shared model structure
+(:func:`repro.mdp.solve_mean_payoff_batch`).  By Theorem 3.1 the probe gains
+are decreasing in beta, so the zero crossing lies between the last non-negative
+and the first negative probe: the interval shrinks by a factor of ``k + 1`` per
+round while the per-round cost grows far slower than ``k`` because the
+expensive solver passes are amortised over all probes.  The certified bounds
+are the same as the sequential search's up to ``epsilon``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..config import AnalysisConfig
 from ..exceptions import ModelError
-from ..mdp import MDP, MeanPayoffSolution, Strategy, solve_mean_payoff
+from ..mdp import MDP, MeanPayoffSolution, Strategy, solve_mean_payoff, solve_mean_payoff_batch
 from .errev import evaluate_strategy_errev
 from .rewards import beta_reward_weights
 
@@ -71,6 +81,9 @@ class FormalAnalysisResult:
         final_bias: Bias vector of the final solve, reusable as a warm start
             for an adjacent parameter point (``None`` for the LP backend only
             when no bias was produced).
+        backend_wins: For the ``"portfolio"`` solver, how many solves each
+            backend won (e.g. ``{"policy_iteration": 9, "value_iteration": 2}``);
+            empty for the non-racing backends.
     """
 
     errev_lower_bound: float
@@ -84,6 +97,7 @@ class FormalAnalysisResult:
     solver: str = "policy_iteration"
     total_solver_iterations: int = 0
     final_bias: Optional[np.ndarray] = None
+    backend_wins: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_iterations(self) -> int:
@@ -94,6 +108,13 @@ class FormalAnalysisResult:
     def interval_width(self) -> float:
         """Width of the final beta interval (less than ``epsilon`` on success)."""
         return self.beta_up - self.beta_low
+
+    @property
+    def winning_solver(self) -> Optional[str]:
+        """The portfolio backend that won the most solves, ``None`` outside portfolio runs."""
+        if not self.backend_wins:
+            return None
+        return max(self.backend_wins, key=lambda backend: self.backend_wins[backend])
 
 
 def formal_analysis(
@@ -121,7 +142,10 @@ def formal_analysis(
             their states) or when ``config.warm_start`` is false.
         initial_bias: Optional warm-start bias vector for the first solve
             (``result.final_bias`` of an adjacent point); ignored under the
-            same conditions.
+            same conditions, and dropped (cold start) when its shape does not
+            match ``mdp.num_states`` or it contains non-finite entries, so that
+            vectors carried across structurally different sweep points can
+            never crash an analysis mid-sweep.
 
     Returns:
         A :class:`FormalAnalysisResult` with the epsilon-tight lower bound, the
@@ -133,41 +157,51 @@ def formal_analysis(
 
     start_time = time.perf_counter()
     iterations: List[BinarySearchIteration] = []
+    backend_wins: Dict[str, int] = {}
     warm_strategy: Optional[Strategy] = None
     warm_bias: Optional[np.ndarray] = None
     if config.warm_start:
         warm_strategy = _strategy_from_rows(mdp, initial_strategy_rows)
-        if initial_bias is not None:
-            warm_bias = np.asarray(initial_bias, dtype=float)
+        warm_bias = _bias_from_vector(mdp, initial_bias)
     total_solver_iterations = 0
 
     while beta_up - beta_low >= config.epsilon:
-        beta = 0.5 * (beta_low + beta_up)
-        solve_start = time.perf_counter()
-        solution = _solve(mdp, beta, config, warm_strategy, warm_bias)
-        solve_seconds = time.perf_counter() - solve_start
-        total_solver_iterations += solution.iterations
-        if config.warm_start:
-            warm_strategy = solution.strategy
-            warm_bias = solution.bias
-        if solution.gain < 0.0:
-            beta_up = beta
-        else:
-            beta_low = beta
-        iterations.append(
-            BinarySearchIteration(
-                beta=beta,
-                optimal_mean_payoff=solution.gain,
-                beta_low=beta_low,
-                beta_up=beta_up,
-                solve_seconds=solve_seconds,
-                solver_iterations=solution.iterations,
+        if config.batch_probes > 1:
+            beta_low, beta_up, solutions, anchor = _batched_round(
+                mdp, beta_low, beta_up, config, warm_strategy, warm_bias, iterations
             )
-        )
+        else:
+            beta = 0.5 * (beta_low + beta_up)
+            solve_start = time.perf_counter()
+            solution = _solve(mdp, beta, config, warm_strategy, warm_bias)
+            solve_seconds = time.perf_counter() - solve_start
+            if solution.gain < 0.0:
+                beta_up = beta
+            else:
+                beta_low = beta
+            iterations.append(
+                BinarySearchIteration(
+                    beta=beta,
+                    optimal_mean_payoff=solution.gain,
+                    beta_low=beta_low,
+                    beta_up=beta_up,
+                    solve_seconds=solve_seconds,
+                    solver_iterations=solution.iterations,
+                )
+            )
+            solutions, anchor = [solution], 0
+        for solution in solutions:
+            total_solver_iterations += solution.iterations
+            _record_backend_win(solution, backend_wins)
+        if config.warm_start:
+            # The probe adjacent to the surviving interval seeds the next round.
+            warm_strategy = solutions[anchor].strategy
+            warm_bias = solutions[anchor].bias
 
     # Final solve at beta_low to extract the certified strategy.
     final_solution = _solve(mdp, beta_low, config, warm_strategy, warm_bias)
     total_solver_iterations += final_solution.iterations
+    _record_backend_win(final_solution, backend_wins)
     strategy = final_solution.strategy
     strategy_errev = (
         evaluate_strategy_errev(mdp, strategy) if config.evaluate_strategy else None
@@ -185,7 +219,99 @@ def formal_analysis(
         solver=config.solver,
         total_solver_iterations=total_solver_iterations,
         final_bias=final_solution.bias,
+        backend_wins=backend_wins,
     )
+
+
+def _bias_from_vector(mdp: MDP, bias) -> Optional[np.ndarray]:
+    """Build a warm-start bias vector from caller input, or ``None`` if invalid.
+
+    Like strategy rows, bias vectors carried across sweep grid points are
+    advisory: anything that is not a finite 1-D float vector of length
+    ``mdp.num_states`` (wrong length, ragged nested lists, NaNs from a failed
+    donor solve) silently falls back to a cold start instead of crashing the
+    analysis mid-sweep.
+    """
+    if bias is None:
+        return None
+    try:
+        bias = np.asarray(bias, dtype=float)
+    except (TypeError, ValueError):
+        return None
+    if bias.shape != (mdp.num_states,) or not np.all(np.isfinite(bias)):
+        return None
+    return bias
+
+
+def _record_backend_win(solution: MeanPayoffSolution, wins: Dict[str, int]) -> None:
+    """Tally which backend produced ``solution`` when the portfolio raced."""
+    if solution.solver.startswith("portfolio:"):
+        backend = solution.solver.split(":", 1)[1]
+        wins[backend] = wins.get(backend, 0) + 1
+
+
+def _batched_round(
+    mdp: MDP,
+    beta_low: float,
+    beta_up: float,
+    config: AnalysisConfig,
+    warm_strategy: Optional[Strategy],
+    warm_bias: Optional[np.ndarray],
+    iterations: List[BinarySearchIteration],
+) -> Tuple[float, float, List[MeanPayoffSolution], int]:
+    """One batched binary-search round with ``k = config.batch_probes`` probes.
+
+    Places ``k`` evenly spaced probes strictly inside ``(beta_low, beta_up)``,
+    solves them in a single vectorised batched call, and shrinks the interval
+    to the segment between the last probe with a non-negative gain and the
+    first with a negative one (Theorem 3.1: the gains are decreasing in beta).
+
+    Returns:
+        ``(new_low, new_up, solutions, anchor)`` with ``solutions`` in probe
+        order and ``anchor`` the index of the probe adjacent to the new
+        interval (the best warm start for the next round).
+    """
+    k = config.batch_probes
+    width = beta_up - beta_low
+    betas = [beta_low + (j + 1) * width / (k + 1) for j in range(k)]
+    weight_matrix = np.array([beta_reward_weights(beta) for beta in betas])
+    solve_start = time.perf_counter()
+    solutions = solve_mean_payoff_batch(
+        mdp,
+        weight_matrix,
+        solver=config.solver,
+        tolerance=config.solver_tolerance,
+        max_iterations=config.max_solver_iterations,
+        warm_start=warm_strategy if config.warm_start else None,
+        warm_start_bias=warm_bias if config.warm_start else None,
+        portfolio_deadline=config.portfolio_deadline,
+    )
+    round_seconds = time.perf_counter() - solve_start
+
+    first_negative = next(
+        (j for j, solution in enumerate(solutions) if solution.gain < 0.0), None
+    )
+    if first_negative is None:
+        new_low, new_up = betas[-1], beta_up
+        anchor = k - 1
+    elif first_negative == 0:
+        new_low, new_up = beta_low, betas[0]
+        anchor = 0
+    else:
+        new_low, new_up = betas[first_negative - 1], betas[first_negative]
+        anchor = first_negative - 1
+    for beta, solution in zip(betas, solutions):
+        iterations.append(
+            BinarySearchIteration(
+                beta=beta,
+                optimal_mean_payoff=solution.gain,
+                beta_low=new_low,
+                beta_up=new_up,
+                solve_seconds=round_seconds / k,
+                solver_iterations=solution.iterations,
+            )
+        )
+    return new_low, new_up, solutions, anchor
 
 
 def _strategy_from_rows(mdp: MDP, rows: Optional[np.ndarray]) -> Optional[Strategy]:
@@ -224,4 +350,5 @@ def _solve(
         max_iterations=config.max_solver_iterations,
         warm_start=warm_start,
         warm_start_bias=warm_start_bias,
+        portfolio_deadline=config.portfolio_deadline,
     )

@@ -8,6 +8,29 @@ Three subcommands mirror the library's main entry points::
 
 ``analyze`` runs Algorithm 1 for one parameter point, ``sweep`` regenerates a
 Figure 2 panel, and ``simulate`` Monte-Carlo-validates the computed strategy.
+
+Solver selection and batched probes
+-----------------------------------
+
+``--solver`` picks the mean-payoff backend used inside Algorithm 1 and accepts
+both full names and short aliases: ``pi``/``policy_iteration`` (default,
+exact), ``vi``/``value_iteration`` (certified bounds),
+``lp``/``linear_program`` (independent cross-check) and ``portfolio`` (policy
+iteration raced against value iteration per probe; the first finisher wins and
+the winning backend is reported per sweep point in the CSV's
+``solver_backend`` column).
+
+``--batch-probes K`` switches the binary search to batched mode: every round
+stacks ``K`` evenly spaced beta probes against the shared model structure and
+solves them in one vectorised call, shrinking the interval by a factor of
+``K + 1`` per round instead of 2.  The certified bounds match the sequential
+search's within ``--epsilon``.
+
+Sweep-only engine flags: ``--workers N`` fans grid points out over N worker
+processes, ``--warm-start-across-points`` chains solver warm starts along the
+p axis, and ``--reuse-p-bounds`` additionally starts each point's binary
+search from the previous p point's certified lower bound (sound because ERRev*
+is monotone in p).
 """
 
 from __future__ import annotations
@@ -20,6 +43,26 @@ from .config import AnalysisConfig, AttackParams, ProtocolParams
 from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
 from .core.sweep import SweepConfig, run_sweep
 
+#: Short aliases accepted by ``--solver`` alongside the full backend names.
+SOLVER_ALIASES = {
+    "pi": "policy_iteration",
+    "vi": "value_iteration",
+    "lp": "linear_program",
+}
+
+_SOLVER_CHOICES = (
+    "policy_iteration",
+    "value_iteration",
+    "linear_program",
+    "portfolio",
+    *SOLVER_ALIASES,
+)
+
+
+def _resolve_solver(name: str) -> str:
+    """Map a ``--solver`` value (full name or alias) to the backend name."""
+    return SOLVER_ALIASES.get(name, name)
+
 
 def _positive_int(value: str) -> int:
     workers = int(value)
@@ -28,18 +71,38 @@ def _positive_int(value: str) -> int:
     return workers
 
 
+def _positive_float(value: str) -> float:
+    number = float(value)
+    if not number > 0.0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
+    return number
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--p", type=float, default=0.3, help="adversarial resource fraction")
     parser.add_argument("--gamma", type=float, default=0.5, help="switching probability")
     parser.add_argument("--depth", "-d", type=int, default=2, help="attack depth d")
     parser.add_argument("--forks", "-f", type=int, default=1, help="forking number f")
     parser.add_argument("--max-fork-length", "-l", type=int, default=4, help="maximal fork length l")
-    parser.add_argument("--epsilon", type=float, default=1e-3, help="binary search precision")
+    parser.add_argument(
+        "--epsilon", type=_positive_float, default=1e-3, help="binary search precision"
+    )
+    _add_solver_arguments(parser)
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--solver",
-        choices=("policy_iteration", "value_iteration", "linear_program"),
+        choices=_SOLVER_CHOICES,
         default="policy_iteration",
-        help="mean-payoff solver backend",
+        help="mean-payoff solver backend (pi/vi/lp aliases; portfolio races pi vs vi)",
+    )
+    parser.add_argument(
+        "--batch-probes",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="beta probes per binary-search round (1 = classic bisection)",
     )
 
 
@@ -56,10 +119,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser("sweep", help="regenerate a Figure 2 panel")
     sweep.add_argument("--gamma", type=float, default=0.5)
     sweep.add_argument("--p-max", type=float, default=0.3)
-    sweep.add_argument("--p-step", type=float, default=0.05)
-    sweep.add_argument("--epsilon", type=float, default=1e-3)
+    sweep.add_argument("--p-step", type=_positive_float, default=0.05)
+    sweep.add_argument("--epsilon", type=_positive_float, default=1e-3)
     sweep.add_argument("--max-depth", type=int, default=2, help="largest attack depth to include")
     sweep.add_argument("--csv", type=str, default=None, help="optional CSV output path")
+    _add_solver_arguments(sweep)
     sweep.add_argument(
         "--workers",
         type=_positive_int,
@@ -70,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--warm-start-across-points",
         action="store_true",
         help="chain solver warm starts along the p axis of each series",
+    )
+    sweep.add_argument(
+        "--reuse-p-bounds",
+        action="store_true",
+        help="start each point's binary search from the previous p point's certified "
+        "lower bound (ERRev* is monotone in p)",
     )
     sweep.add_argument(
         "--no-structure-cache",
@@ -88,7 +158,11 @@ def _command_analyze(args: argparse.Namespace) -> int:
     analyzer = SelfishMiningAnalyzer(
         ProtocolParams(p=args.p, gamma=args.gamma),
         AttackParams(depth=args.depth, forks=args.forks, max_fork_length=args.max_fork_length),
-        AnalysisConfig(epsilon=args.epsilon, solver=args.solver),
+        AnalysisConfig(
+            epsilon=args.epsilon,
+            solver=_resolve_solver(args.solver),
+            batch_probes=args.batch_probes,
+        ),
     )
     result = analyzer.run()
     rows = [result.to_row()]
@@ -114,10 +188,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
         p_values=p_values,
         gammas=(args.gamma,),
         attack_configs=tuple(attack_configs),
-        analysis=AnalysisConfig(epsilon=args.epsilon),
+        analysis=AnalysisConfig(
+            epsilon=args.epsilon,
+            solver=_resolve_solver(args.solver),
+            batch_probes=args.batch_probes,
+        ),
         workers=args.workers,
         use_structure_cache=not args.no_structure_cache,
         warm_start_across_points=args.warm_start_across_points,
+        reuse_p_axis_bounds=args.reuse_p_bounds,
     )
     sweep = run_sweep(config, progress=lambda message: print(message, file=sys.stderr))
     print(ascii_plot(sweep, args.gamma))
@@ -136,7 +215,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     analyzer = SelfishMiningAnalyzer(
         ProtocolParams(p=args.p, gamma=args.gamma),
         AttackParams(depth=args.depth, forks=args.forks, max_fork_length=args.max_fork_length),
-        AnalysisConfig(epsilon=args.epsilon, solver=args.solver),
+        AnalysisConfig(
+            epsilon=args.epsilon,
+            solver=_resolve_solver(args.solver),
+            batch_probes=args.batch_probes,
+        ),
     )
     result = analyzer.run()
     analyzer.validate_by_simulation(result, num_steps=args.steps, seed=args.seed)

@@ -115,7 +115,9 @@ class AnalysisConfig:
     Attributes:
         epsilon: Precision of the binary search over the reward parameter beta.
         solver: Mean-payoff solver backend; one of ``"policy_iteration"``,
-            ``"value_iteration"`` or ``"linear_program"``.
+            ``"value_iteration"``, ``"linear_program"`` or ``"portfolio"``
+            (policy iteration raced against value iteration per probe, first
+            finisher wins).
         solver_tolerance: Convergence tolerance used inside the solver.
         max_solver_iterations: Iteration budget for iterative solvers.
         evaluate_strategy: If true, the extracted strategy is additionally
@@ -126,6 +128,14 @@ class AnalysisConfig:
             previous iteration, and externally supplied warm starts (e.g. from
             an adjacent sweep grid point) are honoured.  Setting this to false
             forces every solve to start cold, which is useful for ablations.
+        batch_probes: Number of beta probes evaluated per binary-search round
+            (1 = classic bisection).  With ``k > 1`` probes the round stacks
+            ``k`` reward vectors against the shared model structure and solves
+            them in one vectorised batched call, shrinking the interval by a
+            factor of ``k + 1`` per round.
+        portfolio_deadline: Seconds the ``"portfolio"`` solver waits for the
+            first backend to finish before blocking unconditionally; ignored by
+            the other backends.
     """
 
     epsilon: float = 1e-3
@@ -134,13 +144,17 @@ class AnalysisConfig:
     max_solver_iterations: int = 100_000
     evaluate_strategy: bool = True
     warm_start: bool = True
+    batch_probes: int = 1
+    portfolio_deadline: float = 30.0
 
-    _VALID_SOLVERS = ("policy_iteration", "value_iteration", "linear_program")
+    _VALID_SOLVERS = ("policy_iteration", "value_iteration", "linear_program", "portfolio")
 
     def __post_init__(self) -> None:
         check_positive_float(self.epsilon, "epsilon")
         check_positive_float(self.solver_tolerance, "solver_tolerance")
         check_positive_int(self.max_solver_iterations, "max_solver_iterations")
+        check_positive_int(self.batch_probes, "batch_probes")
+        check_positive_float(self.portfolio_deadline, "portfolio_deadline")
         if self.solver not in self._VALID_SOLVERS:
             raise ValueError(
                 f"solver must be one of {self._VALID_SOLVERS}, got {self.solver!r}"
@@ -155,6 +169,8 @@ class AnalysisConfig:
             "max_solver_iterations": self.max_solver_iterations,
             "evaluate_strategy": self.evaluate_strategy,
             "warm_start": self.warm_start,
+            "batch_probes": self.batch_probes,
+            "portfolio_deadline": self.portfolio_deadline,
         }
 
 

@@ -6,8 +6,17 @@ fans them out over a :class:`~concurrent.futures.ProcessPoolExecutor`:
 * Baseline series (honest mining, single tree) are closed forms and are
   evaluated inline in the parent process.
 * Every attack configuration contributes one task per ``(gamma, p)`` point --
-  or, when warm starts are chained across adjacent ``p`` points, one task per
-  ``(gamma, attack)`` series so that the chain stays within a single worker.
+  or, when warm starts or certified bounds are chained across adjacent ``p``
+  points (``warm_start_across_points`` / ``reuse_p_axis_bounds``), one task per
+  ``(gamma, attack)`` series so that the chain stays within a single worker
+  (series-ordered scheduling).
+
+``reuse_p_axis_bounds`` exploits the monotonicity of ERRev* in ``p``: the
+previous point's certified ``beta_low`` is a valid initial lower bound for the
+next (larger) ``p``, so each binary search starts from an already-narrowed
+interval instead of ``[0, 1]``.  The reuse is sound -- ``beta_low <= ERRev*(p)
+<= ERRev*(p')`` for ``p <= p'`` -- and is applied only when the series' p values
+are non-decreasing.
 
 Determinism and failure isolation are the two design invariants:
 
@@ -18,16 +27,22 @@ Determinism and failure isolation are the two design invariants:
   order regardless of completion order.  (Relative to the pre-engine serial
   sweep, the default structure-cache path may differ in the last float ulp
   because probabilities are refilled vectorised; ``use_structure_cache=False``
-  reproduces the legacy construction exactly.)
+  reproduces the legacy construction exactly.  The ``"portfolio"`` solver is
+  the one exception: which backend wins a race is timing-dependent, so its
+  ``solver_iterations`` / ``solver_backend`` metadata -- though not the
+  certified bounds, which stay within ``epsilon`` -- can vary between runs.)
 * A point whose model construction or analysis raises is recorded as a
   :class:`~repro.core.results.SweepFailure` instead of aborting the grid; the
   remaining points are unaffected.  The same holds for the closed-form
   baseline series evaluated in the parent.
 
 Model-structure caching (:mod:`repro.attacks.structure`) is enabled by default:
-the parent pre-builds every ``(attack, support)`` skeleton before the pool is
-created, so forked workers inherit a warm cache and each grid point pays only
-the cheap probability refill.
+on fork platforms the parent pre-builds every ``(attack, support)`` skeleton
+before the pool is created, so forked workers inherit a warm cache and each
+grid point pays only the cheap probability refill.  On spawn platforms (macOS,
+Windows) workers cannot inherit parent memory, so the same prewarm runs once
+per worker via the pool's ``initializer`` instead of silently rebuilding every
+skeleton per task.
 """
 
 from __future__ import annotations
@@ -65,9 +80,10 @@ def attack_series_name(attack: AttackParams) -> str:
 class AttackTask:
     """One unit of work: one ``(gamma, attack)`` pair over a block of p values.
 
-    When warm starts are not chained the block holds a single p value, giving
-    the finest-grained fan-out; with chaining it holds the whole p grid of the
-    series so the chain never crosses a process boundary.
+    When neither warm starts nor certified bounds are chained the block holds a
+    single p value, giving the finest-grained fan-out; with chaining it holds
+    the whole p grid of the series so the chain never crosses a process
+    boundary.
     """
 
     gamma: float
@@ -80,6 +96,7 @@ class AttackTask:
     analysis: AnalysisConfig
     use_structure_cache: bool
     warm_start_across_points: bool
+    reuse_p_axis_bounds: bool = False
 
 
 @dataclass(frozen=True)
@@ -97,6 +114,9 @@ class PointOutcome:
     solver_iterations: int
     num_states: int
     error: Optional[str] = None
+    beta_low: Optional[float] = None
+    beta_up: Optional[float] = None
+    solver_backend: Optional[str] = None
 
 
 def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
@@ -104,6 +124,8 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
     outcomes: List[PointOutcome] = []
     warm_rows: Optional[np.ndarray] = None
     warm_bias: Optional[np.ndarray] = None
+    prev_beta_low: Optional[float] = None
+    prev_p: Optional[float] = None
     for p, p_index in zip(task.p_values, task.p_indices):
         start = time.perf_counter()
         try:
@@ -111,15 +133,29 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
             model = build_selfish_forks_mdp(
                 protocol, task.attack, use_structure_cache=task.use_structure_cache
             )
+            initial_beta_low = 0.0
+            if (
+                task.reuse_p_axis_bounds
+                and prev_beta_low is not None
+                and prev_p is not None
+                and p >= prev_p
+            ):
+                # ERRev* is monotone in p, so the previous point's certified
+                # lower bound is a valid initial lower bound here.
+                initial_beta_low = min(max(prev_beta_low, 0.0), 1.0)
             result = formal_analysis(
                 model.mdp,
                 task.analysis,
+                beta_low=initial_beta_low,
                 initial_strategy_rows=warm_rows,
                 initial_bias=warm_bias,
             )
             if task.warm_start_across_points:
                 warm_rows = result.strategy.rows
                 warm_bias = result.final_bias
+            if task.reuse_p_axis_bounds:
+                prev_beta_low = result.beta_low
+                prev_p = p
             errev = (
                 result.strategy_errev
                 if result.strategy_errev is not None
@@ -137,6 +173,9 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
                     seconds=time.perf_counter() - start,
                     solver_iterations=result.total_solver_iterations,
                     num_states=model.mdp.num_states,
+                    beta_low=result.beta_low,
+                    beta_up=result.beta_up,
+                    solver_backend=result.winning_solver,
                 )
             )
         except Exception as exc:  # noqa: BLE001 - failure isolation is the point
@@ -158,6 +197,8 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
             # A failed point cannot seed the next one.
             warm_rows = None
             warm_bias = None
+            prev_beta_low = None
+            prev_p = None
     return outcomes
 
 
@@ -166,6 +207,7 @@ def _build_tasks(config: "SweepConfig") -> List[AttackTask]:
     tasks: List[AttackTask] = []
     p_indices = tuple(range(len(config.p_values)))
     p_values = tuple(config.p_values)
+    reuse_bounds = config.reuse_p_axis_bounds
     for gamma_index, gamma in enumerate(config.gammas):
         for attack_index, attack in enumerate(config.attack_configs):
             common = dict(
@@ -177,8 +219,12 @@ def _build_tasks(config: "SweepConfig") -> List[AttackTask]:
                 analysis=config.analysis,
                 use_structure_cache=config.use_structure_cache,
                 warm_start_across_points=config.warm_start_across_points,
+                reuse_p_axis_bounds=reuse_bounds,
             )
-            if config.warm_start_across_points:
+            if config.warm_start_across_points or reuse_bounds:
+                # Series-ordered scheduling: the whole p block runs in one
+                # worker so chained warm starts / certified bounds never cross
+                # a process boundary.
                 tasks.append(AttackTask(p_values=p_values, p_indices=p_indices, **common))
             else:
                 for p_index, p in zip(p_indices, p_values):
@@ -211,6 +257,17 @@ def _prewarm_structure_cache(config: "SweepConfig") -> None:
                     # Leave the failure to surface per point inside the worker,
                     # where it is isolated as a SweepFailure.
                     continue
+
+
+def _prewarm_worker(config: "SweepConfig") -> None:
+    """Pool initializer for spawn-started workers.
+
+    Spawned workers start from a fresh interpreter and cannot inherit the
+    parent's structure cache, so each worker builds every skeleton the grid
+    needs exactly once, up front, instead of rebuilding them lazily per task.
+    Must stay importable at module top level (pickling).
+    """
+    _prewarm_structure_cache(config)
 
 
 def _baseline_points(
@@ -300,19 +357,23 @@ def execute_sweep(
         for task in tasks:
             collect(_run_attack_task(task))
     else:
-        # Pre-warming the structure cache only helps when workers inherit the
-        # parent's memory.  Fork is pinned on Linux only: macOS lists "fork"
-        # as available but fork-after-threads is unsafe there (that is why its
-        # default moved to spawn), so everywhere else the platform default is
-        # kept and each worker builds its cache lazily instead.
-        fork_context = (
-            multiprocessing.get_context("fork")
-            if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
-            else None
-        )
-        if config.use_structure_cache and fork_context is not None:
-            _prewarm_structure_cache(config)
-        pool_kwargs = {} if fork_context is None else {"mp_context": fork_context}
+        # Fork is pinned on Linux only: macOS lists "fork" as available but
+        # fork-after-threads is unsafe there (that is why its default moved to
+        # spawn).  Forked workers inherit the parent's structure cache, so the
+        # parent prewarms it once before the pool is created; spawned workers
+        # start from a fresh interpreter, so the same prewarm runs once per
+        # worker via the pool initializer instead.
+        use_fork = sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
+        pool_kwargs: Dict[str, object] = {}
+        if use_fork:
+            pool_kwargs["mp_context"] = multiprocessing.get_context("fork")
+            if config.use_structure_cache:
+                _prewarm_structure_cache(config)
+        else:
+            pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
+            if config.use_structure_cache:
+                pool_kwargs["initializer"] = _prewarm_worker
+                pool_kwargs["initargs"] = (config,)
         with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
             futures = {pool.submit(_run_attack_task, task): task for task in tasks}
             for future in as_completed(futures):
@@ -367,6 +428,9 @@ def execute_sweep(
                         errev=outcome.errev,
                         seconds=outcome.seconds,
                         solver_iterations=outcome.solver_iterations,
+                        beta_low=outcome.beta_low,
+                        beta_up=outcome.beta_up,
+                        solver_backend=outcome.solver_backend,
                     )
                 )
     return SweepResult(

@@ -89,6 +89,13 @@ class SweepPoint:
             closed-form baseline points, which are effectively free).
         solver_iterations: Total mean-payoff solver iterations Algorithm 1
             spent on the point (``None`` for baseline points).
+        beta_low: Certified lower end of the point's final beta interval
+            (``None`` for baseline points); satisfies ``beta_low <= ERRev*``.
+        beta_up: Certified upper end of the final beta interval (``None`` for
+            baseline points); satisfies ``ERRev* <= beta_up`` within the MDP's
+            strategy class.
+        solver_backend: For portfolio-solved points, the backend that won the
+            majority of the point's races (``None`` otherwise).
     """
 
     p: float
@@ -97,6 +104,9 @@ class SweepPoint:
     errev: float
     seconds: Optional[float] = None
     solver_iterations: Optional[int] = None
+    beta_low: Optional[float] = None
+    beta_up: Optional[float] = None
+    solver_backend: Optional[str] = None
 
     def to_row(self) -> Dict[str, object]:
         """Flatten into a dictionary suitable for CSV reporting."""
@@ -110,6 +120,12 @@ class SweepPoint:
             row["seconds"] = self.seconds
         if self.solver_iterations is not None:
             row["solver_iterations"] = self.solver_iterations
+        if self.beta_low is not None:
+            row["beta_low"] = self.beta_low
+        if self.beta_up is not None:
+            row["beta_up"] = self.beta_up
+        if self.solver_backend is not None:
+            row["solver_backend"] = self.solver_backend
         return row
 
 

@@ -10,11 +10,21 @@ stationary analysis and structural (graph) analysis.
 from .model import MDP, MDPBuilder, TransitionRow
 from .strategy import Strategy
 from .markov_chain import MarkovChain, induced_markov_chain
-from .value_iteration import RelativeValueIterationResult, relative_value_iteration
-from .policy_iteration import PolicyIterationResult, policy_iteration
+from .value_iteration import (
+    RelativeValueIterationResult,
+    batched_relative_value_iteration,
+    relative_value_iteration,
+)
+from .policy_iteration import PolicyIterationResult, batched_policy_iteration, policy_iteration
 from .linear_program import LinearProgramResult, solve_mean_payoff_lp
 from .discounted import DiscountedValueIterationResult, discounted_value_iteration
-from .mean_payoff import MeanPayoffSolution, solve_mean_payoff
+from .mean_payoff import (
+    SOLVER_BACKENDS,
+    MeanPayoffSolution,
+    solve_mean_payoff,
+    solve_mean_payoff_batch,
+)
+from .portfolio import PORTFOLIO_BACKENDS, SolverPortfolio
 from .reachability import end_components, is_unichain, reachable_states
 from .validation import validate_mdp
 
@@ -26,15 +36,21 @@ __all__ = [
     "MarkovChain",
     "induced_markov_chain",
     "RelativeValueIterationResult",
+    "batched_relative_value_iteration",
     "relative_value_iteration",
     "PolicyIterationResult",
+    "batched_policy_iteration",
     "policy_iteration",
     "LinearProgramResult",
     "solve_mean_payoff_lp",
     "DiscountedValueIterationResult",
     "discounted_value_iteration",
+    "SOLVER_BACKENDS",
     "MeanPayoffSolution",
     "solve_mean_payoff",
+    "solve_mean_payoff_batch",
+    "PORTFOLIO_BACKENDS",
+    "SolverPortfolio",
     "end_components",
     "is_unichain",
     "reachable_states",

@@ -10,7 +10,7 @@ default solver of the formal analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -87,6 +87,26 @@ def policy_iteration(
         ConvergenceError: If no fixed point is reached within the budget.
     """
     row_rewards = mdp.expected_row_rewards(reward_weights)
+    return _policy_iteration_core(
+        mdp,
+        reward_weights,
+        row_rewards,
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+        initial_strategy=initial_strategy,
+    )
+
+
+def _policy_iteration_core(
+    mdp: MDP,
+    reward_weights: Sequence[float],
+    row_rewards: np.ndarray,
+    *,
+    tolerance: float,
+    max_iterations: int,
+    initial_strategy: Optional[Strategy],
+) -> PolicyIterationResult:
+    """Howard iteration with the expected row rewards already assembled."""
     strategy = initial_strategy if initial_strategy is not None else Strategy.first_action(mdp)
     rows = strategy.rows.copy()
     gain = 0.0
@@ -114,3 +134,55 @@ def policy_iteration(
         iterations=iterations,
         converged=converged,
     )
+
+
+def batched_policy_iteration(
+    mdp: MDP,
+    weight_matrix: np.ndarray,
+    *,
+    tolerance: float = 1e-9,
+    max_iterations: int = 1_000,
+    initial_strategy: Optional[Strategy] = None,
+) -> List[PolicyIterationResult]:
+    """Solve ``k`` mean-payoff problems over one model with shared reward assembly.
+
+    The expected per-row rewards of all ``k`` weight vectors are assembled in a
+    single matrix product against the model's reward components; the Howard
+    iterations themselves still run per problem because each policy evaluation
+    is a separate sparse linear solve.  Problems are additionally chained:
+    problem ``j + 1`` is warm-started with the optimal strategy of problem
+    ``j``, which is effective when the weight rows are adjacent beta probes
+    (their optimal policies differ in few states).
+
+    Args:
+        mdp: The model to solve (assumed unichain under every strategy).
+        weight_matrix: Reward-weight matrix of shape ``(k, num_reward_components)``.
+        tolerance: Improvement threshold below which actions are not switched.
+        max_iterations: Maximum improvement rounds per problem.
+        initial_strategy: Optional warm start for the first problem; subsequent
+            problems chain from their predecessor's optimum.
+
+    Returns:
+        One :class:`PolicyIterationResult` per row of ``weight_matrix``, in order.
+    """
+    weight_matrix = np.asarray(weight_matrix, dtype=float)
+    if weight_matrix.ndim != 2 or weight_matrix.shape[1] != mdp.num_reward_components:
+        raise ValueError(
+            f"weight_matrix must have shape (k, {mdp.num_reward_components}), "
+            f"got {weight_matrix.shape}"
+        )
+    row_reward_matrix = mdp.expected_row_reward_components() @ weight_matrix.T
+    results: List[PolicyIterationResult] = []
+    warm = initial_strategy
+    for j in range(weight_matrix.shape[0]):
+        result = _policy_iteration_core(
+            mdp,
+            weight_matrix[j],
+            row_reward_matrix[:, j],
+            tolerance=tolerance,
+            max_iterations=max_iterations,
+            initial_strategy=warm,
+        )
+        results.append(result)
+        warm = result.strategy
+    return results

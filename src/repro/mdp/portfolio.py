@@ -1,0 +1,159 @@
+"""Racing solver portfolio for mean-payoff problems.
+
+Policy iteration and value iteration dominate each other on different regions
+of the sweep grid: policy iteration converges in a handful of exact linear
+solves when a warm-started policy is already near-optimal, while value
+iteration's vectorised sweeps win on large models or cold starts where a single
+policy evaluation is expensive.  Rather than guessing, the portfolio runs both
+backends concurrently on the same probe and returns whichever finishes first,
+in the spirit of fault-tolerant redundant orchestration: a backend that stalls
+(or raises :class:`~repro.exceptions.ConvergenceError`) never blocks the
+analysis as long as its rival completes.
+
+Both backends release the GIL inside their numpy kernels, so a two-thread race
+costs little more wall-clock than the winner alone.  Losing threads cannot be
+killed mid-solve; they are cancelled if still queued and otherwise finish in
+the background, which is cheap at the model sizes of the paper's grid.  The
+``deadline`` bounds only how long the portfolio waits before it stops polling
+optimistically and simply blocks for the first backend to complete.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FuturesTimeoutError, as_completed
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SolverError
+from .model import MDP
+from .strategy import Strategy
+
+#: Backends raced by default (the LP is excluded: it is a cross-check, not a race contender).
+PORTFOLIO_BACKENDS: Tuple[str, ...] = ("policy_iteration", "value_iteration")
+
+
+@dataclass(frozen=True)
+class SolverPortfolio:
+    """A deadline-bounded race between mean-payoff solver backends.
+
+    Attributes:
+        backends: Backend names raced against each other; each must be a
+            non-portfolio backend accepted by
+            :func:`repro.mdp.mean_payoff.solve_mean_payoff`.
+        deadline: Seconds to wait for the first completion before falling back
+            to an unbounded wait (a race cannot return *no* result; the
+            deadline only bounds the optimistic polling phase).
+    """
+
+    backends: Tuple[str, ...] = PORTFOLIO_BACKENDS
+    deadline: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.backends:
+            raise SolverError("portfolio needs at least one backend")
+        if "portfolio" in self.backends:
+            raise SolverError("portfolio cannot race itself")
+        if not self.deadline > 0.0:
+            raise SolverError(f"deadline must be positive, got {self.deadline}")
+
+    # ------------------------------------------------------------------ racing
+
+    def _race(self, thunks):
+        """Run one thunk per backend; return ``(backend, result)`` of the winner.
+
+        The winner is the first backend whose thunk returns without raising.
+        If every backend raises, the last error is re-raised.
+        """
+        if len(thunks) == 1:
+            backend, thunk = thunks[0]
+            return backend, thunk()
+        # One short-lived executor per race, by design: a shared pool would let
+        # un-cancellable losing solves from earlier races occupy its threads and
+        # starve later races behind the deadline, while the two threads spawned
+        # here cost microseconds against millisecond-scale solves.  Losers of
+        # *this* race at worst finish in the background without blocking anyone.
+        executor = ThreadPoolExecutor(max_workers=len(thunks), thread_name_prefix="mp-portfolio")
+        futures = {executor.submit(thunk): backend for backend, thunk in thunks}
+        last_error: Optional[BaseException] = None
+        try:
+            pending = dict(futures)
+            for use_deadline in (True, False):
+                timeout = self.deadline if use_deadline else None
+                try:
+                    for future in as_completed(list(pending), timeout=timeout):
+                        pending.pop(future, None)
+                        try:
+                            return futures[future], future.result()
+                        except Exception as exc:  # noqa: BLE001 - rival may still win
+                            last_error = exc
+                except FuturesTimeoutError:
+                    continue
+                break
+            assert last_error is not None
+            raise last_error
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # ----------------------------------------------------------------- solving
+
+    def solve(
+        self,
+        mdp: MDP,
+        reward_weights: Sequence[float],
+        *,
+        tolerance: float = 1e-9,
+        max_iterations: int = 100_000,
+        warm_start: Optional[Strategy] = None,
+        warm_start_bias: Optional[np.ndarray] = None,
+    ):
+        """Race one mean-payoff solve across the configured backends.
+
+        Returns:
+            The winning backend's :class:`~repro.mdp.mean_payoff.MeanPayoffSolution`
+            with ``solver`` rewritten to ``"portfolio:<backend>"`` so callers can
+            record which backend won.
+        """
+        from .mean_payoff import solve_mean_payoff  # local import: avoids a cycle
+
+        def thunk(backend: str):
+            return lambda: solve_mean_payoff(
+                mdp,
+                reward_weights,
+                solver=backend,
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+                warm_start=warm_start,
+                warm_start_bias=warm_start_bias,
+            )
+
+        backend, solution = self._race([(backend, thunk(backend)) for backend in self.backends])
+        return replace(solution, solver=f"portfolio:{backend}")
+
+    def solve_batch(
+        self,
+        mdp: MDP,
+        weight_matrix: np.ndarray,
+        *,
+        tolerance: float = 1e-9,
+        max_iterations: int = 100_000,
+        warm_start: Optional[Strategy] = None,
+        warm_start_bias: Optional[np.ndarray] = None,
+    ) -> List:
+        """Race one *batched* solve (all probes together) across the backends."""
+        from .mean_payoff import solve_mean_payoff_batch  # local import: avoids a cycle
+
+        def thunk(backend: str):
+            return lambda: solve_mean_payoff_batch(
+                mdp,
+                weight_matrix,
+                solver=backend,
+                tolerance=tolerance,
+                max_iterations=max_iterations,
+                warm_start=warm_start,
+                warm_start_bias=warm_start_bias,
+            )
+
+        backend, solutions = self._race([(backend, thunk(backend)) for backend in self.backends])
+        return [replace(solution, solver=f"portfolio:{backend}") for solution in solutions]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.config import AnalysisConfig
@@ -11,6 +12,109 @@ from repro.analysis import (
     evaluate_strategy_errev,
     formal_analysis,
 )
+
+
+class TestBatchedBisection:
+    """Batched probes must reproduce the sequential search's certified bounds."""
+
+    @pytest.mark.parametrize("solver", ["policy_iteration", "value_iteration"])
+    @pytest.mark.parametrize("batch_probes", [2, 3, 7])
+    def test_matches_sequential_within_epsilon(
+        self, model_d2f1, analysis_d2f1, solver, batch_probes
+    ):
+        batched = formal_analysis(
+            model_d2f1.mdp,
+            AnalysisConfig(epsilon=1e-3, solver=solver, batch_probes=batch_probes),
+        )
+        assert batched.interval_width < 1e-3
+        assert batched.errev_lower_bound == pytest.approx(
+            analysis_d2f1.errev_lower_bound, abs=1e-3
+        )
+        assert batched.beta_up == pytest.approx(analysis_d2f1.beta_up, abs=1e-3)
+        # The certified intervals of both searches must overlap: each brackets ERRev*.
+        assert batched.beta_low <= analysis_d2f1.beta_up + 1e-12
+        assert batched.beta_up >= analysis_d2f1.beta_low - 1e-12
+
+    def test_fewer_rounds_than_sequential(self, model_d2f1, analysis_d2f1):
+        batched = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-3, batch_probes=7)
+        )
+        # 7 probes shrink the interval 8x per round: ceil(log_8(1000)) = 4 rounds
+        # instead of 10 sequential halvings.
+        rounds = batched.num_iterations // 7
+        assert rounds < analysis_d2f1.num_iterations
+        assert batched.num_iterations % 7 == 0
+
+    def test_portfolio_batched(self, model_d2f1, analysis_d2f1):
+        batched = formal_analysis(
+            model_d2f1.mdp,
+            AnalysisConfig(epsilon=1e-3, solver="portfolio", batch_probes=3),
+        )
+        assert batched.errev_lower_bound == pytest.approx(
+            analysis_d2f1.errev_lower_bound, abs=1e-3
+        )
+        assert batched.backend_wins
+        assert batched.winning_solver in ("policy_iteration", "value_iteration")
+
+    def test_strategy_achieves_lower_bound(self, model_d2f1):
+        batched = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-3, batch_probes=4)
+        )
+        achieved = evaluate_strategy_errev(model_d2f1.mdp, batched.strategy)
+        assert achieved >= batched.errev_lower_bound - 1e-9
+
+    def test_iteration_log_has_per_probe_entries(self, model_d2f1):
+        batched = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-2, batch_probes=3)
+        )
+        for record in batched.iterations:
+            assert record.solver_iterations > 0
+            assert record.beta_low <= record.beta_up
+
+
+class TestInitialBiasValidation:
+    """Mis-shaped warm-start bias vectors must fall back to a cold start."""
+
+    def test_wrong_length_bias_ignored(self, model_d2f1):
+        result = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-2), initial_bias=[1.0, 2.0, 3.0]
+        )
+        assert result.interval_width < 1e-2
+
+    def test_ragged_bias_ignored(self, model_d2f1):
+        result = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-2), initial_bias=[[1.0, 2.0], [3.0]]
+        )
+        assert result.interval_width < 1e-2
+
+    def test_non_numeric_bias_ignored(self, model_d2f1):
+        result = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-2), initial_bias=object()
+        )
+        assert result.interval_width < 1e-2
+
+    def test_non_finite_bias_ignored(self, model_d2f1):
+        bad = np.full(model_d2f1.mdp.num_states, np.nan)
+        result = formal_analysis(
+            model_d2f1.mdp, AnalysisConfig(epsilon=1e-2), initial_bias=bad
+        )
+        assert result.interval_width < 1e-2
+        assert np.isfinite(result.errev_lower_bound)
+
+    def test_two_dimensional_bias_ignored(self, model_d2f1):
+        bad = np.zeros((model_d2f1.mdp.num_states, 2))
+        result = formal_analysis(
+            model_d2f1.mdp,
+            AnalysisConfig(epsilon=1e-2, solver="value_iteration"),
+            initial_bias=bad,
+        )
+        assert result.interval_width < 1e-2
+
+    def test_valid_bias_still_honoured(self, model_d2f1):
+        config = AnalysisConfig(epsilon=1e-3, solver="value_iteration")
+        seed = formal_analysis(model_d2f1.mdp, config)
+        warm = formal_analysis(model_d2f1.mdp, config, initial_bias=seed.final_bias)
+        assert warm.errev_lower_bound == pytest.approx(seed.errev_lower_bound, abs=1e-3)
 
 
 class TestAlgorithm1:

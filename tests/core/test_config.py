@@ -106,4 +106,60 @@ class TestAnalysisConfig:
             "max_solver_iterations",
             "evaluate_strategy",
             "warm_start",
+            "batch_probes",
+            "portfolio_deadline",
         }
+
+    def test_negative_epsilon_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            AnalysisConfig(epsilon=-1e-3)
+
+    def test_portfolio_solver_accepted(self):
+        assert AnalysisConfig(solver="portfolio").solver == "portfolio"
+
+    @pytest.mark.parametrize("batch_probes", [0, -1, 1.5])
+    def test_invalid_batch_probes_rejected(self, batch_probes):
+        with pytest.raises(ConfigurationError, match="batch_probes"):
+            AnalysisConfig(batch_probes=batch_probes)
+
+    def test_invalid_portfolio_deadline_rejected(self):
+        with pytest.raises(ConfigurationError, match="portfolio_deadline"):
+            AnalysisConfig(portfolio_deadline=0.0)
+
+
+class TestSweepConfigValidation:
+    def test_defaults_valid(self):
+        from repro import SweepConfig
+
+        assert SweepConfig().workers == 1
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_invalid_workers_rejected_with_message(self, workers):
+        from repro import SweepConfig
+
+        with pytest.raises(ConfigurationError, match="workers must be >= 1"):
+            SweepConfig(workers=workers)
+
+    def test_non_integer_workers_rejected(self):
+        from repro import SweepConfig
+
+        with pytest.raises(ConfigurationError, match="workers"):
+            SweepConfig(workers=2.5)
+
+    def test_negative_epsilon_surfaces_from_analysis_config(self):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            AnalysisConfig(epsilon=-0.5)
+
+    def test_empty_grids_rejected(self):
+        from repro import SweepConfig
+
+        with pytest.raises(ConfigurationError, match="p_values"):
+            SweepConfig(p_values=())
+        with pytest.raises(ConfigurationError, match="gammas"):
+            SweepConfig(gammas=())
+
+    def test_non_config_analysis_rejected(self):
+        from repro import SweepConfig
+
+        with pytest.raises(ConfigurationError, match="AnalysisConfig"):
+            SweepConfig(analysis={"epsilon": 1e-3})

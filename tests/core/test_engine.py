@@ -181,6 +181,145 @@ class TestTaskDecomposition:
         assert len(tasks) == 4
         assert all(task.p_values == (0.0, 0.15, 0.3) for task in tasks)
 
+    def test_series_tasks_with_bound_reuse(self):
+        """Bound reuse forces series-ordered scheduling even without warm chaining."""
+        tasks = _build_tasks(small_grid(workers=2, reuse_p_axis_bounds=True))
+        assert len(tasks) == 4
+        assert all(task.p_values == (0.0, 0.15, 0.3) for task in tasks)
+        assert all(task.reuse_p_axis_bounds for task in tasks)
+
+
+class TestSpawnContextPrewarm:
+    """On spawn platforms the structure cache must be prewarmed per worker.
+
+    Regression test: the engine used to skip prewarming entirely off Linux, so
+    every spawned worker silently rebuilt every skeleton per task.  The platform
+    check happens in the parent only, so monkeypatching ``sys.platform`` drives
+    the real spawn + initializer path even on Linux.
+    """
+
+    def spawn_grid(self, **kwargs):
+        return SweepConfig(
+            p_values=(0.1, 0.3),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+            analysis=AnalysisConfig(epsilon=1e-2),
+            **kwargs,
+        )
+
+    def test_spawn_pool_prewarms_and_matches_serial(self, monkeypatch):
+        import repro.core.engine as engine_module
+
+        serial = execute_sweep(self.spawn_grid(workers=1))
+        monkeypatch.setattr(engine_module.sys, "platform", "darwin")
+        spawned = execute_sweep(self.spawn_grid(workers=2))
+        assert not spawned.failures
+        assert point_tuples(spawned) == point_tuples(serial)
+
+    def test_spawn_pool_without_structure_cache(self, monkeypatch):
+        import repro.core.engine as engine_module
+
+        monkeypatch.setattr(engine_module.sys, "platform", "darwin")
+        spawned = execute_sweep(self.spawn_grid(workers=2, use_structure_cache=False))
+        assert not spawned.failures
+
+    def test_prewarm_worker_importable_and_idempotent(self):
+        """The initializer must be a picklable top-level callable."""
+        import pickle
+
+        from repro.core.engine import _prewarm_worker
+
+        config = self.spawn_grid()
+        assert pickle.loads(pickle.dumps(_prewarm_worker)) is _prewarm_worker
+        pickle.dumps(config)  # the initargs must survive the spawn pickling too
+        _prewarm_worker(config)
+        _prewarm_worker(config)
+
+
+class TestMonotonePAxisBoundReuse:
+    def test_reuse_matches_cold_within_epsilon(self):
+        cold = run_sweep(small_grid(workers=1))
+        reused = run_sweep(small_grid(workers=1, reuse_p_axis_bounds=True))
+        for independent, warm in zip(cold.points, reused.points):
+            assert (independent.p, independent.gamma, independent.series) == (
+                warm.p,
+                warm.gamma,
+                warm.series,
+            )
+            assert warm.errev == pytest.approx(independent.errev, abs=1e-2)
+
+    def test_reuse_certified_interval_still_tight(self):
+        reused = run_sweep(small_grid(workers=1, reuse_p_axis_bounds=True))
+        for point in reused.points:
+            if point.series.startswith("ours"):
+                assert point.beta_low is not None and point.beta_up is not None
+                assert point.beta_low <= point.errev + 1e-9
+                assert point.beta_up - point.beta_low < 1e-2
+
+    def test_reuse_parallel_identical_to_serial(self):
+        serial = run_sweep(small_grid(workers=1, reuse_p_axis_bounds=True))
+        parallel = run_sweep(small_grid(workers=3, reuse_p_axis_bounds=True))
+        assert point_tuples(parallel) == point_tuples(serial)
+
+    def test_reuse_composes_with_warm_chaining(self):
+        cold = run_sweep(small_grid(workers=1))
+        combined = run_sweep(
+            small_grid(workers=1, reuse_p_axis_bounds=True, warm_start_across_points=True)
+        )
+        for independent, warm in zip(cold.points, combined.points):
+            assert warm.errev == pytest.approx(independent.errev, abs=1e-2)
+
+    def test_reuse_spends_fewer_binary_search_solves(self):
+        """Starting from the previous certified bound must shrink total solver work."""
+        grid = SweepConfig(
+            p_values=(0.1, 0.2, 0.3, 0.35, 0.4),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=2, forks=1, max_fork_length=4),),
+            include_honest=False,
+            include_single_tree=False,
+            analysis=AnalysisConfig(epsilon=1e-3),
+        )
+        cold = run_sweep(grid)
+        grid_reuse = SweepConfig(
+            p_values=grid.p_values,
+            gammas=grid.gammas,
+            attack_configs=grid.attack_configs,
+            include_honest=False,
+            include_single_tree=False,
+            analysis=AnalysisConfig(epsilon=1e-3),
+            reuse_p_axis_bounds=True,
+        )
+        reused = run_sweep(grid_reuse)
+        assert reused.total_solver_iterations < cold.total_solver_iterations
+
+    def test_failure_resets_the_bound_chain(self):
+        config = SweepConfig(
+            p_values=(0.1, 1.5, 0.3),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+            include_honest=False,
+            include_single_tree=False,
+            analysis=AnalysisConfig(epsilon=1e-2),
+            reuse_p_axis_bounds=True,
+        )
+        sweep = run_sweep(config)
+        assert [point.p for point in sweep.points] == [0.1, 0.3]
+        assert len(sweep.failures) == 1
+
+    def test_portfolio_backend_recorded_per_point(self):
+        config = SweepConfig(
+            p_values=(0.3,),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+            include_honest=False,
+            include_single_tree=False,
+            analysis=AnalysisConfig(epsilon=1e-2, solver="portfolio"),
+        )
+        sweep = run_sweep(config)
+        (point,) = sweep.points
+        assert point.solver_backend in ("policy_iteration", "value_iteration")
+        assert point.to_row()["solver_backend"] == point.solver_backend
+
 
 class TestWarmStartedAlgorithm1:
     @pytest.fixture(scope="class")

@@ -152,3 +152,74 @@ class TestCli:
     def test_invalid_parameter_propagates(self):
         with pytest.raises(Exception):
             main(["analyze", "--p", "1.5", "--epsilon", "0.01"])
+
+    def test_analyze_with_solver_alias_and_batched_probes(self, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                "--p",
+                "0.3",
+                "--depth",
+                "1",
+                "--epsilon",
+                "0.01",
+                "--solver",
+                "vi",
+                "--batch-probes",
+                "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ERRev lower bound" in captured.out
+
+    def test_sweep_with_portfolio_and_reuse_records_backend(self, tmp_path, capsys):
+        out_csv = tmp_path / "portfolio.csv"
+        exit_code = main(
+            [
+                "sweep",
+                "--gamma",
+                "0.5",
+                "--p-max",
+                "0.2",
+                "--p-step",
+                "0.1",
+                "--epsilon",
+                "0.02",
+                "--max-depth",
+                "1",
+                "--solver",
+                "portfolio",
+                "--batch-probes",
+                "2",
+                "--reuse-p-bounds",
+                "--csv",
+                str(out_csv),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        with out_csv.open() as handle:
+            rows = list(csv.DictReader(handle))
+        attack_rows = [row for row in rows if row["series"].startswith("ours")]
+        assert attack_rows
+        assert all(
+            row["solver_backend"] in ("policy_iteration", "value_iteration")
+            for row in attack_rows
+        )
+        assert all(float(row["beta_up"]) - float(row["beta_low"]) < 0.02 for row in attack_rows)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["sweep", "--epsilon", "-1"],
+            ["sweep", "--workers", "0"],
+            ["analyze", "--epsilon", "0"],
+            ["analyze", "--batch-probes", "0"],
+        ],
+    )
+    def test_invalid_numeric_flags_rejected_cleanly(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "must be a positive" in capsys.readouterr().err

@@ -6,11 +6,14 @@ import pytest
 
 from repro.exceptions import ConvergenceError, SolverError
 from repro.mdp import (
+    PORTFOLIO_BACKENDS,
     MDPBuilder,
+    SolverPortfolio,
     discounted_value_iteration,
     policy_iteration,
     relative_value_iteration,
     solve_mean_payoff,
+    solve_mean_payoff_batch,
     solve_mean_payoff_lp,
 )
 
@@ -184,3 +187,96 @@ class TestSolveMeanPayoffFrontend:
         first = solve_mean_payoff(mdp, [1.0])
         second = solve_mean_payoff(mdp, [1.0], warm_start=first.strategy)
         assert second.gain == pytest.approx(first.gain)
+
+
+class TestBatchedSolvers:
+    """Batched multi-reward solves must reproduce the sequential per-reward results."""
+
+    WEIGHTS = [[1.0], [0.5], [-0.25], [2.0]]
+
+    @pytest.mark.parametrize("solver", ["policy_iteration", "value_iteration"])
+    @pytest.mark.parametrize("factory", [choice_mdp, cycle_mdp, stochastic_mdp])
+    def test_batch_matches_sequential(self, solver, factory):
+        mdp = factory()
+        batch = solve_mean_payoff_batch(mdp, self.WEIGHTS, solver=solver)
+        assert len(batch) == len(self.WEIGHTS)
+        for weights, solution in zip(self.WEIGHTS, batch):
+            reference = solve_mean_payoff(mdp, weights, solver=solver)
+            assert solution.gain == pytest.approx(reference.gain, abs=1e-7)
+            assert solution.solver == solver
+
+    def test_batched_value_iteration_bounds_certified(self):
+        batch = solve_mean_payoff_batch(cycle_mdp(), self.WEIGHTS, solver="value_iteration")
+        for solution in batch:
+            assert solution.lower_bound <= solution.gain <= solution.upper_bound
+            assert solution.upper_bound - solution.lower_bound < 1e-8
+
+    def test_linear_program_falls_back_to_sequential(self):
+        batch = solve_mean_payoff_batch(stochastic_mdp(), [[1.0]], solver="linear_program")
+        assert batch[0].gain == pytest.approx(1.5, abs=1e-6)
+
+    def test_empty_batch(self):
+        import numpy as np
+
+        assert solve_mean_payoff_batch(choice_mdp(), np.empty((0, 1))) == []
+
+    def test_bad_weight_matrix_shape_raises(self):
+        with pytest.raises(SolverError):
+            solve_mean_payoff_batch(choice_mdp(), [[1.0, 2.0]])
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(SolverError):
+            solve_mean_payoff_batch(choice_mdp(), [[1.0]], solver="magic")
+
+    def test_batched_warm_start_accepted(self):
+        mdp = cycle_mdp()
+        first = solve_mean_payoff(mdp, [1.0])
+        batch = solve_mean_payoff_batch(
+            mdp, self.WEIGHTS, warm_start=first.strategy, warm_start_bias=first.bias
+        )
+        assert batch[0].gain == pytest.approx(first.gain)
+
+
+class TestSolverPortfolio:
+    @pytest.mark.parametrize("factory", [choice_mdp, cycle_mdp, stochastic_mdp])
+    def test_race_matches_reference(self, factory):
+        mdp = factory()
+        reference = solve_mean_payoff(mdp, [1.0], solver="policy_iteration")
+        solution = solve_mean_payoff(mdp, [1.0], solver="portfolio")
+        assert solution.gain == pytest.approx(reference.gain, abs=1e-6)
+        assert solution.solver.startswith("portfolio:")
+        assert solution.solver.split(":", 1)[1] in PORTFOLIO_BACKENDS
+
+    def test_batched_race(self):
+        batch = solve_mean_payoff_batch(
+            stochastic_mdp(), [[1.0], [0.5]], solver="portfolio"
+        )
+        assert [s.gain for s in batch] == [
+            pytest.approx(1.5, abs=1e-6),
+            pytest.approx(0.75, abs=1e-6),
+        ]
+        assert all(s.solver.startswith("portfolio:") for s in batch)
+
+    def test_survives_one_failing_backend(self):
+        """A backend that raises must not lose the race for its rival.
+
+        With ``max_iterations=1`` value iteration exceeds its budget and raises
+        :class:`ConvergenceError`, while policy iteration (whose budget is
+        floored at 100 improvement rounds by the front-end) still converges.
+        """
+        solution = SolverPortfolio().solve(stochastic_mdp(), [1.0], max_iterations=1)
+        assert solution.gain == pytest.approx(1.5, abs=1e-6)
+        assert solution.solver == "portfolio:policy_iteration"
+
+    def test_all_backends_failing_reraises(self):
+        portfolio = SolverPortfolio(backends=("value_iteration",))
+        with pytest.raises(ConvergenceError):
+            portfolio.solve(stochastic_mdp(), [1.0], max_iterations=1)
+
+    def test_invalid_portfolio_configs_rejected(self):
+        with pytest.raises(SolverError):
+            SolverPortfolio(backends=())
+        with pytest.raises(SolverError):
+            SolverPortfolio(backends=("portfolio",))
+        with pytest.raises(SolverError):
+            SolverPortfolio(deadline=0.0)
