@@ -97,7 +97,22 @@ def test_ablation_variants_agree_and_persist(results_dir, model):
         # needs strictly fewer rounds than the sequential search's solves.
         if row["batch_probes"] > 1:
             assert row["rounds"] < reference["num_solves"], row["variant"]
-    path = write_csv(_ROWS, results_dir / "batched_probe_ablation.csv")
+    path = write_csv(
+        _ROWS,
+        results_dir / "batched_probe_ablation.csv",
+        columns=[
+            "variant",
+            "solver",
+            "batch_probes",
+            "errev_lower_bound",
+            "beta_up",
+            "num_solves",
+            "rounds",
+            "total_solver_iterations",
+            "seconds",
+            "winning_backend",
+        ],
+    )
     print()
     print(render_table(_ROWS))
     print(f"ablation written to {path}")

@@ -70,7 +70,12 @@ def test_figure2_sweep_runtime(benchmark, results_dir):
     """Time the full Figure 2 sweep and persist the series."""
     sweep = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
     _SWEEPS["figure2"] = sweep
-    path = write_csv([point.to_row() for point in sweep.points], results_dir / "figure2_errev.csv")
+    path = write_csv(
+        [point.to_row() for point in sweep.points],
+        results_dir / "figure2_errev.csv",
+        columns=["p", "gamma", "series", "errev", "seconds", "solver_iterations",
+                 "beta_low", "beta_up"],
+    )
     print()
     for gamma in GAMMAS:
         print(ascii_plot(sweep, gamma))
@@ -194,7 +199,12 @@ class TestEngineAblation:
                 }
             )
             assert not sweep.failures
-        path = write_csv(rows, results_dir / "engine_ablation.csv")
+        path = write_csv(
+            rows,
+            results_dir / "engine_ablation.csv",
+            columns=["mode", "workers", "structure_cache", "warm_start_across_points",
+                     "wall_seconds", "compute_seconds", "solver_iterations", "points"],
+        )
         print(f"\nengine ablation written to {path}")
         for row in rows:
             print(
@@ -239,7 +249,12 @@ class TestEngineAblation:
                         "wall_seconds": round(seconds, 4),
                     }
                 )
-        path = write_csv(rows, results_dir / "warm_start_ablation.csv")
+        path = write_csv(
+            rows,
+            results_dir / "warm_start_ablation.csv",
+            columns=["solver", "warm_start", "solver_iterations",
+                     "binary_search_iterations", "errev_lower_bound", "wall_seconds"],
+        )
         print(f"\nwarm-start ablation written to {path}")
         for solver in ("policy_iteration", "value_iteration"):
             cold_iters, cold = counts[(solver, False)]

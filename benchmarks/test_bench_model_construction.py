@@ -67,6 +67,7 @@ def test_model_construction_report(benchmark, results_dir):
     benchmark.pedantic(
         write_csv,
         args=(_ROWS, results_dir / "model_construction_scaling.csv"),
+        kwargs={"columns": ["d", "f", "l", "states", "transitions", "bound", "seconds"]},
         rounds=1,
         iterations=1,
     )

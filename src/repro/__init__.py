@@ -39,6 +39,7 @@ from .exceptions import (
     ModelError,
     ReproError,
     SimulationError,
+    SolverCancelled,
     SolverError,
 )
 from .core import (
@@ -79,6 +80,7 @@ __all__ = [
     "ModelError",
     "SolverError",
     "ConvergenceError",
+    "SolverCancelled",
     "SimulationError",
     "SelfishMiningAnalyzer",
     "AnalysisResult",

@@ -18,10 +18,20 @@ and the first negative probe: the interval shrinks by a factor of ``k + 1`` per
 round while the per-round cost grows far slower than ``k`` because the
 expensive solver passes are amortised over all probes.  The certified bounds
 are the same as the sequential search's up to ``epsilon``.
+
+With ``AnalysisConfig.batch_probes = "auto"`` the probe count is chosen
+*adaptively* per round: an :class:`AdaptiveProbeScheduler` fits the affine cost
+model ``seconds(k) = a + b*k`` to the observed round timings and picks the
+``k`` maximising the interval-shrink rate ``log(k + 1) / seconds(k)``.  Models
+whose batched solves are nearly free (small ``b``) converge to wide rounds;
+models where every extra probe costs as much as a fresh solve stay close to
+classic bisection.  Only the probe placement adapts -- every round still brackets
+the zero crossing, so the certified bounds are unchanged.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -78,6 +88,11 @@ class FormalAnalysisResult:
         total_solver_iterations: Sum of backend iterations over every solve of
             the analysis (including the final strategy-extraction solve) -- the
             primary measure of warm-starting effectiveness.
+        cancelled_solver_iterations: For the ``"portfolio"`` solver, the sum of
+            iterations the cooperatively cancelled race losers had completed
+            when they stopped; 0 for the non-racing backends.  Together with
+            ``total_solver_iterations`` this quantifies how much work the
+            cancellation avoided relative to losers running their full budget.
         final_bias: Bias vector of the final solve, reusable as a warm start
             for an adjacent parameter point (``None`` for the LP backend only
             when no bias was produced).
@@ -98,6 +113,7 @@ class FormalAnalysisResult:
     total_solver_iterations: int = 0
     final_bias: Optional[np.ndarray] = None
     backend_wins: Dict[str, int] = field(default_factory=dict)
+    cancelled_solver_iterations: int = 0
 
     @property
     def num_iterations(self) -> int:
@@ -115,6 +131,76 @@ class FormalAnalysisResult:
         if not self.backend_wins:
             return None
         return max(self.backend_wins, key=lambda backend: self.backend_wins[backend])
+
+
+class AdaptiveProbeScheduler:
+    """Pick the probe count of each batched round from observed solve costs.
+
+    The scheduler maintains the affine per-round cost model ``seconds(k) = a +
+    b*k`` (fixed round overhead ``a`` plus marginal per-probe cost ``b``),
+    refitted by least squares after every observed round, and proposes the
+    ``k`` maximising the interval-shrink rate ``log(k + 1) / seconds(k)``.
+    The first two rounds seed the model deterministically: a classic bisection
+    round (``k = 1``) measures the single-solve cost, a small batched round
+    measures the marginal probe cost.  The proposal is additionally capped at
+    the number of probes that would already finish the search in one round, so
+    the last round never solves probes the certificate cannot use.
+
+    Attributes:
+        max_probes: Hard ceiling on the probes of one round (memory of the
+            batched value matrix grows linearly in ``k``).
+        seed_probes: Probe count of the second (seeding) round.
+    """
+
+    def __init__(self, *, max_probes: int = 16, seed_probes: int = 4) -> None:
+        if max_probes < 1:
+            raise ValueError(f"max_probes must be >= 1, got {max_probes}")
+        self.max_probes = max_probes
+        self.seed_probes = max(2, min(seed_probes, max_probes))
+        self._observations: List[Tuple[int, float]] = []
+
+    def record(self, probes: int, seconds: float) -> None:
+        """Record one finished round (``probes`` solved jointly in ``seconds``)."""
+        self._observations.append((probes, max(seconds, 1e-9)))
+
+    def _fit_cost_model(self) -> Tuple[float, float]:
+        """Least-squares fit of ``seconds(k) = a + b*k``, clamped non-negative."""
+        ks = np.array([probes for probes, _ in self._observations], dtype=float)
+        secs = np.array([seconds for _, seconds in self._observations], dtype=float)
+        if np.ptp(ks) == 0.0:
+            # All rounds used the same k: no slope information, attribute the
+            # mean cost to the marginal term (pessimistic about batching).
+            return 0.0, float(np.mean(secs) / max(ks[0], 1.0))
+        design = np.stack([np.ones_like(ks), ks], axis=1)
+        (a, b), *_ = np.linalg.lstsq(design, secs, rcond=None)
+        return max(float(a), 0.0), max(float(b), 0.0)
+
+    def next_probes(self, width: float, epsilon: float) -> int:
+        """Probe count for the next round over interval ``width`` at ``epsilon``.
+
+        Returns 1 (classic bisection) while the cost model has no data, the
+        seeding batch size while it has a single observation, and the
+        rate-optimal ``k`` afterwards.
+        """
+        # k probes shrink width to width / (k + 1); k = finishing_probes ends
+        # the search this round.
+        if width / (self.max_probes + 1) >= epsilon:
+            finishing_probes = self.max_probes
+        else:
+            finishing_probes = max(1, math.ceil(width / epsilon) - 1)
+        cap = min(self.max_probes, finishing_probes)
+        if not self._observations:
+            return 1
+        if len(self._observations) == 1:
+            return min(self.seed_probes, cap)
+        a, b = self._fit_cost_model()
+        best_k, best_rate = 1, 0.0
+        for k in range(1, cap + 1):
+            cost = max(a + b * k, 1e-9)
+            rate = math.log(k + 1) / cost
+            if rate > best_rate:
+                best_k, best_rate = k, rate
+        return best_k
 
 
 def formal_analysis(
@@ -164,17 +250,23 @@ def formal_analysis(
         warm_strategy = _strategy_from_rows(mdp, initial_strategy_rows)
         warm_bias = _bias_from_vector(mdp, initial_bias)
     total_solver_iterations = 0
+    cancelled_solver_iterations = 0
+    scheduler = AdaptiveProbeScheduler() if config.batch_probes == "auto" else None
 
     while beta_up - beta_low >= config.epsilon:
-        if config.batch_probes > 1:
+        if scheduler is not None:
+            probes = scheduler.next_probes(beta_up - beta_low, config.epsilon)
+        else:
+            probes = int(config.batch_probes)
+        round_start = time.perf_counter()
+        if probes > 1:
             beta_low, beta_up, solutions, anchor = _batched_round(
-                mdp, beta_low, beta_up, config, warm_strategy, warm_bias, iterations
+                mdp, beta_low, beta_up, probes, config, warm_strategy, warm_bias, iterations
             )
         else:
             beta = 0.5 * (beta_low + beta_up)
-            solve_start = time.perf_counter()
             solution = _solve(mdp, beta, config, warm_strategy, warm_bias)
-            solve_seconds = time.perf_counter() - solve_start
+            solve_seconds = time.perf_counter() - round_start
             if solution.gain < 0.0:
                 beta_up = beta
             else:
@@ -190,8 +282,11 @@ def formal_analysis(
                 )
             )
             solutions, anchor = [solution], 0
+        if scheduler is not None:
+            scheduler.record(probes, time.perf_counter() - round_start)
         for solution in solutions:
             total_solver_iterations += solution.iterations
+            cancelled_solver_iterations += solution.cancelled_iterations
             _record_backend_win(solution, backend_wins)
         if config.warm_start:
             # The probe adjacent to the surviving interval seeds the next round.
@@ -201,6 +296,7 @@ def formal_analysis(
     # Final solve at beta_low to extract the certified strategy.
     final_solution = _solve(mdp, beta_low, config, warm_strategy, warm_bias)
     total_solver_iterations += final_solution.iterations
+    cancelled_solver_iterations += final_solution.cancelled_iterations
     _record_backend_win(final_solution, backend_wins)
     strategy = final_solution.strategy
     strategy_errev = (
@@ -220,6 +316,7 @@ def formal_analysis(
         total_solver_iterations=total_solver_iterations,
         final_bias=final_solution.bias,
         backend_wins=backend_wins,
+        cancelled_solver_iterations=cancelled_solver_iterations,
     )
 
 
@@ -254,24 +351,26 @@ def _batched_round(
     mdp: MDP,
     beta_low: float,
     beta_up: float,
+    k: int,
     config: AnalysisConfig,
     warm_strategy: Optional[Strategy],
     warm_bias: Optional[np.ndarray],
     iterations: List[BinarySearchIteration],
 ) -> Tuple[float, float, List[MeanPayoffSolution], int]:
-    """One batched binary-search round with ``k = config.batch_probes`` probes.
+    """One batched binary-search round with ``k`` probes.
 
     Places ``k`` evenly spaced probes strictly inside ``(beta_low, beta_up)``,
     solves them in a single vectorised batched call, and shrinks the interval
     to the segment between the last probe with a non-negative gain and the
     first with a negative one (Theorem 3.1: the gains are decreasing in beta).
+    ``k`` is either the fixed ``config.batch_probes`` or, in ``"auto"`` mode,
+    the round's pick of the :class:`AdaptiveProbeScheduler`.
 
     Returns:
         ``(new_low, new_up, solutions, anchor)`` with ``solutions`` in probe
         order and ``anchor`` the index of the probe adjacent to the new
         interval (the best warm start for the next round).
     """
-    k = config.batch_probes
     width = beta_up - beta_low
     betas = [beta_low + (j + 1) * width / (k + 1) for j in range(k)]
     weight_matrix = np.array([beta_reward_weights(beta) for beta in betas])

@@ -31,6 +31,7 @@ from .structure import (
     build_model_structure,
     clear_structure_cache,
     get_model_structure,
+    install_structure,
     structure_cache_stats,
 )
 from .honest import honest_errev, honest_strategy, honest_strategy_rows
@@ -63,6 +64,7 @@ __all__ = [
     "build_model_structure",
     "clear_structure_cache",
     "get_model_structure",
+    "install_structure",
     "structure_cache_stats",
     "honest_errev",
     "honest_strategy",

@@ -20,8 +20,13 @@ This module therefore splits model construction into
 
 Structures are memoised in a process-local cache so that a parameter sweep pays
 the exploration cost once per ``(attack, signature)`` instead of once per grid
-point.  Worker processes forked by the sweep engine inherit a pre-warmed cache
-for free.
+point.  Sweep worker processes never explore at all: the parent builds each
+skeleton once, serialises it into flat buffers (:meth:`SelfishForksStructure.
+to_buffers`) and publishes them through the shared-memory model plane
+(:mod:`repro.core.shared_structures`); workers attach the buffers zero-copy and
+:func:`install_structure` them into this cache.  The cache keeps separate
+``builds`` / ``attaches`` counters so tests can assert that workers performed
+zero explorations.
 """
 
 from __future__ import annotations
@@ -185,6 +190,122 @@ class SelfishForksStructure:
             state_labels=self.state_labels,
         )
 
+    # ------------------------------------------------------------- serialisation
+
+    #: Buffer keys of :meth:`to_buffers`, in canonical order.
+    BUFFER_KEYS = (
+        "header",
+        "state_labels",
+        "row_actions",
+        "row_state",
+        "state_row_offsets",
+        "row_trans_offsets",
+        "trans_succ",
+        "trans_kind",
+        "trans_sigma",
+        "trans_mult",
+        "trans_reward",
+    )
+
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """Serialise the structure into a dict of flat numpy buffers.
+
+        The buffers are self-contained: :meth:`from_buffers` reconstructs a
+        bit-for-bit identical structure from them.  The numeric transition
+        arrays are returned as-is (no copy); the python-object state labels and
+        action labels are encoded into fixed-width integer matrices so that the
+        whole structure can live in one shared-memory segment.
+
+        Label encoding: each :data:`~repro.attacks.fork_state.ForkState`
+        ``(C, O, type)`` flattens to ``d*f`` fork lengths, ``d-1`` ownership
+        flags and the state type.  Action encoding: ``("mine",)`` becomes
+        ``(0, 0, 0, 0)`` and ``("release", i, j, k)`` becomes ``(1, i, j, k)``.
+        """
+        d, f = self.attack.depth, self.attack.forks
+        label_width = d * f + (d - 1) + 1
+        state_labels = np.empty((self.num_states, label_width), dtype=np.int32)
+        for index, (c_matrix, owners, state_type) in enumerate(self.state_labels):
+            flat = [length for row in c_matrix for length in row]
+            flat.extend(owners)
+            flat.append(state_type)
+            state_labels[index] = flat
+        row_actions = np.zeros((self.num_rows, 4), dtype=np.int32)
+        for index, action in enumerate(self.row_actions):
+            if action[0] == "release":
+                row_actions[index] = (1, action[1], action[2], action[3])
+        header = np.array(
+            [
+                d,
+                f,
+                self.attack.max_fork_length,
+                int(self.signature.adversary_mines),
+                int(self.signature.honest_mines),
+                int(self.signature.race_win),
+                int(self.signature.race_loss),
+                self.initial_state,
+            ],
+            dtype=np.int64,
+        )
+        return {
+            "header": header,
+            "state_labels": state_labels,
+            "row_actions": row_actions,
+            "row_state": self.row_state,
+            "state_row_offsets": self.state_row_offsets,
+            "row_trans_offsets": self.row_trans_offsets,
+            "trans_succ": self.trans_succ,
+            "trans_kind": self.trans_kind,
+            "trans_sigma": self.trans_sigma,
+            "trans_mult": self.trans_mult,
+            "trans_reward": self.trans_reward,
+        }
+
+    @classmethod
+    def from_buffers(cls, buffers: Dict[str, np.ndarray]) -> "SelfishForksStructure":
+        """Reconstruct a structure from :meth:`to_buffers` output.
+
+        The numeric transition arrays are adopted without copying, so buffers
+        backed by a shared-memory segment stay zero-copy: every attached worker
+        reads the same physical pages.  Only the python-object labels (state
+        tuples, action tuples) are materialised, which is a plain decode loop --
+        orders of magnitude cheaper than re-running the breadth-first
+        exploration.
+        """
+        header = [int(value) for value in buffers["header"]]
+        d, f, l = header[0], header[1], header[2]
+        attack = AttackParams(depth=d, forks=f, max_fork_length=l)
+        signature = SupportSignature(
+            adversary_mines=bool(header[3]),
+            honest_mines=bool(header[4]),
+            race_win=bool(header[5]),
+            race_loss=bool(header[6]),
+        )
+        labels: List[Hashable] = []
+        forks_end = d * f
+        for flat in buffers["state_labels"].tolist():
+            c_matrix = tuple(tuple(flat[i * f : (i + 1) * f]) for i in range(d))
+            owners = tuple(flat[forks_end : forks_end + d - 1])
+            labels.append((c_matrix, owners, flat[-1]))
+        actions: List[Hashable] = [
+            ("mine",) if tag == 0 else ("release", i, j, k)
+            for tag, i, j, k in buffers["row_actions"].tolist()
+        ]
+        return cls(
+            attack=attack,
+            signature=signature,
+            initial_state=int(header[7]),
+            state_labels=labels,
+            row_state=buffers["row_state"],
+            state_row_offsets=buffers["state_row_offsets"],
+            row_trans_offsets=buffers["row_trans_offsets"],
+            row_actions=actions,
+            trans_succ=buffers["trans_succ"],
+            trans_kind=buffers["trans_kind"],
+            trans_sigma=buffers["trans_sigma"],
+            trans_mult=buffers["trans_mult"],
+            trans_reward=buffers["trans_reward"],
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SelfishForksStructure(d={self.attack.depth}, f={self.attack.forks}, "
@@ -295,6 +416,12 @@ def build_model_structure(
 
 _STRUCTURE_CACHE: Dict[Tuple[AttackParams, SupportSignature], SelfishForksStructure] = {}
 _CACHE_LOCK = threading.Lock()
+#: Number of breadth-first explorations performed by this process since the
+#: last :func:`clear_structure_cache` -- sweep workers attached to the shared
+#: model plane must keep this at 0.
+_BUILD_COUNT = 0
+#: Number of structures installed from shared-memory buffers.
+_ATTACH_COUNT = 0
 
 
 def get_model_structure(
@@ -305,9 +432,11 @@ def get_model_structure(
 ) -> SelfishForksStructure:
     """Return the (memoised) structure for ``attack`` at ``protocol``'s support.
 
-    The cache is process-local; worker processes forked by the sweep engine
-    inherit whatever the parent built before the fork.
+    The cache is process-local; sweep workers have it populated up front by the
+    shared-memory model plane (or, as a fallback, by a per-worker prewarm) and
+    therefore always hit.
     """
+    global _BUILD_COUNT
     signature = SupportSignature.of(protocol)
     key = (attack, signature)
     with _CACHE_LOCK:
@@ -315,6 +444,7 @@ def get_model_structure(
         if structure is None:
             structure = build_model_structure(attack, signature, max_states=max_states)
             _STRUCTURE_CACHE[key] = structure
+            _BUILD_COUNT += 1
     # The cap must hold even when a previous caller already paid the exploration.
     if max_states is not None and structure.num_states > max_states:
         raise ConfigurationError(
@@ -324,18 +454,57 @@ def get_model_structure(
     return structure
 
 
+def install_structure(structure: SelfishForksStructure) -> None:
+    """Install an externally built structure (idempotent, counts as an attach).
+
+    Sweep workers call this with structures reconstructed from the shared-memory
+    model plane (:mod:`repro.core.shared_structures`); subsequent
+    :func:`get_model_structure` calls for the same ``(attack, signature)`` hit
+    the cache without ever exploring.
+    """
+    global _ATTACH_COUNT
+    key = (structure.attack, structure.signature)
+    with _CACHE_LOCK:
+        _STRUCTURE_CACHE[key] = structure
+        _ATTACH_COUNT += 1
+
+
 def clear_structure_cache() -> None:
-    """Drop every cached structure (mainly for tests and memory pressure)."""
+    """Drop every cached structure and reset the build/attach counters.
+
+    Mainly for tests and memory pressure.  The whole reset happens under the
+    module lock so that a concurrent :func:`get_model_structure` can never
+    observe a cleared cache with stale counters (or vice versa).
+    """
+    global _BUILD_COUNT, _ATTACH_COUNT
     with _CACHE_LOCK:
         _STRUCTURE_CACHE.clear()
+        _BUILD_COUNT = 0
+        _ATTACH_COUNT = 0
 
 
 def structure_cache_stats() -> Dict[str, int]:
-    """Return summary statistics of the process-local structure cache."""
+    """Return summary statistics of the process-local structure cache.
+
+    The snapshot -- entries, aggregate sizes and the build/attach counters --
+    is taken atomically under the module lock, so concurrent cache mutation
+    (e.g. a live worker pool) can never yield counters from one instant and
+    entries from another.
+
+    Returns:
+        ``entries`` / ``states`` / ``transitions``: current cache contents;
+        ``builds``: breadth-first explorations this process performed since the
+        last clear (0 inside workers attached to the shared model plane);
+        ``attaches``: structures installed from shared-memory buffers.
+    """
     with _CACHE_LOCK:
         structures = list(_STRUCTURE_CACHE.values())
+        builds = _BUILD_COUNT
+        attaches = _ATTACH_COUNT
     return {
         "entries": len(structures),
         "states": sum(structure.num_states for structure in structures),
         "transitions": sum(structure.num_transitions for structure in structures),
+        "builds": builds,
+        "attaches": attaches,
     }

@@ -23,7 +23,9 @@ the winning backend is reported per sweep point in the CSV's
 ``--batch-probes K`` switches the binary search to batched mode: every round
 stacks ``K`` evenly spaced beta probes against the shared model structure and
 solves them in one vectorised call, shrinking the interval by a factor of
-``K + 1`` per round instead of 2.  The certified bounds match the sequential
+``K + 1`` per round instead of 2.  ``--batch-probes auto`` lets Algorithm 1
+pick ``K`` per round from the observed per-probe solve-cost curve instead of
+fixing it up front.  Either way the certified bounds match the sequential
 search's within ``--epsilon``.
 
 Sweep-only engine flags: ``--workers N`` fans grid points out over N worker
@@ -78,6 +80,18 @@ def _positive_float(value: str) -> float:
     return number
 
 
+def _batch_probes(value: str):
+    """Parse ``--batch-probes``: a positive probe count or the string ``auto``."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        return _positive_int(value)
+    except (argparse.ArgumentTypeError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f'must be a positive integer or "auto", got {value}'
+        ) from None
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--p", type=float, default=0.3, help="adversarial resource fraction")
     parser.add_argument("--gamma", type=float, default=0.5, help="switching probability")
@@ -99,10 +113,11 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--batch-probes",
-        type=_positive_int,
+        type=_batch_probes,
         default=1,
         metavar="K",
-        help="beta probes per binary-search round (1 = classic bisection)",
+        help="beta probes per binary-search round: a count (1 = classic bisection) "
+        "or 'auto' to adapt K per round to the observed solve-cost curve",
     )
 
 

@@ -16,7 +16,7 @@ collects solver choices for the formal analysis procedure (Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Union
 
 from ._validation import (
     check_positive_float,
@@ -132,7 +132,11 @@ class AnalysisConfig:
             (1 = classic bisection).  With ``k > 1`` probes the round stacks
             ``k`` reward vectors against the shared model structure and solves
             them in one vectorised batched call, shrinking the interval by a
-            factor of ``k + 1`` per round.
+            factor of ``k + 1`` per round.  The string ``"auto"`` enables
+            adaptive scheduling: Algorithm 1 fits a per-round cost model to the
+            observed solve times and picks the probe count maximising interval
+            shrinkage per second, round by round (the certified bounds are
+            unchanged -- only the probe placement adapts).
         portfolio_deadline: Seconds the ``"portfolio"`` solver waits for the
             first backend to finish before blocking unconditionally; ignored by
             the other backends.
@@ -144,7 +148,7 @@ class AnalysisConfig:
     max_solver_iterations: int = 100_000
     evaluate_strategy: bool = True
     warm_start: bool = True
-    batch_probes: int = 1
+    batch_probes: Union[int, str] = 1
     portfolio_deadline: float = 30.0
 
     _VALID_SOLVERS = ("policy_iteration", "value_iteration", "linear_program", "portfolio")
@@ -153,7 +157,14 @@ class AnalysisConfig:
         check_positive_float(self.epsilon, "epsilon")
         check_positive_float(self.solver_tolerance, "solver_tolerance")
         check_positive_int(self.max_solver_iterations, "max_solver_iterations")
-        check_positive_int(self.batch_probes, "batch_probes")
+        if isinstance(self.batch_probes, str):
+            if self.batch_probes != "auto":
+                raise ValueError(
+                    f'batch_probes must be a positive integer or "auto", '
+                    f"got {self.batch_probes!r}"
+                )
+        else:
+            check_positive_int(self.batch_probes, "batch_probes")
         check_positive_float(self.portfolio_deadline, "portfolio_deadline")
         if self.solver not in self._VALID_SOLVERS:
             raise ValueError(

@@ -36,18 +36,28 @@ Determinism and failure isolation are the two design invariants:
   remaining points are unaffected.  The same holds for the closed-form
   baseline series evaluated in the parent.
 
-Model-structure caching (:mod:`repro.attacks.structure`) is enabled by default:
-on fork platforms the parent pre-builds every ``(attack, support)`` skeleton
-before the pool is created, so forked workers inherit a warm cache and each
-grid point pays only the cheap probability refill.  On spawn platforms (macOS,
-Windows) workers cannot inherit parent memory, so the same prewarm runs once
-per worker via the pool's ``initializer`` instead of silently rebuilding every
-skeleton per task.
+Model-structure caching (:mod:`repro.attacks.structure`) is enabled by default
+and, with ``workers > 1``, is distributed through the zero-copy shared-memory
+model plane (:mod:`repro.core.shared_structures`): the parent builds every
+``(attack, support)`` skeleton exactly once, publishes the flat buffers in one
+``multiprocessing.shared_memory`` segment, and every worker -- fork- and
+spawn-started alike -- *attaches* in its pool initializer instead of exploring.
+The numeric transition arrays of all workers are views of the same physical
+pages; no worker ever rebuilds a skeleton (``structure_cache_stats()["builds"]
+== 0`` inside workers).  The segment is reference-counted and unlinked in a
+``finally`` once the pool exits, even when a worker crashed mid-sweep.  If
+shared memory is unavailable on a platform, the engine falls back to the
+legacy per-worker prewarm.
+
+The pool start method follows the platform default (fork on Linux, spawn
+elsewhere) and can be forced with the ``REPRO_TEST_START_METHOD`` environment
+variable (used by CI to exercise the spawn path on Linux runners).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
@@ -64,8 +74,16 @@ from ..attacks import (
     honest_errev,
     single_tree_errev,
 )
+from ..attacks.structure import SelfishForksStructure, clear_structure_cache
 from ..config import AnalysisConfig, AttackParams, ProtocolParams
+from ..exceptions import ModelError
 from .results import SweepFailure, SweepPoint, SweepResult
+from .shared_structures import (
+    SharedStructurePlane,
+    attach_and_install,
+    forget_inherited_planes,
+    publish_structures,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .sweep import SweepConfig
@@ -117,6 +135,7 @@ class PointOutcome:
     beta_low: Optional[float] = None
     beta_up: Optional[float] = None
     solver_backend: Optional[str] = None
+    cancelled_iterations: Optional[int] = None
 
 
 def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
@@ -176,6 +195,9 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
                     beta_low=result.beta_low,
                     beta_up=result.beta_up,
                     solver_backend=result.winning_solver,
+                    cancelled_iterations=(
+                        result.cancelled_solver_iterations if result.backend_wins else None
+                    ),
                 )
             )
         except Exception as exc:  # noqa: BLE001 - failure isolation is the point
@@ -232,13 +254,17 @@ def _build_tasks(config: "SweepConfig") -> List[AttackTask]:
     return tasks
 
 
-def _prewarm_structure_cache(config: "SweepConfig") -> None:
+def _prewarm_structure_cache(config: "SweepConfig") -> List[SelfishForksStructure]:
     """Build every ``(attack, support)`` skeleton the grid needs, once, in-parent.
 
-    Worker processes forked after this call inherit the populated cache and
-    never repeat the exploration.  Parameter points that are invalid (and will
-    be reported as failures by their worker) are skipped.
+    Parameter points that are invalid (and will be reported as failures by
+    their worker) are skipped.
+
+    Returns:
+        The distinct structures of the grid, ready to be published on the
+        shared-memory model plane.
     """
+    structures: List[SelfishForksStructure] = []
     seen = set()
     for gamma in config.gammas:
         for p in config.p_values:
@@ -252,22 +278,65 @@ def _prewarm_structure_cache(config: "SweepConfig") -> None:
                     continue
                 seen.add(key)
                 try:
-                    get_model_structure(attack, protocol)
+                    structures.append(get_model_structure(attack, protocol))
                 except Exception:
                     # Leave the failure to surface per point inside the worker,
                     # where it is isolated as a SweepFailure.
                     continue
+    return structures
 
 
-def _prewarm_worker(config: "SweepConfig") -> None:
-    """Pool initializer for spawn-started workers.
+def _initialize_worker(plane_name: Optional[str], config: "SweepConfig") -> None:
+    """Pool initializer: attach the shared model plane (or prewarm as fallback).
 
-    Spawned workers start from a fresh interpreter and cannot inherit the
-    parent's structure cache, so each worker builds every skeleton the grid
-    needs exactly once, up front, instead of rebuilding them lazily per task.
-    Must stay importable at module top level (pickling).
+    With a published plane the worker's structure cache and inherited plane
+    handles are cleared (fork-started workers inherit the parent's private
+    copies and its creator-flagged plane handle, neither of which may be used)
+    and the cache is refilled with zero-copy attachments, so the worker
+    performs zero explorations (``structure_cache_stats()["builds"] == 0``)
+    and its numeric arrays are views of the shared segment on fork and spawn
+    alike.  Without a plane -- shared memory unavailable, or disabled via
+    ``SweepConfig.use_shared_structures`` -- the worker falls back to building
+    every skeleton of the grid once, up front.  Must stay importable at module
+    top level (pickling).
     """
-    _prewarm_structure_cache(config)
+    forget_inherited_planes()
+    if plane_name is not None:
+        try:
+            clear_structure_cache()
+            attach_and_install(plane_name)
+            return
+        except ModelError:
+            # Segment vanished (or the platform rejected the mapping): rebuild
+            # locally rather than failing every task of this worker.
+            pass
+    if config.use_structure_cache:
+        _prewarm_structure_cache(config)
+
+
+def _pool_start_method() -> str:
+    """Select the multiprocessing start method of the sweep pool.
+
+    ``REPRO_TEST_START_METHOD`` (``fork`` / ``spawn`` / ``forkserver``) forces a
+    method -- CI uses this to exercise the spawn path on Linux runners.  An
+    unknown or platform-unavailable value raises instead of being silently
+    ignored, so a typo in a CI job cannot turn its dedicated-start-method run
+    into a green no-op.  Otherwise fork is pinned on Linux only: macOS lists
+    "fork" as available but fork-after-threads is unsafe there (that is why
+    its default moved to spawn).
+    """
+    available = multiprocessing.get_all_start_methods()
+    override = os.environ.get("REPRO_TEST_START_METHOD", "").strip().lower()
+    if override:
+        if override not in available:
+            raise ValueError(
+                f"REPRO_TEST_START_METHOD={override!r} is not a start method "
+                f"available on this platform (choose from {available})"
+            )
+        return override
+    if sys.platform == "linux" and "fork" in available:
+        return "fork"
+    return "spawn"
 
 
 def _baseline_points(
@@ -357,51 +426,67 @@ def execute_sweep(
         for task in tasks:
             collect(_run_attack_task(task))
     else:
-        # Fork is pinned on Linux only: macOS lists "fork" as available but
-        # fork-after-threads is unsafe there (that is why its default moved to
-        # spawn).  Forked workers inherit the parent's structure cache, so the
-        # parent prewarms it once before the pool is created; spawned workers
-        # start from a fresh interpreter, so the same prewarm runs once per
-        # worker via the pool initializer instead.
-        use_fork = sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods()
-        pool_kwargs: Dict[str, object] = {}
-        if use_fork:
-            pool_kwargs["mp_context"] = multiprocessing.get_context("fork")
-            if config.use_structure_cache:
-                _prewarm_structure_cache(config)
-        else:
-            pool_kwargs["mp_context"] = multiprocessing.get_context("spawn")
-            if config.use_structure_cache:
-                pool_kwargs["initializer"] = _prewarm_worker
-                pool_kwargs["initargs"] = (config,)
-        with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
-            futures = {pool.submit(_run_attack_task, task): task for task in tasks}
-            for future in as_completed(futures):
-                task = futures[future]
+        # The parent builds every skeleton of the grid once, publishes the flat
+        # buffers on the shared-memory model plane, and each worker -- fork- or
+        # spawn-started -- attaches zero-copy in its initializer.  When shared
+        # memory is unavailable the engine degrades to the legacy behaviour:
+        # forked workers inherit the parent's prewarmed cache, spawned workers
+        # prewarm once per worker via the same initializer.
+        start_method = _pool_start_method()
+        pool_kwargs: Dict[str, object] = {
+            "mp_context": multiprocessing.get_context(start_method)
+        }
+        plane: Optional[SharedStructurePlane] = None
+        if config.use_structure_cache:
+            structures = _prewarm_structure_cache(config)
+            if structures and config.use_shared_structures:
                 try:
-                    collect(future.result())
-                except Exception as exc:
-                    # A worker that died (OOM kill, segfault, broken pool) must
-                    # not discard the outcomes already collected from others;
-                    # record its points as failures and keep assembling.
-                    collect(
-                        [
-                            PointOutcome(
-                                gamma_index=task.gamma_index,
-                                p_index=p_index,
-                                attack_index=task.attack_index,
-                                p=p,
-                                gamma=task.gamma,
-                                series=task.series,
-                                errev=None,
-                                seconds=0.0,
-                                solver_iterations=0,
-                                num_states=0,
-                                error=f"worker crashed: {type(exc).__name__}: {exc}",
-                            )
-                            for p, p_index in zip(task.p_values, task.p_indices)
-                        ]
-                    )
+                    plane = publish_structures(structures)
+                except ModelError:
+                    plane = None
+            if plane is not None:
+                pool_kwargs["initializer"] = _initialize_worker
+                pool_kwargs["initargs"] = (plane.name, config)
+            elif start_method != "fork":
+                # Fresh interpreters cannot inherit the parent's cache.
+                pool_kwargs["initializer"] = _initialize_worker
+                pool_kwargs["initargs"] = (None, config)
+        try:
+            with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
+                futures = {pool.submit(_run_attack_task, task): task for task in tasks}
+                for future in as_completed(futures):
+                    task = futures[future]
+                    try:
+                        collect(future.result())
+                    except Exception as exc:
+                        # A worker that died (OOM kill, segfault, broken pool)
+                        # must not discard the outcomes already collected from
+                        # others; record its points as failures and keep
+                        # assembling.
+                        collect(
+                            [
+                                PointOutcome(
+                                    gamma_index=task.gamma_index,
+                                    p_index=p_index,
+                                    attack_index=task.attack_index,
+                                    p=p,
+                                    gamma=task.gamma,
+                                    series=task.series,
+                                    errev=None,
+                                    seconds=0.0,
+                                    solver_iterations=0,
+                                    num_states=0,
+                                    error=f"worker crashed: {type(exc).__name__}: {exc}",
+                                )
+                                for p, p_index in zip(task.p_values, task.p_indices)
+                            ]
+                        )
+        finally:
+            # The parent owns the shared segment: release (and hence unlink) it
+            # whether the pool exited cleanly, a worker crashed, or the sweep
+            # raised.  Workers merely drop their mappings.
+            if plane is not None:
+                plane.release()
 
     points: List[SweepPoint] = []
     failures: List[SweepFailure] = []
@@ -431,6 +516,7 @@ def execute_sweep(
                         beta_low=outcome.beta_low,
                         beta_up=outcome.beta_up,
                         solver_backend=outcome.solver_backend,
+                        cancelled_iterations=outcome.cancelled_iterations,
                     )
                 )
     return SweepResult(

@@ -8,14 +8,44 @@ machine-readable CSV files next to the benchmark output.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from .results import SweepResult
 
 
-def write_csv(rows: Iterable[Mapping[str, object]], path: str | Path) -> Path:
-    """Write dictionaries as CSV (columns = union of keys, insertion ordered).
+def round_significant(value: float, digits: int = 4) -> float:
+    """Round ``value`` to ``digits`` significant digits (0.0 stays 0.0)."""
+    if value == 0.0 or not math.isfinite(value):
+        return value
+    return round(value, digits - 1 - int(math.floor(math.log10(abs(value)))))
+
+
+def write_csv(
+    rows: Iterable[Mapping[str, object]],
+    path: str | Path,
+    *,
+    columns: Optional[Sequence[str]] = None,
+    time_significant_digits: Optional[int] = 4,
+) -> Path:
+    """Write dictionaries as CSV with a stable column order.
+
+    Args:
+        rows: The rows to write.
+        path: Output path (parent directories are created).
+        columns: Explicit column order.  When omitted the columns are the union
+            of the row keys in insertion order -- deterministic for rows
+            produced in canonical order, but callers whose row sets vary by
+            configuration (benchmark writers in particular) should pass the
+            full column list explicitly so re-runs never reorder the file.
+            Keys outside ``columns`` are dropped; missing keys become empty
+            cells.
+        time_significant_digits: Wall-clock columns (any column whose name
+            contains ``"seconds"``) are rounded to this many significant
+            digits, keeping the noisy sub-precision tail of timings out of the
+            file so re-runs do not churn every row.  ``None`` disables the
+            rounding.
 
     Returns:
         The path written to.
@@ -23,16 +53,22 @@ def write_csv(rows: Iterable[Mapping[str, object]], path: str | Path) -> Path:
     rows = list(rows)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    columns: List[str] = []
-    for row in rows:
-        for key in row:
-            if key not in columns:
-                columns.append(key)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
     with path.open("w", newline="") as handle:
-        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer = csv.DictWriter(handle, fieldnames=list(columns), restval="", extrasaction="ignore")
         writer.writeheader()
         for row in rows:
-            writer.writerow(dict(row))
+            out = dict(row)
+            if time_significant_digits is not None:
+                for key, value in out.items():
+                    if "seconds" in key and isinstance(value, float):
+                        out[key] = round_significant(value, time_significant_digits)
+            writer.writerow(out)
     return path
 
 

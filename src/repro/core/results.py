@@ -96,6 +96,10 @@ class SweepPoint:
             strategy class.
         solver_backend: For portfolio-solved points, the backend that won the
             majority of the point's races (``None`` otherwise).
+        cancelled_iterations: For portfolio-solved points, the iterations the
+            losing backends were cooperatively cancelled out of across the
+            point's races -- solver work the PR 2 portfolio would have burned
+            to completion (``None`` outside portfolio runs).
     """
 
     p: float
@@ -107,6 +111,7 @@ class SweepPoint:
     beta_low: Optional[float] = None
     beta_up: Optional[float] = None
     solver_backend: Optional[str] = None
+    cancelled_iterations: Optional[int] = None
 
     def to_row(self) -> Dict[str, object]:
         """Flatten into a dictionary suitable for CSV reporting."""
@@ -126,6 +131,8 @@ class SweepPoint:
             row["beta_up"] = self.beta_up
         if self.solver_backend is not None:
             row["solver_backend"] = self.solver_backend
+        if self.cancelled_iterations is not None:
+            row["cancelled_iterations"] = self.cancelled_iterations
         return row
 
 

@@ -1,0 +1,332 @@
+"""Zero-copy shared-memory model plane for cached MDP structures.
+
+The sweep engine's unit of reuse is the :class:`~repro.attacks.structure.
+SelfishForksStructure`: the ``(p, gamma)``-independent skeleton of one attack
+configuration, a pure-Python breadth-first exploration that dominates model
+construction cost.  Before this module existed, spawn-started workers re-ran
+that exploration once per worker (the PR 2 prewarm initializer), so a 16-worker
+sweep paid the exploration 16 times.
+
+The model plane removes every redundant exploration:
+
+1. The parent builds each structure once and serialises it into flat numpy
+   buffers (:meth:`SelfishForksStructure.to_buffers`).
+2. :func:`publish_structures` packs all buffers of all structures into a single
+   ``multiprocessing.shared_memory`` segment -- a small pickled directory of
+   ``(key, dtype, shape, offset)`` entries followed by the raw array bytes.
+3. Each pool worker (fork- and spawn-started alike) calls
+   :func:`attach_structures` in its initializer: the segment is mapped into the
+   worker, every array becomes a read-only numpy view *backed by the shared
+   pages* (zero-copy -- all workers read the same physical memory), and the
+   reconstructed structures are installed into the worker's structure cache.
+   Only the python-object state/action labels are materialised per worker; the
+   numeric transition arrays, which dominate the footprint, are never copied.
+
+Lifecycle and cleanup
+---------------------
+Shared-memory segments are kernel objects that outlive processes, so leaking
+them is the failure mode to engineer against.  Ownership is reference-counted
+within each process via :class:`SharedStructurePlane`: the parent (creator)
+holds one reference and every in-process attach adds one; :meth:`release`
+drops a reference, and the segment is closed when the count reaches zero --
+the *creator* additionally unlinks it.  The engine releases its reference in a
+``finally`` block after the pool exits, so the segment is unlinked even when a
+worker crashed or the sweep raised; an ``atexit`` hook in the creator process
+backstops planes still open when the interpreter shuts down mid-sweep.
+Workers never unlink: fork-started workers call
+:func:`forget_inherited_planes` before attaching, which drops any
+creator-flagged handle inherited through the fork, and a worker's mapping
+simply dies with its process (worker exit paths skip ``atexit``, which is
+fine -- the parent's unlink is what removes the segment from the system).
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import sys
+import threading
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..attacks.structure import SelfishForksStructure, install_structure
+from ..exceptions import ModelError
+
+#: Alignment (bytes) of every array inside the segment; numpy is happy with 8,
+#: 64 keeps rows cache-line aligned for the solver gathers.
+_ALIGNMENT = 64
+
+#: Fixed segment prefix: ``[directory_length: uint64][data_start: uint64]``.
+_HEADER_BYTES = 16
+
+#: Planes currently held open by this process, keyed by segment name.
+_ACTIVE_PLANES: Dict[str, "SharedStructurePlane"] = {}
+_PLANES_LOCK = threading.Lock()
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without handing it to the resource tracker.
+
+    On Python < 3.13 every ``SharedMemory(name=...)`` attach registers the
+    segment with the resource tracker, which would unlink it when the
+    *attaching* process exits -- exactly wrong for worker processes attaching a
+    parent-owned segment (and, since spawn workers share the parent's tracker
+    process, unregistering afterwards would corrupt the parent's bookkeeping).
+    Python 3.13 grew ``track=False`` for this; on older interpreters the
+    registration call is suppressed for the duration of the attach instead.
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover - interpreter dependent
+        return shared_memory.SharedMemory(name=name, track=False)
+    with _ATTACH_LOCK:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register  # type: ignore[assignment]
+
+
+class SharedStructurePlane:
+    """One published set of model structures living in a shared-memory segment.
+
+    Instances are created by :func:`publish_structures` (creator side, owns the
+    segment) or :func:`attach_structures` (worker side, maps it read-only).
+    The plane keeps the :class:`~multiprocessing.shared_memory.SharedMemory`
+    object alive for as long as any reconstructed structure may reference its
+    pages; dropping the last in-process reference via :meth:`release` closes
+    the mapping, and the creator's release also unlinks the segment.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        structures: List[SelfishForksStructure],
+        *,
+        creator: bool,
+    ) -> None:
+        self._segment = segment
+        self._creator = creator
+        self._refcount = 1
+        self._lock = threading.Lock()
+        self._closed = False
+        self.structures = structures
+
+    @property
+    def name(self) -> str:
+        """System-wide name of the shared-memory segment."""
+        return self._segment.name
+
+    @property
+    def closed(self) -> bool:
+        """Whether this process has dropped its mapping of the segment."""
+        return self._closed
+
+    def acquire(self) -> "SharedStructurePlane":
+        """Add one in-process reference (e.g. a second attach of the same plane)."""
+        with self._lock:
+            if self._closed:
+                raise ModelError(f"shared structure plane {self.name!r} is already closed")
+            self._refcount += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; close (and, as creator, unlink) on the last one.
+
+        Idempotent once the count reaches zero -- double releases and the
+        ``atexit`` backstop must never raise during interpreter shutdown.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._refcount -= 1
+            if self._refcount > 0:
+                return
+            self._closed = True
+        with _PLANES_LOCK:
+            _ACTIVE_PLANES.pop(self.name, None)
+        # Reconstructed structures hold views into the segment; drop them first
+        # so close() does not fail with exported-pointer BufferErrors.
+        self.structures = []
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a caller still holds a view
+            return
+        if self._creator:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+
+def _register(plane: SharedStructurePlane) -> SharedStructurePlane:
+    with _PLANES_LOCK:
+        _ACTIVE_PLANES[plane.name] = plane
+    return plane
+
+
+@atexit.register
+def _release_active_planes() -> None:  # pragma: no cover - interpreter shutdown
+    """Backstop: force-release every plane still open at interpreter exit."""
+    with _PLANES_LOCK:
+        planes = list(_ACTIVE_PLANES.values())
+    for plane in planes:
+        with plane._lock:
+            plane._refcount = min(plane._refcount, 1)
+        plane.release()
+
+
+def publish_structures(
+    structures: Iterable[SelfishForksStructure],
+) -> SharedStructurePlane:
+    """Pack structures into one shared-memory segment and return the owner plane.
+
+    Layout: a 16-byte prefix (directory length, data start), a pickled
+    directory listing every array of every structure as ``(structure_index,
+    buffer_key, dtype, shape, offset)``, then the 64-byte-aligned raw array
+    bytes.  Offsets are relative to ``data_start``, so the directory can be
+    built before the prefix is known.
+
+    Raises:
+        ModelError: If ``structures`` is empty (publishing nothing is always a
+            caller bug) or the platform cannot allocate shared memory.
+    """
+    structure_list = list(structures)
+    if not structure_list:
+        raise ModelError("cannot publish an empty set of structures")
+    buffer_sets = [structure.to_buffers() for structure in structure_list]
+
+    directory: List[Tuple[int, str, str, Tuple[int, ...], int]] = []
+    offset = 0
+    for index, buffers in enumerate(buffer_sets):
+        for key in SelfishForksStructure.BUFFER_KEYS:
+            array = np.ascontiguousarray(buffers[key])
+            buffers[key] = array
+            offset = _align(offset)
+            directory.append((index, key, array.dtype.str, array.shape, offset))
+            offset += array.nbytes
+    directory_bytes = pickle.dumps(directory, protocol=pickle.HIGHEST_PROTOCOL)
+    data_start = _align(_HEADER_BYTES + len(directory_bytes))
+    total_size = max(1, data_start + offset)
+
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=total_size)
+    except OSError as exc:
+        raise ModelError(f"cannot allocate shared memory for the model plane: {exc}") from exc
+    try:
+        header = np.ndarray((2,), dtype=np.uint64, buffer=segment.buf)
+        header[0] = len(directory_bytes)
+        header[1] = data_start
+        segment.buf[_HEADER_BYTES : _HEADER_BYTES + len(directory_bytes)] = directory_bytes
+        for index, key, dtype, shape, rel_offset in directory:
+            source = buffer_sets[index][key]
+            target = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=data_start + rel_offset
+            )
+            target[...] = source
+    except Exception:
+        segment.close()
+        segment.unlink()
+        raise
+    return _register(SharedStructurePlane(segment, structure_list, creator=True))
+
+
+def attach_structures(name: str) -> SharedStructurePlane:
+    """Attach a published plane by segment name and reconstruct its structures.
+
+    Every numeric array of every reconstructed structure is a *read-only* view
+    into the shared segment -- nothing is copied, all attached processes read
+    the same physical pages.  Attaching the same segment twice in one process
+    returns the already-open plane with its reference count bumped.
+
+    Raises:
+        ModelError: If no segment with ``name`` exists (e.g. the parent already
+            unlinked it) or its contents are malformed.
+    """
+    with _PLANES_LOCK:
+        existing = _ACTIVE_PLANES.get(name)
+    if existing is not None and not existing.closed:
+        return existing.acquire()
+    try:
+        segment = _attach_untracked(name)
+    except (FileNotFoundError, OSError) as exc:
+        raise ModelError(f"shared structure plane {name!r} is not available: {exc}") from exc
+    try:
+        header = np.ndarray((2,), dtype=np.uint64, buffer=segment.buf)
+        directory_length = int(header[0])
+        data_start = int(header[1])
+        directory = pickle.loads(
+            bytes(segment.buf[_HEADER_BYTES : _HEADER_BYTES + directory_length])
+        )
+        buffer_sets: Dict[int, Dict[str, np.ndarray]] = {}
+        for index, key, dtype, shape, rel_offset in directory:
+            view = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=data_start + rel_offset
+            )
+            view.flags.writeable = False
+            buffer_sets.setdefault(index, {})[key] = view
+        structures = [
+            SelfishForksStructure.from_buffers(buffer_sets[index])
+            for index in sorted(buffer_sets)
+        ]
+    except ModelError:
+        segment.close()
+        raise
+    except Exception as exc:
+        segment.close()
+        raise ModelError(f"shared structure plane {name!r} is malformed: {exc}") from exc
+    return _register(SharedStructurePlane(segment, structures, creator=False))
+
+
+def attach_and_install(name: str) -> SharedStructurePlane:
+    """Attach a plane and install every structure into the process-local cache.
+
+    This is the worker-side entry point used by the sweep pool initializer; the
+    plane is kept open for the lifetime of the worker (released by the
+    ``atexit`` backstop) because the installed structures reference its pages.
+    """
+    plane = attach_structures(name)
+    for structure in plane.structures:
+        install_structure(structure)
+    return plane
+
+
+def forget_inherited_planes() -> None:
+    """Drop plane handles inherited through ``fork`` without closing anything.
+
+    A fork-started worker inherits the parent's plane registry, including the
+    *creator*-flagged handle of the published segment.  Left in place, an
+    attach inside the worker would dedup to that inherited handle -- reusing
+    the worker's private copy-on-write arrays instead of mapping the shared
+    segment (CPython refcount updates dirty COW pages, so those copies do
+    materialise) -- and the creator flag would hand the worker an unlink it
+    must never perform.  Workers therefore forget the inherited registry
+    before attaching; the parent process keeps sole ownership of the unlink.
+    No-op in spawn-started workers, whose registry starts empty.
+    """
+    with _PLANES_LOCK:
+        _ACTIVE_PLANES.clear()
+
+
+def active_plane_names() -> List[str]:
+    """Names of the planes this process currently holds open (for tests)."""
+    with _PLANES_LOCK:
+        return [name for name, plane in _ACTIVE_PLANES.items() if not plane.closed]
+
+
+def plane_refcount(name: str) -> Optional[int]:
+    """Current in-process reference count of a plane (``None`` if unknown)."""
+    with _PLANES_LOCK:
+        plane = _ACTIVE_PLANES.get(name)
+    if plane is None:
+        return None
+    with plane._lock:
+        return plane._refcount

@@ -64,6 +64,13 @@ class SweepConfig:
             (use ``use_structure_cache=False`` for the legacy construction).
         use_structure_cache: Reuse the cached ``(d, f, l)`` model skeleton
             across grid points and only refill probabilities per point.
+        use_shared_structures: With ``workers > 1``, publish the parent-built
+            skeletons on the zero-copy shared-memory model plane
+            (:mod:`repro.core.shared_structures`) so workers attach instead of
+            re-exploring (the default).  Setting this to false restores the
+            PR 2 behaviour -- forked workers inherit private copies, spawned
+            workers rebuild every skeleton once per worker -- which the
+            shared-structure ablation benchmark uses as its baseline.
         warm_start_across_points: Chain each attack series along the ``p``
             axis, seeding every Algorithm 1 run with the optimal strategy and
             bias of the previous grid point.  Changes results only within
@@ -88,6 +95,7 @@ class SweepConfig:
     analysis: AnalysisConfig = field(default_factory=lambda: AnalysisConfig(epsilon=1e-3))
     workers: int = 1
     use_structure_cache: bool = True
+    use_shared_structures: bool = True
     warm_start_across_points: bool = False
     reuse_p_axis_bounds: bool = False
 

@@ -7,6 +7,7 @@ linear-programming formulation), discounted value iteration, induced-Markov-chai
 stationary analysis and structural (graph) analysis.
 """
 
+from .cancellation import CancellationToken
 from .model import MDP, MDPBuilder, TransitionRow
 from .strategy import Strategy
 from .markov_chain import MarkovChain, induced_markov_chain
@@ -29,6 +30,7 @@ from .reachability import end_components, is_unichain, reachable_states
 from .validation import validate_mdp
 
 __all__ = [
+    "CancellationToken",
     "MDP",
     "MDPBuilder",
     "TransitionRow",

@@ -1,0 +1,63 @@
+"""Cooperative cancellation for iterative mean-payoff solvers.
+
+The iterative backends (relative value iteration, Howard policy iteration)
+cannot be killed mid-solve -- they run numpy kernels on shared state -- but
+they *can* stop cleanly between iterations.  A :class:`CancellationToken` is
+the one-way signal for that: the owner (e.g. the solver portfolio, once a rival
+backend has won the race) calls :meth:`~CancellationToken.cancel`, and the
+solver raises :class:`~repro.exceptions.SolverCancelled` at its next iteration
+boundary instead of burning the rest of its iteration budget.
+
+Tokens are thread-safe (a :class:`threading.Event` underneath), cheap to poll
+once per iteration, and never reset: a cancelled token stays cancelled.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from ..exceptions import SolverCancelled
+
+
+class CancellationToken:
+    """A one-way, thread-safe stop signal polled at solver iteration boundaries."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation; idempotent and irreversible."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+    def raise_if_cancelled(self, *, solver: str, iterations: int) -> None:
+        """Raise :class:`~repro.exceptions.SolverCancelled` if cancellation was requested.
+
+        Args:
+            solver: Human-readable name of the solver checking the token.
+            iterations: Iterations the solver completed so far; recorded on the
+                exception so the canceller can account for the work saved.
+        """
+        if self._event.is_set():
+            raise SolverCancelled(
+                f"{solver} cancelled cooperatively after {iterations} iterations",
+                iterations=iterations,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CancellationToken(cancelled={self.cancelled})"
+
+
+def check_cancelled(
+    token: Optional[CancellationToken], *, solver: str, iterations: int
+) -> None:
+    """Poll an optional token: no-op for ``None``, raise when cancelled."""
+    if token is not None:
+        token.raise_if_cancelled(solver=solver, iterations=iterations)

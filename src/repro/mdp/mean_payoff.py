@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import SolverError
+from .cancellation import CancellationToken
 from .linear_program import solve_mean_payoff_lp
 from .model import MDP
 from .policy_iteration import batched_policy_iteration, policy_iteration
@@ -45,6 +46,9 @@ class MeanPayoffSolution:
         bias: Bias vector associated with the solution.
         solver: Name of the backend that produced the result.
         iterations: Iterations used by the backend (0 for the LP).
+        cancelled_iterations: For portfolio solves, the iterations the losing
+            backends were cooperatively cancelled out of -- the solver work the
+            race avoided burning (0 outside portfolio runs).
     """
 
     gain: float
@@ -54,6 +58,7 @@ class MeanPayoffSolution:
     bias: np.ndarray
     solver: str
     iterations: int
+    cancelled_iterations: int = 0
 
 
 def solve_mean_payoff(
@@ -66,6 +71,7 @@ def solve_mean_payoff(
     warm_start: Optional[Strategy] = None,
     warm_start_bias: Optional[np.ndarray] = None,
     portfolio_deadline: float = 30.0,
+    cancel_token: Optional[CancellationToken] = None,
 ) -> MeanPayoffSolution:
     """Compute the optimal mean payoff and an optimal strategy.
 
@@ -88,9 +94,13 @@ def solve_mean_payoff(
             models without checking.
         portfolio_deadline: Seconds the ``"portfolio"`` backend waits for the
             first finisher before blocking unconditionally; ignored otherwise.
+        cancel_token: Optional cooperative stop signal polled at iteration
+            boundaries by the iterative backends (the portfolio additionally
+            creates per-backend tokens internally to stop race losers).
 
     Raises:
         SolverError: If ``solver`` is not a known backend.
+        SolverCancelled: If ``cancel_token`` was cancelled before completion.
     """
     if warm_start_bias is not None:
         warm_start_bias = np.asarray(warm_start_bias, dtype=float)
@@ -106,6 +116,7 @@ def solve_mean_payoff(
             max_iterations=max_iterations,
             warm_start=warm_start,
             warm_start_bias=warm_start_bias,
+            cancel_token=cancel_token,
         )
     if solver == "policy_iteration":
         result = policy_iteration(
@@ -114,6 +125,7 @@ def solve_mean_payoff(
             tolerance=tolerance,
             max_iterations=max(100, min(max_iterations, 10_000)),
             initial_strategy=warm_start,
+            cancel_token=cancel_token,
         )
         return MeanPayoffSolution(
             gain=result.gain,
@@ -131,6 +143,7 @@ def solve_mean_payoff(
             tolerance=tolerance,
             max_iterations=max_iterations,
             initial_bias=warm_start_bias,
+            cancel_token=cancel_token,
         )
         return MeanPayoffSolution(
             gain=result.gain,
@@ -176,6 +189,7 @@ def solve_mean_payoff_batch(
     warm_start: Optional[Strategy] = None,
     warm_start_bias: Optional[np.ndarray] = None,
     portfolio_deadline: float = 30.0,
+    cancel_token: Optional[CancellationToken] = None,
 ) -> List[MeanPayoffSolution]:
     """Solve several reward weightings of the *same* model in one call.
 
@@ -201,12 +215,15 @@ def solve_mean_payoff_batch(
             a per-column matrix of shape ``(num_states, k)``; silently ignored
             on shape mismatch.
         portfolio_deadline: Deadline of the ``"portfolio"`` race; ignored otherwise.
+        cancel_token: Optional cooperative stop signal polled at iteration
+            boundaries by the iterative backends.
 
     Returns:
         One :class:`MeanPayoffSolution` per row of ``weight_matrix``, in order.
 
     Raises:
         SolverError: If ``solver`` is not a known backend.
+        SolverCancelled: If ``cancel_token`` was cancelled before completion.
     """
     weight_matrix = np.asarray(weight_matrix, dtype=float)
     if weight_matrix.ndim != 2 or weight_matrix.shape[1] != mdp.num_reward_components:
@@ -231,6 +248,7 @@ def solve_mean_payoff_batch(
             max_iterations=max_iterations,
             warm_start=warm_start,
             warm_start_bias=warm_start_bias,
+            cancel_token=cancel_token,
         )
     if solver == "policy_iteration":
         results = batched_policy_iteration(
@@ -239,6 +257,7 @@ def solve_mean_payoff_batch(
             tolerance=tolerance,
             max_iterations=max(100, min(max_iterations, 10_000)),
             initial_strategy=warm_start,
+            cancel_token=cancel_token,
         )
         return [
             MeanPayoffSolution(
@@ -259,6 +278,7 @@ def solve_mean_payoff_batch(
             tolerance=tolerance,
             max_iterations=max_iterations,
             initial_bias=warm_start_bias,
+            cancel_token=cancel_token,
         )
         return [
             MeanPayoffSolution(

@@ -5,6 +5,12 @@ a sparse linear solve on the induced Markov chain) and then improves it greedily
 For unichain models the procedure terminates after finitely many iterations with
 an optimal positional strategy and the exact optimal gain, which makes it the
 default solver of the formal analysis.
+
+Both entry points accept an optional
+:class:`~repro.mdp.cancellation.CancellationToken`, polled once per improvement
+round; a cancelled token raises :class:`~repro.exceptions.SolverCancelled` at
+the next round boundary so portfolio losers stop instead of evaluating policies
+nobody will use.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError
+from .cancellation import CancellationToken, check_cancelled
 from .markov_chain import induced_markov_chain
 from .model import MDP
 from .strategy import Strategy
@@ -71,6 +78,7 @@ def policy_iteration(
     tolerance: float = 1e-9,
     max_iterations: int = 1_000,
     initial_strategy: Optional[Strategy] = None,
+    cancel_token: Optional[CancellationToken] = None,
 ) -> PolicyIterationResult:
     """Solve the mean-payoff MDP with Howard policy iteration.
 
@@ -82,9 +90,12 @@ def policy_iteration(
         max_iterations: Maximum number of improvement rounds.
         initial_strategy: Optional warm start (e.g. the previous binary-search
             iterate); defaults to the first-action strategy.
+        cancel_token: Optional cooperative stop signal, polled once per
+            improvement round.
 
     Raises:
         ConvergenceError: If no fixed point is reached within the budget.
+        SolverCancelled: If ``cancel_token`` was cancelled before convergence.
     """
     row_rewards = mdp.expected_row_rewards(reward_weights)
     return _policy_iteration_core(
@@ -94,6 +105,7 @@ def policy_iteration(
         tolerance=tolerance,
         max_iterations=max_iterations,
         initial_strategy=initial_strategy,
+        cancel_token=cancel_token,
     )
 
 
@@ -105,8 +117,16 @@ def _policy_iteration_core(
     tolerance: float,
     max_iterations: int,
     initial_strategy: Optional[Strategy],
+    cancel_token: Optional[CancellationToken] = None,
+    iterations_before: int = 0,
 ) -> PolicyIterationResult:
-    """Howard iteration with the expected row rewards already assembled."""
+    """Howard iteration with the expected row rewards already assembled.
+
+    ``iterations_before`` offsets the iteration count reported on a
+    :class:`~repro.exceptions.SolverCancelled` so that a cancelled chain of
+    batched problems accounts for all rounds it completed, not just the rounds
+    of the problem it was cancelled in.
+    """
     strategy = initial_strategy if initial_strategy is not None else Strategy.first_action(mdp)
     rows = strategy.rows.copy()
     gain = 0.0
@@ -115,6 +135,11 @@ def _policy_iteration_core(
     iterations = 0
 
     for iterations in range(1, max_iterations + 1):
+        check_cancelled(
+            cancel_token,
+            solver="policy iteration",
+            iterations=iterations_before + iterations - 1,
+        )
         chain = induced_markov_chain(mdp, Strategy(mdp, rows))
         gain, bias = chain.gain_and_bias(reward_weights, reference_state=mdp.initial_state)
         new_rows = _greedy_improvement(mdp, row_rewards, bias, gain, rows, tolerance)
@@ -143,6 +168,7 @@ def batched_policy_iteration(
     tolerance: float = 1e-9,
     max_iterations: int = 1_000,
     initial_strategy: Optional[Strategy] = None,
+    cancel_token: Optional[CancellationToken] = None,
 ) -> List[PolicyIterationResult]:
     """Solve ``k`` mean-payoff problems over one model with shared reward assembly.
 
@@ -161,6 +187,9 @@ def batched_policy_iteration(
         max_iterations: Maximum improvement rounds per problem.
         initial_strategy: Optional warm start for the first problem; subsequent
             problems chain from their predecessor's optimum.
+        cancel_token: Optional cooperative stop signal, polled once per
+            improvement round; a cancellation aborts the remaining problems of
+            the chain and reports the rounds completed across all of them.
 
     Returns:
         One :class:`PolicyIterationResult` per row of ``weight_matrix``, in order.
@@ -174,6 +203,7 @@ def batched_policy_iteration(
     row_reward_matrix = mdp.expected_row_reward_components() @ weight_matrix.T
     results: List[PolicyIterationResult] = []
     warm = initial_strategy
+    completed_iterations = 0
     for j in range(weight_matrix.shape[0]):
         result = _policy_iteration_core(
             mdp,
@@ -182,7 +212,10 @@ def batched_policy_iteration(
             tolerance=tolerance,
             max_iterations=max_iterations,
             initial_strategy=warm,
+            cancel_token=cancel_token,
+            iterations_before=completed_iterations,
         )
         results.append(result)
+        completed_iterations += result.iterations
         warm = result.strategy
     return results

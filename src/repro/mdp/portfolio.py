@@ -11,22 +11,29 @@ in the spirit of fault-tolerant redundant orchestration: a backend that stalls
 analysis as long as its rival completes.
 
 Both backends release the GIL inside their numpy kernels, so a two-thread race
-costs little more wall-clock than the winner alone.  Losing threads cannot be
-killed mid-solve; they are cancelled if still queued and otherwise finish in
-the background, which is cheap at the model sizes of the paper's grid.  The
-``deadline`` bounds only how long the portfolio waits before it stops polling
-optimistically and simply blocks for the first backend to complete.
+costs little more wall-clock than the winner alone.  Race losers are stopped
+*cooperatively*: every backend runs under its own
+:class:`~repro.mdp.cancellation.CancellationToken`, and the moment a winner
+returns, the rivals' tokens are cancelled -- the losing solver raises
+:class:`~repro.exceptions.SolverCancelled` at its next iteration boundary
+instead of burning the rest of its iteration budget.  The iterations each
+loser had completed when it stopped are harvested into
+``MeanPayoffSolution.cancelled_iterations`` so results can account for the
+work the cancellation avoided.  The ``deadline`` bounds only how long the
+portfolio waits before it stops polling optimistically and simply blocks for
+the first backend to complete.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FuturesTimeoutError, as_completed
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..exceptions import SolverError
+from ..exceptions import SolverCancelled, SolverError
+from .cancellation import CancellationToken, check_cancelled
 from .model import MDP
 from .strategy import Strategy
 
@@ -50,6 +57,13 @@ class SolverPortfolio:
     backends: Tuple[str, ...] = PORTFOLIO_BACKENDS
     deadline: float = 30.0
 
+    #: Upper bound (seconds) on waiting for cancelled losers to report their
+    #: completed iterations.  Losers stop at their next iteration boundary --
+    #: microseconds to low milliseconds at this repo's model sizes -- so this
+    #: is normally never hit; a loser stuck inside one long kernel forfeits its
+    #: count rather than stalling the winner's result on the critical path.
+    LOSER_HARVEST_TIMEOUT = 0.25
+
     def __post_init__(self) -> None:
         if not self.backends:
             raise SolverError("portfolio needs at least one backend")
@@ -60,39 +74,75 @@ class SolverPortfolio:
 
     # ------------------------------------------------------------------ racing
 
-    def _race(self, thunks):
-        """Run one thunk per backend; return ``(backend, result)`` of the winner.
+    def _race(self, thunks: Sequence[Tuple[str, Callable[[Optional[CancellationToken]], object]]]):
+        """Run one thunk per backend; return the winner and the losers' savings.
 
-        The winner is the first backend whose thunk returns without raising.
-        If every backend raises, the last error is re-raised.
+        Each thunk receives its own cancellation token.  The winner is the
+        first backend whose thunk returns without raising; its rivals' tokens
+        are cancelled immediately, so they stop at their next iteration
+        boundary, and the iterations they completed by then are summed into
+        the returned ``cancelled_iterations``.  If every backend raises, the
+        last error is re-raised.
+
+        Returns:
+            ``(backend, result, cancelled_iterations)``.
         """
         if len(thunks) == 1:
             backend, thunk = thunks[0]
-            return backend, thunk()
+            return backend, thunk(None), 0
         # One short-lived executor per race, by design: a shared pool would let
-        # un-cancellable losing solves from earlier races occupy its threads and
+        # still-draining losers from earlier races occupy its threads and
         # starve later races behind the deadline, while the two threads spawned
-        # here cost microseconds against millisecond-scale solves.  Losers of
-        # *this* race at worst finish in the background without blocking anyone.
+        # here cost microseconds against millisecond-scale solves.
         executor = ThreadPoolExecutor(max_workers=len(thunks), thread_name_prefix="mp-portfolio")
-        futures = {executor.submit(thunk): backend for backend, thunk in thunks}
+        tokens = {backend: CancellationToken() for backend, _ in thunks}
+        futures = {
+            executor.submit(thunk, tokens[backend]): backend for backend, thunk in thunks
+        }
         last_error: Optional[BaseException] = None
+        winner_backend: Optional[str] = None
+        winner_result: Optional[object] = None
         try:
             pending = dict(futures)
             for use_deadline in (True, False):
+                if winner_backend is not None or not pending:
+                    break
                 timeout = self.deadline if use_deadline else None
                 try:
                     for future in as_completed(list(pending), timeout=timeout):
                         pending.pop(future, None)
                         try:
-                            return futures[future], future.result()
+                            winner_result = future.result()
+                            winner_backend = futures[future]
+                            break
                         except Exception as exc:  # noqa: BLE001 - rival may still win
                             last_error = exc
                 except FuturesTimeoutError:
                     continue
                 break
-            assert last_error is not None
-            raise last_error
+            if winner_backend is None:
+                assert last_error is not None
+                raise last_error
+            # Stop the losers at their next iteration boundary and harvest how
+            # many iterations they had completed -- the cancelled remainder of
+            # their budget is the portfolio's saving.
+            for backend, token in tokens.items():
+                if backend != winner_backend:
+                    token.cancel()
+            cancelled_iterations = 0
+            harvest_timeout = min(self.deadline, self.LOSER_HARVEST_TIMEOUT)
+            try:
+                for future in as_completed(list(pending), timeout=harvest_timeout):
+                    pending.pop(future, None)
+                    try:
+                        future.result()
+                    except SolverCancelled as cancelled:
+                        cancelled_iterations += cancelled.iterations
+                    except Exception:  # noqa: BLE001 - loser errors are irrelevant
+                        pass
+            except FuturesTimeoutError:  # pragma: no cover - loser stuck in a kernel
+                pass
+            return winner_backend, winner_result, cancelled_iterations
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
 
@@ -107,18 +157,27 @@ class SolverPortfolio:
         max_iterations: int = 100_000,
         warm_start: Optional[Strategy] = None,
         warm_start_bias: Optional[np.ndarray] = None,
+        cancel_token: Optional[CancellationToken] = None,
     ):
         """Race one mean-payoff solve across the configured backends.
 
+        Args:
+            cancel_token: Optional *external* stop signal, honoured at race
+                granularity (checked before the race starts); the per-backend
+                tokens that stop race losers are managed internally.
+
         Returns:
             The winning backend's :class:`~repro.mdp.mean_payoff.MeanPayoffSolution`
-            with ``solver`` rewritten to ``"portfolio:<backend>"`` so callers can
-            record which backend won.
+            with ``solver`` rewritten to ``"portfolio:<backend>"`` and
+            ``cancelled_iterations`` set to the iterations the cancelled losers
+            had completed when they stopped.
         """
         from .mean_payoff import solve_mean_payoff  # local import: avoids a cycle
 
+        check_cancelled(cancel_token, solver="portfolio", iterations=0)
+
         def thunk(backend: str):
-            return lambda: solve_mean_payoff(
+            return lambda token: solve_mean_payoff(
                 mdp,
                 reward_weights,
                 solver=backend,
@@ -126,10 +185,17 @@ class SolverPortfolio:
                 max_iterations=max_iterations,
                 warm_start=warm_start,
                 warm_start_bias=warm_start_bias,
+                cancel_token=token,
             )
 
-        backend, solution = self._race([(backend, thunk(backend)) for backend in self.backends])
-        return replace(solution, solver=f"portfolio:{backend}")
+        backend, solution, cancelled_iterations = self._race(
+            [(backend, thunk(backend)) for backend in self.backends]
+        )
+        return replace(
+            solution,
+            solver=f"portfolio:{backend}",
+            cancelled_iterations=cancelled_iterations,
+        )
 
     def solve_batch(
         self,
@@ -140,12 +206,20 @@ class SolverPortfolio:
         max_iterations: int = 100_000,
         warm_start: Optional[Strategy] = None,
         warm_start_bias: Optional[np.ndarray] = None,
+        cancel_token: Optional[CancellationToken] = None,
     ) -> List:
-        """Race one *batched* solve (all probes together) across the backends."""
+        """Race one *batched* solve (all probes together) across the backends.
+
+        The batch-wide aborted-iteration count of the cancelled losers is
+        recorded on the first returned solution (the batch is one race, so the
+        saving is a per-race quantity, not a per-probe one).
+        """
         from .mean_payoff import solve_mean_payoff_batch  # local import: avoids a cycle
 
+        check_cancelled(cancel_token, solver="portfolio", iterations=0)
+
         def thunk(backend: str):
-            return lambda: solve_mean_payoff_batch(
+            return lambda token: solve_mean_payoff_batch(
                 mdp,
                 weight_matrix,
                 solver=backend,
@@ -153,7 +227,15 @@ class SolverPortfolio:
                 max_iterations=max_iterations,
                 warm_start=warm_start,
                 warm_start_bias=warm_start_bias,
+                cancel_token=token,
             )
 
-        backend, solutions = self._race([(backend, thunk(backend)) for backend in self.backends])
-        return [replace(solution, solver=f"portfolio:{backend}") for solution in solutions]
+        backend, solutions, cancelled_iterations = self._race(
+            [(backend, thunk(backend)) for backend in self.backends]
+        )
+        rewritten = [
+            replace(solution, solver=f"portfolio:{backend}") for solution in solutions
+        ]
+        if rewritten:
+            rewritten[0] = replace(rewritten[0], cancelled_iterations=cancelled_iterations)
+        return rewritten

@@ -7,6 +7,12 @@ and upper bounds on the optimal gain at every iteration (Puterman 1994, Section
 
 An aperiodicity transformation (damping) is applied so that convergence does not
 depend on the periodicity of the underlying graph.
+
+Both entry points accept an optional
+:class:`~repro.mdp.cancellation.CancellationToken` and poll it once per sweep,
+raising :class:`~repro.exceptions.SolverCancelled` at the next iteration
+boundary when it is set -- this is how portfolio losers stop early instead of
+running out their full budget.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConvergenceError
+from .cancellation import CancellationToken, check_cancelled
 from .model import MDP
 from .strategy import Strategy
 
@@ -101,6 +108,7 @@ def relative_value_iteration(
     damping: float = 0.5,
     initial_bias: Optional[np.ndarray] = None,
     raise_on_divergence: bool = True,
+    cancel_token: Optional[CancellationToken] = None,
 ) -> RelativeValueIterationResult:
     """Solve the mean-payoff MDP with relative value iteration.
 
@@ -118,10 +126,14 @@ def relative_value_iteration(
         raise_on_divergence: If true, exceeding the budget raises
             :class:`~repro.exceptions.ConvergenceError`; otherwise the best
             available bounds are returned with ``converged=False``.
+        cancel_token: Optional cooperative stop signal, polled once per sweep.
 
     Returns:
         A :class:`RelativeValueIterationResult` with certified gain bounds and a
         greedy strategy.
+
+    Raises:
+        SolverCancelled: If ``cancel_token`` was cancelled before convergence.
     """
     if not 0.0 < damping <= 1.0:
         raise ValueError(f"damping must be in (0, 1], got {damping}")
@@ -142,6 +154,7 @@ def relative_value_iteration(
     converged = False
 
     for iterations in range(1, max_iterations + 1):
+        check_cancelled(cancel_token, solver="relative value iteration", iterations=iterations - 1)
         backup, best_rows = _bellman_backup(mdp, row_rewards, values)
         # Damped update keeps the iteration aperiodic:  T_damp h = (1-d) h + d T h.
         residual = backup - values
@@ -186,6 +199,7 @@ def batched_relative_value_iteration(
     damping: float = 0.5,
     initial_bias: Optional[np.ndarray] = None,
     raise_on_divergence: bool = True,
+    cancel_token: Optional[CancellationToken] = None,
 ) -> List[RelativeValueIterationResult]:
     """Solve ``k`` mean-payoff problems over one model in a single vectorised run.
 
@@ -208,6 +222,8 @@ def batched_relative_value_iteration(
             ``(num_states, k)``.
         raise_on_divergence: If true, any column exceeding the budget raises
             :class:`~repro.exceptions.ConvergenceError`.
+        cancel_token: Optional cooperative stop signal, polled once per joint
+            sweep; cancellation aborts all columns at the same boundary.
 
     Returns:
         One :class:`RelativeValueIterationResult` per row of ``weight_matrix``,
@@ -245,6 +261,9 @@ def batched_relative_value_iteration(
     converged_at = np.zeros(num_probes, dtype=np.int64)
 
     for iteration in range(1, max_iterations + 1):
+        check_cancelled(
+            cancel_token, solver="batched relative value iteration", iterations=iteration - 1
+        )
         backup, _ = _batched_bellman_backup(mdp, row_rewards, values)
         residual = backup - values
         span = residual.max(axis=0) - residual.min(axis=0)

@@ -1,0 +1,118 @@
+"""Tests of the adaptive probe scheduling mode (``batch_probes="auto"``).
+
+The scheduler's cost-model arithmetic is tested deterministically with
+synthetic observations; the end-to-end mode is checked against the sequential
+bisection's certified bounds, which it must reproduce within epsilon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams
+from repro.analysis import AdaptiveProbeScheduler, formal_analysis
+from repro.attacks import build_selfish_forks_mdp
+
+EPSILON = 1e-3
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_selfish_forks_mdp(
+        ProtocolParams(p=0.3, gamma=0.5), AttackParams(depth=2, forks=1, max_fork_length=4)
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(model):
+    return formal_analysis(model.mdp, AnalysisConfig(epsilon=EPSILON))
+
+
+class TestScheduler:
+    def test_first_round_is_classic_bisection(self):
+        scheduler = AdaptiveProbeScheduler()
+        assert scheduler.next_probes(1.0, EPSILON) == 1
+
+    def test_second_round_seeds_the_batched_regime(self):
+        scheduler = AdaptiveProbeScheduler(seed_probes=4)
+        scheduler.record(1, 0.1)
+        assert scheduler.next_probes(0.5, EPSILON) == 4
+
+    def test_cheap_marginal_probes_drive_k_up(self):
+        """Near-zero marginal probe cost: the widest allowed round wins."""
+        scheduler = AdaptiveProbeScheduler(max_probes=16)
+        scheduler.record(1, 1.0)
+        scheduler.record(4, 1.03)  # 3 extra probes for ~3% extra time
+        assert scheduler.next_probes(1.0, EPSILON) == 16
+
+    def test_expensive_marginal_probes_fall_back_to_bisection(self):
+        """Each probe as dear as a full solve: log(k+1)/k peaks at k = 1."""
+        scheduler = AdaptiveProbeScheduler(max_probes=16)
+        scheduler.record(1, 1.0)
+        scheduler.record(4, 4.0)
+        assert scheduler.next_probes(1.0, EPSILON) == 1
+
+    def test_probes_capped_by_remaining_interval(self):
+        """The last round never solves probes beyond what finishes the search."""
+        scheduler = AdaptiveProbeScheduler(max_probes=16)
+        scheduler.record(1, 1.0)
+        scheduler.record(4, 1.03)
+        # width / epsilon = 3.2: two probes leave width/3 < epsilon.
+        assert scheduler.next_probes(3.2 * EPSILON, EPSILON) <= 3
+
+    def test_identical_observations_stay_pessimistic(self):
+        """No slope information: the mean cost is charged per probe."""
+        scheduler = AdaptiveProbeScheduler(max_probes=16)
+        scheduler.record(3, 1.0)
+        scheduler.record(3, 1.0)
+        assert scheduler.next_probes(1.0, EPSILON) == 1
+
+    def test_invalid_max_probes_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveProbeScheduler(max_probes=0)
+
+
+class TestAutoModeEndToEnd:
+    @pytest.mark.parametrize("solver", ["policy_iteration", "value_iteration", "portfolio"])
+    def test_auto_matches_sequential_bounds(self, model, sequential, solver):
+        result = formal_analysis(
+            model.mdp, AnalysisConfig(epsilon=EPSILON, solver=solver, batch_probes="auto")
+        )
+        assert result.interval_width < EPSILON
+        assert result.beta_low == pytest.approx(sequential.beta_low, abs=EPSILON)
+        assert result.beta_up == pytest.approx(sequential.beta_up, abs=EPSILON)
+        assert result.beta_low <= result.strategy_errev + 1e-9
+
+    def test_auto_spends_fewer_rounds_than_bisection(self, model, sequential):
+        """Adaptive batching must reduce the number of solve rounds."""
+        result = formal_analysis(
+            model.mdp, AnalysisConfig(epsilon=EPSILON, batch_probes="auto")
+        )
+        betas_per_round = {}
+        for record in result.iterations:
+            betas_per_round.setdefault((record.beta_low, record.beta_up), []).append(record.beta)
+        assert len(betas_per_round) < sequential.num_iterations
+
+    def test_auto_composes_with_warm_start_disabled(self, model, sequential):
+        result = formal_analysis(
+            model.mdp,
+            AnalysisConfig(epsilon=EPSILON, batch_probes="auto", warm_start=False),
+        )
+        assert result.interval_width < EPSILON
+        assert result.beta_low == pytest.approx(sequential.beta_low, abs=EPSILON)
+
+
+class TestConfigValidation:
+    def test_auto_accepted(self):
+        assert AnalysisConfig(batch_probes="auto").batch_probes == "auto"
+
+    def test_other_strings_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(batch_probes="adaptive")
+
+    def test_non_positive_int_rejected(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(batch_probes=0)
+
+    def test_auto_serialises(self):
+        assert AnalysisConfig(batch_probes="auto").to_dict()["batch_probes"] == "auto"

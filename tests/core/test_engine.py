@@ -190,12 +190,12 @@ class TestTaskDecomposition:
 
 
 class TestSpawnContextPrewarm:
-    """On spawn platforms the structure cache must be prewarmed per worker.
+    """On spawn platforms workers must attach the shared plane (or prewarm).
 
-    Regression test: the engine used to skip prewarming entirely off Linux, so
-    every spawned worker silently rebuilt every skeleton per task.  The platform
-    check happens in the parent only, so monkeypatching ``sys.platform`` drives
-    the real spawn + initializer path even on Linux.
+    Regression tests: the engine used to skip cache population entirely off
+    Linux, so every spawned worker silently rebuilt every skeleton per task.
+    The platform check happens in the parent only, so monkeypatching
+    ``sys.platform`` drives the real spawn + initializer path even on Linux.
     """
 
     def spawn_grid(self, **kwargs):
@@ -223,17 +223,25 @@ class TestSpawnContextPrewarm:
         spawned = execute_sweep(self.spawn_grid(workers=2, use_structure_cache=False))
         assert not spawned.failures
 
-    def test_prewarm_worker_importable_and_idempotent(self):
+    def test_initializer_importable_and_idempotent(self):
         """The initializer must be a picklable top-level callable."""
         import pickle
 
-        from repro.core.engine import _prewarm_worker
+        from repro.core.engine import _initialize_worker
 
         config = self.spawn_grid()
-        assert pickle.loads(pickle.dumps(_prewarm_worker)) is _prewarm_worker
+        assert pickle.loads(pickle.dumps(_initialize_worker)) is _initialize_worker
         pickle.dumps(config)  # the initargs must survive the spawn pickling too
-        _prewarm_worker(config)
-        _prewarm_worker(config)
+        # Without a plane name the initializer falls back to the local prewarm.
+        _initialize_worker(None, config)
+        _initialize_worker(None, config)
+
+    def test_initializer_with_vanished_plane_falls_back(self):
+        """A plane unlinked before the worker attaches must not kill the worker."""
+        from repro.core.engine import _initialize_worker
+
+        config = self.spawn_grid()
+        _initialize_worker("repro-no-such-plane", config)
 
 
 class TestMonotonePAxisBoundReuse:

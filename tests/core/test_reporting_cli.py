@@ -37,6 +37,37 @@ class TestWriteCsv:
         path = write_csv([], tmp_path / "empty.csv")
         assert path.read_text().strip() == ""
 
+    def test_explicit_columns_fix_order_and_fill_gaps(self, tmp_path):
+        path = write_csv(
+            [{"b": 2, "a": 1}, {"a": 3, "extra": "dropped"}],
+            tmp_path / "ordered.csv",
+            columns=["a", "b"],
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert lines[2] == "3,"  # missing key -> empty cell, extras dropped
+
+    def test_wall_clock_columns_rounded_to_significant_digits(self, tmp_path):
+        path = write_csv(
+            [{"seconds": 0.123456789, "build_seconds": 1234.5678, "errev": 0.123456789}],
+            tmp_path / "rounded.csv",
+        )
+        with path.open() as handle:
+            (row,) = list(csv.DictReader(handle))
+        assert row["seconds"] == "0.1235"
+        assert row["build_seconds"] == "1235.0"
+        # Non-timing floats keep their full precision.
+        assert row["errev"] == "0.123456789"
+
+    def test_time_rounding_can_be_disabled(self, tmp_path):
+        path = write_csv(
+            [{"seconds": 0.123456789}], tmp_path / "full.csv", time_significant_digits=None
+        )
+        with path.open() as handle:
+            (row,) = list(csv.DictReader(handle))
+        assert row["seconds"] == "0.123456789"
+
 
 class TestRenderTable:
     def test_contains_all_columns_and_values(self):
@@ -209,6 +240,30 @@ class TestCli:
         )
         assert all(float(row["beta_up"]) - float(row["beta_low"]) < 0.02 for row in attack_rows)
 
+    def test_analyze_with_auto_batch_probes(self, capsys):
+        exit_code = main(
+            [
+                "analyze",
+                "--p",
+                "0.3",
+                "--depth",
+                "1",
+                "--epsilon",
+                "0.01",
+                "--batch-probes",
+                "auto",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ERRev lower bound" in captured.out
+
+    def test_help_documents_auto_batch_probes(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--help"])
+        assert excinfo.value.code == 0
+        assert "'auto'" in capsys.readouterr().out
+
     @pytest.mark.parametrize(
         "argv",
         [
@@ -216,6 +271,7 @@ class TestCli:
             ["sweep", "--workers", "0"],
             ["analyze", "--epsilon", "0"],
             ["analyze", "--batch-probes", "0"],
+            ["analyze", "--batch-probes", "adaptive"],
         ],
     )
     def test_invalid_numeric_flags_rejected_cleanly(self, argv, capsys):

@@ -1,0 +1,299 @@
+"""Tests of the shared-memory model plane (:mod:`repro.core.shared_structures`).
+
+Three contracts are exercised: the buffer round trip reproduces the in-process
+structure bit for bit, attached workers perform zero explorations, and the
+segment lifecycle never leaks -- unlinked after a clean pool shutdown and after
+a simulated worker crash alike.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams, SweepConfig
+from repro.attacks import (
+    clear_structure_cache,
+    get_model_structure,
+    structure_cache_stats,
+)
+from repro.attacks.structure import SelfishForksStructure
+from repro.core.engine import _initialize_worker, execute_sweep
+from repro.core.shared_structures import (
+    active_plane_names,
+    attach_structures,
+    plane_refcount,
+    publish_structures,
+)
+from repro.exceptions import ModelError
+
+PROTOCOL = ProtocolParams(p=0.3, gamma=0.5)
+ATTACK = AttackParams(depth=2, forks=1, max_fork_length=4)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_structure_cache()
+    yield
+    clear_structure_cache()
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def assert_structures_identical(left: SelfishForksStructure, right: SelfishForksStructure):
+    assert left.attack == right.attack
+    assert left.signature == right.signature
+    assert left.initial_state == right.initial_state
+    assert left.state_labels == right.state_labels
+    assert left.row_actions == right.row_actions
+    for key in (
+        "row_state",
+        "state_row_offsets",
+        "row_trans_offsets",
+        "trans_succ",
+        "trans_kind",
+        "trans_sigma",
+        "trans_mult",
+        "trans_reward",
+    ):
+        left_array, right_array = getattr(left, key), getattr(right, key)
+        assert left_array.dtype == right_array.dtype, key
+        assert np.array_equal(left_array, right_array), key
+
+
+class TestBufferRoundTrip:
+    def test_from_buffers_is_bit_for_bit(self):
+        structure = get_model_structure(ATTACK, PROTOCOL)
+        rebuilt = SelfishForksStructure.from_buffers(structure.to_buffers())
+        assert_structures_identical(structure, rebuilt)
+
+    def test_round_trip_instantiates_identically(self):
+        structure = get_model_structure(ATTACK, PROTOCOL)
+        rebuilt = SelfishForksStructure.from_buffers(structure.to_buffers())
+        for protocol in (PROTOCOL, ProtocolParams(p=0.45, gamma=0.9)):
+            original = structure.instantiate(protocol)
+            copy = rebuilt.instantiate(protocol)
+            assert np.array_equal(original.trans_prob, copy.trans_prob)
+            assert original.state_labels == copy.state_labels
+            assert original.row_actions == copy.row_actions
+
+    def test_boundary_support_round_trips(self):
+        boundary = ProtocolParams(p=0.0, gamma=0.5)
+        structure = get_model_structure(ATTACK, boundary)
+        rebuilt = SelfishForksStructure.from_buffers(structure.to_buffers())
+        assert_structures_identical(structure, rebuilt)
+
+
+class TestPlaneLifecycle:
+    def test_attached_plane_equals_in_process_structure(self, monkeypatch):
+        """A real attach (as a worker performs it) is bit-for-bit and zero-copy.
+
+        Attaching within the publishing process normally dedups to the open
+        creator plane, so the plane registry is emptied first to force the
+        worker-side mapping path.
+        """
+        import repro.core.shared_structures as shared_module
+
+        structure = get_model_structure(ATTACK, PROTOCOL)
+        plane = publish_structures([structure])
+        try:
+            monkeypatch.setattr(shared_module, "_ACTIVE_PLANES", {})
+            attached = attach_structures(plane.name)
+            try:
+                (remote,) = attached.structures
+                assert_structures_identical(structure, remote)
+                # The numeric arrays of the attachment are read-only shared views.
+                assert not remote.trans_succ.flags.writeable
+                assert not remote.trans_reward.flags.owndata
+            finally:
+                attached.release()
+        finally:
+            plane.release()
+
+    def test_refcounted_release_unlinks_on_last_reference(self):
+        plane = publish_structures([get_model_structure(ATTACK, PROTOCOL)])
+        name = plane.name
+        # Attaching within the same process returns the open plane with its
+        # reference count bumped instead of mapping the segment twice.
+        assert attach_structures(name) is plane
+        assert plane_refcount(name) == 2
+        plane.release()
+        assert segment_exists(name), "segment must survive while a reference is held"
+        plane.release()
+        assert not segment_exists(name)
+        assert name not in active_plane_names()
+        assert plane_refcount(name) is None
+
+    def test_publish_empty_rejected(self):
+        with pytest.raises(ModelError):
+            publish_structures([])
+
+    def test_attach_unknown_name_raises_model_error(self):
+        with pytest.raises(ModelError):
+            attach_structures("repro-test-no-such-segment")
+
+
+def report_attack_array_flags():
+    """Worker-side probe: (owndata, writeable) of the cached attack structure.
+
+    Must stay at module top level so the pool can pickle it by reference.
+    """
+    structure = get_model_structure(ATTACK, PROTOCOL)
+    return (structure.trans_succ.flags.owndata, structure.trans_succ.flags.writeable)
+
+
+def sweep_grid(**kwargs) -> SweepConfig:
+    return SweepConfig(
+        p_values=(0.1, 0.3),
+        gammas=(0.5,),
+        attack_configs=(AttackParams(1, 1, 4), ATTACK),
+        analysis=AnalysisConfig(epsilon=1e-2),
+        **kwargs,
+    )
+
+
+def capture_plane_names(monkeypatch) -> list:
+    """Record the segment names the engine publishes during a sweep."""
+    import repro.core.engine as engine_module
+
+    names = []
+    original = engine_module.publish_structures
+
+    def capturing(structures):
+        plane = original(structures)
+        names.append(plane.name)
+        return plane
+
+    monkeypatch.setattr(engine_module, "publish_structures", capturing)
+    return names
+
+
+class TestEngineIntegration:
+    def test_segment_unlinked_after_pool_shutdown(self, monkeypatch):
+        names = capture_plane_names(monkeypatch)
+        sweep = execute_sweep(sweep_grid(workers=2))
+        assert not sweep.failures
+        assert names, "the engine must publish a plane for a multi-worker sweep"
+        for name in names:
+            assert not segment_exists(name)
+            assert name not in active_plane_names()
+
+    def test_worker_crash_does_not_leak_segment(self, monkeypatch):
+        """A pool whose workers die must still unlink the shared segment."""
+        import repro.core.engine as engine_module
+
+        names = capture_plane_names(monkeypatch)
+
+        def die(task):
+            os._exit(1)
+
+        # Fork-started workers inherit the patched module, so every task's
+        # worker kills itself and the pool breaks.
+        monkeypatch.setattr(engine_module, "_run_attack_task", die)
+        monkeypatch.setenv("REPRO_TEST_START_METHOD", "fork")
+        sweep = execute_sweep(sweep_grid(workers=2))
+        assert sweep.failures and all(
+            "worker crashed" in failure.message for failure in sweep.failures
+        )
+        assert names
+        for name in names:
+            assert not segment_exists(name)
+
+    def test_spawn_sweep_matches_serial(self, monkeypatch):
+        serial = execute_sweep(sweep_grid(workers=1))
+        monkeypatch.setenv("REPRO_TEST_START_METHOD", "spawn")
+        spawned = execute_sweep(sweep_grid(workers=4))
+        assert not spawned.failures
+        assert [(p.p, p.gamma, p.series, p.errev) for p in spawned.points] == [
+            (p.p, p.gamma, p.series, p.errev) for p in serial.points
+        ]
+
+    def test_spawn_workers_attach_without_building(self):
+        """Acceptance: spawn workers at >= 4 parallelism perform zero builds.
+
+        The pool uses the engine's own initializer and a published plane, then
+        asks every worker for its ``structure_cache_stats()``: the parent built
+        the skeletons once, the workers only attached.
+        """
+        config = sweep_grid(workers=4)
+        structures = [
+            get_model_structure(attack, PROTOCOL) for attack in config.attack_configs
+        ]
+        plane = publish_structures(structures)
+        try:
+            context = multiprocessing.get_context("spawn")
+            with ProcessPoolExecutor(
+                max_workers=4,
+                mp_context=context,
+                initializer=_initialize_worker,
+                initargs=(plane.name, config),
+            ) as pool:
+                stats = [
+                    future.result()
+                    for future in [pool.submit(structure_cache_stats) for _ in range(8)]
+                ]
+        finally:
+            plane.release()
+        assert stats
+        for worker_stats in stats:
+            assert worker_stats["builds"] == 0
+            assert worker_stats["attaches"] >= len(structures)
+            assert worker_stats["entries"] >= len(structures)
+
+    def test_fork_workers_map_the_segment_not_inherited_copies(self):
+        """Fork workers must attach real shared views, not reuse COW copies.
+
+        A fork-started worker inherits the parent's cache *and* the parent's
+        creator plane handle; the initializer must discard both so the cached
+        structure's arrays are read-only views of the shared segment
+        (``owndata=False``) instead of the inherited private arrays.
+        """
+        config = sweep_grid(workers=2)
+        structures = [
+            get_model_structure(attack, PROTOCOL) for attack in config.attack_configs
+        ]
+        plane = publish_structures(structures)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=2,
+                mp_context=context,
+                initializer=_initialize_worker,
+                initargs=(plane.name, config),
+            ) as pool:
+                flags = [pool.submit(report_attack_array_flags).result() for _ in range(4)]
+        finally:
+            plane.release()
+        # In the parent the same structure owns writable arrays.
+        assert report_attack_array_flags() == (True, True)
+        assert all(worker_flags == (False, False) for worker_flags in flags)
+
+    def test_invalid_start_method_override_raises(self, monkeypatch):
+        """A typo in REPRO_TEST_START_METHOD must fail loudly, not run fork."""
+        monkeypatch.setenv("REPRO_TEST_START_METHOD", "spwan")
+        with pytest.raises(ValueError, match="REPRO_TEST_START_METHOD"):
+            execute_sweep(sweep_grid(workers=2))
+
+    def test_shared_plane_disabled_still_matches(self, monkeypatch):
+        """The ``use_shared_structures=False`` fallback reproduces the values."""
+        serial = execute_sweep(sweep_grid(workers=1))
+        names = capture_plane_names(monkeypatch)
+        monkeypatch.setenv("REPRO_TEST_START_METHOD", "spawn")
+        fallback = execute_sweep(sweep_grid(workers=2, use_shared_structures=False))
+        assert not names, "no plane may be published when shared structures are off"
+        assert not fallback.failures
+        assert [(p.p, p.gamma, p.series, p.errev) for p in fallback.points] == [
+            (p.p, p.gamma, p.series, p.errev) for p in serial.points
+        ]

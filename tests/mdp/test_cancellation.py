@@ -1,0 +1,187 @@
+"""Tests of cooperative solver cancellation and the cancellable portfolio.
+
+The solvers must stop at the next iteration boundary once their token is
+cancelled, reporting the iterations completed; the portfolio must cancel race
+losers, harvest their aborted-iteration counts, and still produce the same
+certified results as the standalone backends.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams
+from repro.analysis import formal_analysis
+from repro.attacks import build_selfish_forks_mdp
+from repro.exceptions import SolverCancelled
+from repro.mdp import (
+    CancellationToken,
+    SolverPortfolio,
+    batched_policy_iteration,
+    batched_relative_value_iteration,
+    policy_iteration,
+    relative_value_iteration,
+    solve_mean_payoff,
+    solve_mean_payoff_batch,
+)
+from repro.analysis.rewards import beta_reward_weights
+
+WEIGHTS = beta_reward_weights(0.4)
+
+
+@pytest.fixture(scope="module")
+def mdp():
+    return build_selfish_forks_mdp(
+        ProtocolParams(p=0.3, gamma=0.5), AttackParams(depth=2, forks=1, max_fork_length=4)
+    ).mdp
+
+
+class TestToken:
+    def test_starts_uncancelled_and_is_irreversible(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel()
+        token.cancel()
+        assert token.cancelled
+
+    def test_raise_if_cancelled_carries_iterations(self):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(SolverCancelled) as excinfo:
+            token.raise_if_cancelled(solver="test", iterations=17)
+        assert excinfo.value.iterations == 17
+
+
+class TestSolverCancellation:
+    def test_value_iteration_stops_at_first_boundary(self, mdp):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(SolverCancelled) as excinfo:
+            relative_value_iteration(mdp, WEIGHTS, cancel_token=token)
+        assert excinfo.value.iterations == 0
+
+    def test_policy_iteration_stops_at_first_boundary(self, mdp):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(SolverCancelled) as excinfo:
+            policy_iteration(mdp, WEIGHTS, cancel_token=token)
+        assert excinfo.value.iterations == 0
+
+    def test_batched_value_iteration_cancellable(self, mdp):
+        token = CancellationToken()
+        token.cancel()
+        matrix = np.array([beta_reward_weights(beta) for beta in (0.3, 0.4, 0.5)])
+        with pytest.raises(SolverCancelled):
+            batched_relative_value_iteration(mdp, matrix, cancel_token=token)
+
+    def test_batched_policy_iteration_reports_chain_iterations(self, mdp):
+        """Cancellation mid-chain must report rounds of *all* finished probes."""
+        matrix = np.array([beta_reward_weights(beta) for beta in (0.3, 0.4, 0.5)])
+        uncancelled = batched_policy_iteration(mdp, matrix)
+        first_two = sum(result.iterations for result in uncancelled[:2])
+
+        class TripAfterFirstTwoProbes(CancellationToken):
+            # The chain offsets its poll count by the finished probes' rounds,
+            # so cancelling at that threshold aborts inside the third probe.
+            def raise_if_cancelled(self, *, solver, iterations):
+                if iterations >= first_two:
+                    self.cancel()
+                super().raise_if_cancelled(solver=solver, iterations=iterations)
+
+        with pytest.raises(SolverCancelled) as excinfo:
+            batched_policy_iteration(mdp, matrix, cancel_token=TripAfterFirstTwoProbes())
+        assert excinfo.value.iterations >= first_two
+
+    def test_uncancelled_token_changes_nothing(self, mdp):
+        token = CancellationToken()
+        plain = relative_value_iteration(mdp, WEIGHTS)
+        tracked = relative_value_iteration(mdp, WEIGHTS, cancel_token=token)
+        assert tracked.gain == plain.gain
+        assert tracked.iterations == plain.iterations
+
+    def test_mid_solve_cancellation_from_another_thread(self, mdp):
+        """A token cancelled concurrently stops the solver before its budget."""
+        token = CancellationToken()
+        timer = threading.Timer(0.01, token.cancel)
+        timer.start()
+        try:
+            with pytest.raises(SolverCancelled):
+                # Tiny tolerance and huge budget: without cancellation this
+                # solve would spin for a very long time.
+                relative_value_iteration(
+                    mdp,
+                    WEIGHTS,
+                    tolerance=1e-300,
+                    max_iterations=100_000_000,
+                    cancel_token=token,
+                )
+        finally:
+            timer.cancel()
+
+    def test_solve_mean_payoff_propagates_token(self, mdp):
+        token = CancellationToken()
+        token.cancel()
+        for solver in ("policy_iteration", "value_iteration"):
+            with pytest.raises(SolverCancelled):
+                solve_mean_payoff(mdp, WEIGHTS, solver=solver, cancel_token=token)
+
+
+class TestPortfolioCancellation:
+    def test_winner_matches_standalone_backends(self, mdp):
+        reference = solve_mean_payoff(mdp, WEIGHTS, solver="policy_iteration")
+        solution = solve_mean_payoff(mdp, WEIGHTS, solver="portfolio")
+        assert solution.solver in ("portfolio:policy_iteration", "portfolio:value_iteration")
+        assert solution.gain == pytest.approx(reference.gain, abs=1e-6)
+        assert solution.cancelled_iterations >= 0
+
+    def test_batch_records_cancelled_iterations_once(self, mdp):
+        matrix = np.array([beta_reward_weights(beta) for beta in (0.3, 0.4, 0.5)])
+        solutions = solve_mean_payoff_batch(mdp, matrix, solver="portfolio")
+        assert len(solutions) == 3
+        assert all(s.solver.startswith("portfolio:") for s in solutions)
+        # The race-wide saving is recorded on the first solution only.
+        assert all(s.cancelled_iterations == 0 for s in solutions[1:])
+
+    def test_single_backend_portfolio_has_no_loser(self, mdp):
+        portfolio = SolverPortfolio(backends=("policy_iteration",))
+        solution = portfolio.solve(mdp, WEIGHTS)
+        assert solution.solver == "portfolio:policy_iteration"
+        assert solution.cancelled_iterations == 0
+
+    def test_losers_stop_before_their_full_budget(self, mdp):
+        """The cancelled losers' recorded work stays below their standalone cost.
+
+        Value iteration needs hundreds of sweeps on this model while policy
+        iteration finishes in a handful of rounds, so across a full analysis
+        the cancelled iterations must total well under the standalone
+        value-iteration budget (a loser running to completion would match it).
+        """
+        standalone = formal_analysis(
+            mdp, AnalysisConfig(epsilon=1e-3, solver="value_iteration")
+        )
+        portfolio = formal_analysis(mdp, AnalysisConfig(epsilon=1e-3, solver="portfolio"))
+        assert portfolio.interval_width < 1e-3
+        assert portfolio.cancelled_solver_iterations >= 0
+        assert (
+            portfolio.cancelled_solver_iterations
+            < standalone.total_solver_iterations + portfolio.total_solver_iterations
+        )
+
+    def test_external_precancelled_token_aborts_race(self, mdp):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(SolverCancelled):
+            solve_mean_payoff(mdp, WEIGHTS, solver="portfolio", cancel_token=token)
+
+    def test_formal_analysis_records_cancellations(self, mdp):
+        result = formal_analysis(mdp, AnalysisConfig(epsilon=1e-2, solver="portfolio"))
+        assert result.interval_width < 1e-2
+        assert result.cancelled_solver_iterations >= 0
+        assert result.backend_wins
+
+    def test_non_portfolio_analysis_reports_zero_cancellations(self, mdp):
+        result = formal_analysis(mdp, AnalysisConfig(epsilon=1e-2))
+        assert result.cancelled_solver_iterations == 0
