@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Distributed sweep on loopback: one coordinator, two worker processes.
+
+Demonstrates the multi-host sweep fabric (:mod:`repro.core.distributed`) end to
+end without needing a second machine: two ``repro worker`` processes are
+spawned locally and connect to a coordinator listening on 127.0.0.1.  The
+coordinator streams the ``(p, gamma, attack)`` grid units over TCP, ships every
+model skeleton as the same flat buffers the shared-memory plane uses (so the
+workers perform zero explorations), and merges the streamed results into the
+ordinary :class:`~repro.core.results.SweepResult` -- bit-for-bit identical to a
+serial run, which the script verifies at the end.
+
+Run with:  python examples/distributed_sweep.py     (finishes in well under 30 s)
+
+Across real hosts the only difference is addressing: start the coordinator
+with ``repro sweep --distributed --listen 0.0.0.0:7355`` and point each
+worker's ``--connect`` at the coordinator's routable address.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.config import AnalysisConfig, AttackParams
+from repro.core.sweep import SweepConfig, run_sweep
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def free_port() -> int:
+    """Pick an ephemeral loopback port for the coordinator to listen on."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def spawn_worker(port: int) -> subprocess.Popen:
+    """Start one `repro worker` process connecting to the loopback coordinator."""
+    env = dict(os.environ, PYTHONPATH=str(SRC) + os.pathsep + os.environ.get("PYTHONPATH", ""))
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--connect-retry-seconds",
+            "30",
+            "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+
+
+def main() -> None:
+    grid = dict(
+        p_values=(0.0, 0.05, 0.1, 0.15, 0.2),
+        gammas=(0.5,),
+        attack_configs=(
+            AttackParams(depth=1, forks=1, max_fork_length=4),
+            AttackParams(depth=2, forks=1, max_fork_length=4),
+        ),
+        analysis=AnalysisConfig(epsilon=1e-2),
+    )
+
+    port = free_port()
+    print(f"starting 2 workers against 127.0.0.1:{port}")
+    workers = [spawn_worker(port) for _ in range(2)]
+
+    config = SweepConfig(**grid, coordinator=f"127.0.0.1:{port}", distributed_workers=2)
+    result = run_sweep(config, progress=lambda message: print(f"  {message}"))
+
+    for worker in workers:
+        output, _ = worker.communicate(timeout=30)
+        print(f"worker exited {worker.returncode}: {output.strip()}")
+
+    fabric = result.metadata["distributed"]
+    print()
+    print(f"{fabric['units']} units over {len(fabric['workers'])} workers")
+    for name, stats in fabric["workers"].items():
+        print(
+            f"  {name}: {stats['units']} units, builds={stats['builds']} "
+            f"(0 = every skeleton arrived over the wire), attaches={stats['attaches']}"
+        )
+
+    print()
+    print("verifying against a serial in-process sweep...")
+    serial = run_sweep(SweepConfig(**grid))
+    mismatches = sum(
+        1
+        for ours, theirs in zip(serial.points, result.points)
+        if ours.errev != theirs.errev
+    )
+    assert len(serial.points) == len(result.points) and mismatches == 0
+    print(f"all {len(result.points)} points agree bit-for-bit with the serial sweep")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,15 @@ whose batched solves are nearly free (small ``b``) converge to wide rounds;
 models where every extra probe costs as much as a fresh solve stay close to
 classic bisection.  Only the probe placement adapts -- every round still brackets
 the zero crossing, so the certified bounds are unchanged.
+
+Invariant: **certified-bound reproducibility**.  For a fixed probe schedule the
+final ``[beta_low, beta_up]`` interval is a deterministic function of the model
+and ``epsilon`` -- identical bit-for-bit across processes and hosts (the sweep
+engine asserts this for its serial, pooled and distributed backends) -- and
+every schedule's interval has width below ``epsilon`` with
+``beta_low <= ERRev* <= beta_up`` within the MDP's strategy class.  Warm starts
+(``AnalysisConfig.warm_start``) change solver iteration counts, never the
+certified interval beyond solver tolerance.
 """
 
 from __future__ import annotations

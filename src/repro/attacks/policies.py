@@ -27,10 +27,12 @@ class HonestPolicy(MiningPolicy):
     """The protocol-following policy: always keep mining, never release."""
 
     def decide(self, state: ForkState) -> AttackDecision:
+        """Always keep mining on the public tip."""
         return AttackDecision.mine()
 
     @property
     def name(self) -> str:
+        """Human-readable policy name."""
         return "honest"
 
 
@@ -51,9 +53,11 @@ class SelfishForksPolicy(MiningPolicy):
         self.unknown_states = 0
 
     def reset(self) -> None:
+        """Clear the unknown-state diagnostic counter."""
         self.unknown_states = 0
 
     def decide(self, state: ForkState) -> AttackDecision:
+        """Look the state up in the MDP strategy (mine on unreachable states)."""
         try:
             index = self._mdp.state_of_label(state)
         except ModelError:
@@ -67,6 +71,7 @@ class SelfishForksPolicy(MiningPolicy):
 
     @property
     def name(self) -> str:
+        """Human-readable policy name."""
         return "selfish-forks(optimal)"
 
 
@@ -82,6 +87,7 @@ class GreedyLeadPolicy(MiningPolicy):
         self.race_on_tie = race_on_tie
 
     def decide(self, state: ForkState) -> AttackDecision:
+        """Release the deepest strictly-winning fork, else mine (or race ties)."""
         c_matrix, _, state_type = state
         if state_type == TYPE_MINING:
             return AttackDecision.mine()
@@ -107,4 +113,5 @@ class GreedyLeadPolicy(MiningPolicy):
 
     @property
     def name(self) -> str:
+        """Human-readable policy name."""
         return "greedy-lead"

@@ -1,13 +1,31 @@
 """Command-line interface.
 
-Three subcommands mirror the library's main entry points::
+Four subcommands mirror the library's main entry points (installed as both
+``repro`` and the legacy ``repro-selfish-mining``)::
 
-    repro-selfish-mining analyze --p 0.3 --gamma 0.5 --depth 2 --forks 1
-    repro-selfish-mining sweep   --gamma 0.5 --p-step 0.05 --csv out.csv
-    repro-selfish-mining simulate --p 0.3 --gamma 0.5 --depth 2 --forks 1 --steps 100000
+    repro analyze  --p 0.3 --gamma 0.5 --depth 2 --forks 1
+    repro sweep    --gamma 0.5 --p-step 0.05 --csv out.csv
+    repro simulate --p 0.3 --gamma 0.5 --depth 2 --forks 1 --steps 100000
+    repro worker   --connect HOST:PORT
 
 ``analyze`` runs Algorithm 1 for one parameter point, ``sweep`` regenerates a
-Figure 2 panel, and ``simulate`` Monte-Carlo-validates the computed strategy.
+Figure 2 panel, ``simulate`` Monte-Carlo-validates the computed strategy, and
+``worker`` serves a remote distributed-sweep coordinator (see below).
+
+The full flag-by-flag reference lives in ``docs/cli.md``.
+
+Distributed sweeps
+------------------
+
+``repro sweep --distributed --listen HOST:PORT`` runs the sweep as the
+coordinator of a multi-host fabric (:mod:`repro.core.distributed`): grid units
+stream over TCP to every ``repro worker --connect HOST:PORT`` process that
+joins, model skeletons travel as the same flat buffers the shared-memory plane
+uses (remote workers perform zero explorations), and results merge into the
+identical CSV/plot pipeline -- bit-for-bit equal to a serial run.
+``--min-workers N`` delays scheduling until N workers have joined;
+``--heartbeat-seconds`` and ``--straggler-seconds`` tune failure detection and
+speculative reassignment.
 
 Solver selection and batched probes
 -----------------------------------
@@ -43,6 +61,7 @@ from typing import Optional, Sequence
 
 from .config import AnalysisConfig, AttackParams, ProtocolParams
 from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
+from .core.distributed import parse_address, run_worker
 from .core.sweep import SweepConfig, run_sweep
 
 #: Short aliases accepted by ``--solver`` alongside the full backend names.
@@ -78,6 +97,15 @@ def _positive_float(value: str) -> float:
     if not number > 0.0:
         raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
     return number
+
+
+def _address(value: str) -> str:
+    """Validate a ``HOST:PORT`` argument and return it unchanged."""
+    try:
+        parse_address(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
 
 
 def _batch_probes(value: str):
@@ -123,7 +151,7 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="repro-selfish-mining",
+        prog="repro",
         description="Fully automated selfish mining analysis in efficient proof systems blockchains",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -160,6 +188,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-structure-cache",
         action="store_true",
         help="rebuild the MDP from scratch at every grid point (disable the skeleton cache)",
+    )
+    sweep.add_argument(
+        "--distributed",
+        action="store_true",
+        help="coordinate the sweep over remote `repro worker` processes instead of a local pool",
+    )
+    sweep.add_argument(
+        "--listen",
+        type=_address,
+        default="127.0.0.1:7355",
+        metavar="HOST:PORT",
+        help="address the distributed coordinator listens on (port 0 = ephemeral; "
+        "requires --distributed)",
+    )
+    sweep.add_argument(
+        "--min-workers",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="workers to wait for before streaming distributed work units",
+    )
+    sweep.add_argument(
+        "--heartbeat-seconds",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="worker heartbeat interval; a worker silent for 3x this is presumed dead "
+        "(default 5, or REPRO_HEARTBEAT_SECONDS)",
+    )
+    sweep.add_argument(
+        "--straggler-seconds",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="age after which an outstanding unit is speculatively duplicated onto an "
+        "idle worker (default 30, or REPRO_STRAGGLER_SECONDS)",
+    )
+
+    worker = subparsers.add_parser(
+        "worker", help="serve a distributed-sweep coordinator as a remote worker"
+    )
+    worker.add_argument(
+        "--connect",
+        type=_address,
+        required=True,
+        metavar="HOST:PORT",
+        help="address of the coordinator started with `repro sweep --distributed --listen`",
+    )
+    worker.add_argument(
+        "--capacity",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="work units this worker computes concurrently (thread pool size)",
+    )
+    worker.add_argument(
+        "--heartbeat-seconds",
+        type=_positive_float,
+        default=None,
+        metavar="S",
+        help="interval between heartbeat frames sent to the coordinator",
+    )
+    worker.add_argument(
+        "--connect-retry-seconds",
+        type=_positive_float,
+        default=10.0,
+        metavar="S",
+        help="how long to keep retrying the initial connection (workers may start first)",
+    )
+    worker.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-unit progress lines on stderr",
     )
 
     simulate = subparsers.add_parser("simulate", help="Monte-Carlo validate the computed strategy")
@@ -212,8 +313,29 @@ def _command_sweep(args: argparse.Namespace) -> int:
         use_structure_cache=not args.no_structure_cache,
         warm_start_across_points=args.warm_start_across_points,
         reuse_p_axis_bounds=args.reuse_p_bounds,
+        coordinator=args.listen if args.distributed else None,
+        distributed_workers=args.min_workers if args.distributed else 0,
     )
-    sweep = run_sweep(config, progress=lambda message: print(message, file=sys.stderr))
+    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    if args.distributed:
+        from .core.distributed import run_distributed_sweep
+
+        sweep = run_distributed_sweep(
+            config,
+            progress=progress,
+            heartbeat_seconds=args.heartbeat_seconds,
+            straggler_seconds=args.straggler_seconds,
+        )
+        fabric = sweep.metadata.get("distributed", {})
+        print(
+            f"distributed: {fabric.get('units', 0)} unit(s) over "
+            f"{len(fabric.get('workers', {}))} worker(s), "
+            f"{fabric.get('reassigned_units', 0)} reassigned, "
+            f"{fabric.get('duplicated_units', 0)} duplicated",
+            file=sys.stderr,
+        )
+    else:
+        sweep = run_sweep(config, progress=progress)
     print(ascii_plot(sweep, args.gamma))
     for failure in sweep.failures:
         print(
@@ -224,6 +346,23 @@ def _command_sweep(args: argparse.Namespace) -> int:
         path = write_csv([point.to_row() for point in sweep.points], args.csv)
         print(f"\nwrote {path}")
     return 0 if not sweep.failures else 1
+
+
+def _command_worker(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    summary = run_worker(
+        args.connect,
+        capacity=args.capacity,
+        heartbeat_seconds=args.heartbeat_seconds,
+        connect_retry_seconds=args.connect_retry_seconds,
+        progress=progress,
+    )
+    print(
+        f"worker done: {summary.units} unit(s), {summary.outcomes} point(s), "
+        f"builds={summary.builds}, attaches={summary.attaches}, "
+        f"{'clean shutdown' if summary.clean_shutdown else 'connection lost'}"
+    )
+    return 0 if summary.clean_shutdown else 1
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
@@ -253,6 +392,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_analyze(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "worker":
+        return _command_worker(args)
     if args.command == "simulate":
         return _command_simulate(args)
     parser.error(f"unknown command {args.command!r}")

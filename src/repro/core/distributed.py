@@ -1,0 +1,840 @@
+"""Distributed multi-host sweep fabric over the flat-buffer model plane.
+
+The local sweep engine (:mod:`repro.core.engine`) fans the ``(p, gamma,
+attack)`` grid over a process pool and distributes model structures through a
+zero-copy shared-memory segment.  This module ships the *same* work units and
+the *same* flat buffers over plain TCP instead, so a sweep can span several
+hosts:
+
+* A **coordinator** (``repro sweep --distributed --listen HOST:PORT``) listens
+  on a socket, decomposes the grid into the engine's :class:`~repro.core.
+  engine.AttackTask` units and streams them to connected workers.  Series-
+  ordered scheduling is preserved: when ``reuse_p_axis_bounds`` or
+  ``warm_start_across_points`` is enabled a whole p series travels as one unit,
+  so chained certified bounds and warm starts never cross a host boundary and
+  the monotone bound reuse stays sound across the wire.
+* **Workers** (``repro worker --connect HOST:PORT``) connect, receive every
+  parent-built :class:`~repro.attacks.structure.SelfishForksStructure` as one
+  flat-buffer payload (:func:`~repro.core.shared_structures.pack_structures`,
+  the exact byte layout of the shared-memory segment), install the
+  reconstructed skeletons into their structure cache and therefore perform
+  **zero explorations** -- ``structure_cache_stats()["builds"] == 0`` on a
+  remote worker, the same invariant the local shared-memory plane guarantees.
+* Results stream back as :class:`~repro.core.engine.PointOutcome` rows and are
+  merged into the same :class:`~repro.core.results.SweepResult` / CSV pipeline
+  the local engine feeds; the single-process and process-pool paths are
+  untouched.
+
+Fault tolerance
+---------------
+Workers heartbeat the coordinator; a worker whose connection drops (killed
+process) or whose heartbeats stop (hung host) has its in-flight units returned
+to the queue and reassigned.  Once the queue is empty the coordinator may
+additionally *duplicate* units that have been outstanding longer than
+``straggler_seconds`` onto idle workers (speculative execution).  Both are safe
+because results are **idempotent by grid key**: every outcome carries its
+``(gamma_index, p_index, attack_index)`` coordinates and the first result per
+unit wins, so a unit computed twice merges to the same value.
+
+Determinism
+-----------
+A distributed sweep reproduces the serial sweep bit-for-bit (portfolio solver
+timing metadata aside): workers run the exact per-task code of the local
+engine against skeletons reconstructed bit-for-bit from the coordinator's flat
+buffers, and outcomes are re-assembled in canonical grid order regardless of
+which host computed them.
+
+Wire protocol
+-------------
+Frames are length-prefixed binary::
+
+    [uint32 body_len][uint32 header_len][header JSON][binary payload]
+
+with a JSON header carrying the message (``hello`` / ``welcome`` / ``work`` /
+``result`` / ``heartbeat`` / ``shutdown``) and the binary payload carrying the
+packed structure buffers of the ``welcome`` message.  All integers are
+big-endian; frames above :data:`MAX_FRAME_BYTES` are rejected.  The fabric
+authenticates nothing and pickles the (integer/string) buffer directory --
+bind the coordinator to a trusted network only, exactly like any in-cluster
+scheduler.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from ..attacks.structure import install_structure, structure_cache_stats
+from ..config import AnalysisConfig, AttackParams
+from ..exceptions import ModelError
+from .engine import (
+    AttackTask,
+    PointOutcome,
+    _build_tasks,
+    _prewarm_structure_cache,
+    _run_attack_task,
+    assemble_sweep_result,
+    describe_outcome,
+)
+from .results import SweepResult
+from .shared_structures import pack_structures, unpack_structures
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .sweep import SweepConfig
+
+#: Protocol version spoken by this module; a mismatch refuses the worker.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on a single frame; anything larger is a protocol violation.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Default seconds between worker heartbeats; a worker is presumed dead after
+#: ``3 *`` this without any frame.
+DEFAULT_HEARTBEAT_SECONDS = 5.0
+
+#: Default seconds a unit may stay outstanding (with an empty queue and idle
+#: capacity available) before the coordinator duplicates it onto another worker.
+DEFAULT_STRAGGLER_SECONDS = 30.0
+
+_FRAME_PREFIX = struct.Struct(">I")
+
+
+class ProtocolError(ModelError):
+    """A malformed or oversized frame was received on the sweep fabric."""
+
+
+# --------------------------------------------------------------------- framing
+
+
+def encode_frame(header: Dict[str, object], payload: bytes = b"") -> bytes:
+    """Encode one wire frame: length prefix, JSON header, binary payload."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    body_len = 4 + len(header_bytes) + len(payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
+    return b"".join(
+        (_FRAME_PREFIX.pack(body_len), _FRAME_PREFIX.pack(len(header_bytes)), header_bytes, payload)
+    )
+
+
+def decode_frame(body: bytes) -> Tuple[Dict[str, object], bytes]:
+    """Decode a frame body (everything after the length prefix)."""
+    if len(body) < 4:
+        raise ProtocolError("truncated frame body")
+    (header_len,) = _FRAME_PREFIX.unpack_from(body)
+    if 4 + header_len > len(body):
+        raise ProtocolError("frame header overruns body")
+    try:
+        header = json.loads(body[4 : 4 + header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed frame header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError("frame header must be a JSON object with a 'type'")
+    return header, body[4 + header_len :]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[Dict[str, object], bytes]:
+    """Read one length-prefixed frame from an asyncio stream.
+
+    Raises:
+        asyncio.IncompleteReadError: On EOF (connection closed).
+        ProtocolError: On an oversized or malformed frame.
+    """
+    prefix = await reader.readexactly(_FRAME_PREFIX.size)
+    (body_len,) = _FRAME_PREFIX.unpack(prefix)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced a {body_len}-byte frame; refusing")
+    return decode_frame(await reader.readexactly(body_len))
+
+
+def parse_address(value: str, *, default_host: str = "127.0.0.1") -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` (or ``:PORT``) address string.
+
+    Raises:
+        ValueError: If ``value`` is not of the form ``[HOST]:PORT`` with an
+            integer port in ``[0, 65535]`` (0 means "pick an ephemeral port").
+    """
+    host, separator, port_text = value.rpartition(":")
+    if not separator:
+        raise ValueError(f"address must be HOST:PORT, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"address must end in an integer port, got {value!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port must be in [0, 65535], got {port}")
+    return host or default_host, port
+
+
+# -------------------------------------------------------- task / outcome wire
+
+
+def task_to_wire(task: AttackTask) -> Dict[str, object]:
+    """Serialise an :class:`AttackTask` into a JSON-safe dictionary."""
+    wire = asdict(task)
+    wire["attack"] = task.attack.to_dict()
+    wire["analysis"] = task.analysis.to_dict()
+    return wire
+
+
+def task_from_wire(wire: Dict[str, object]) -> AttackTask:
+    """Reconstruct an :class:`AttackTask` from :func:`task_to_wire` output."""
+    data = dict(wire)
+    data["attack"] = AttackParams(**data["attack"])
+    data["analysis"] = AnalysisConfig(**data["analysis"])
+    data["p_values"] = tuple(data["p_values"])
+    data["p_indices"] = tuple(data["p_indices"])
+    return AttackTask(**data)
+
+
+def outcome_to_wire(outcome: PointOutcome) -> Dict[str, object]:
+    """Serialise a :class:`PointOutcome` into a JSON-safe dictionary."""
+    return asdict(outcome)
+
+
+def outcome_from_wire(wire: Dict[str, object]) -> PointOutcome:
+    """Reconstruct a :class:`PointOutcome` from :func:`outcome_to_wire` output."""
+    return PointOutcome(**wire)
+
+
+# ---------------------------------------------------------------- coordinator
+
+
+@dataclass
+class _RemoteWorker:
+    """Coordinator-side bookkeeping for one connected worker."""
+
+    ident: int
+    name: str
+    capacity: int
+    writer: asyncio.StreamWriter
+    last_seen: float
+    heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS
+    assigned: Dict[int, float] = field(default_factory=dict)
+    completed_units: int = 0
+    stats: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def free_slots(self) -> int:
+        """Units this worker can still take before hitting its capacity."""
+        return max(0, self.capacity - len(self.assigned))
+
+
+class _Coordinator:
+    """Asyncio coordinator: schedules units, heartbeats workers, merges results."""
+
+    def __init__(
+        self,
+        tasks: List[AttackTask],
+        structures_blob: Optional[bytes],
+        *,
+        min_workers: int,
+        heartbeat_seconds: float,
+        straggler_seconds: float,
+        report: Callable[[str], None],
+    ) -> None:
+        self.tasks = tasks
+        self.structures_blob = structures_blob
+        self.min_workers = min_workers
+        self.heartbeat_seconds = heartbeat_seconds
+        self.straggler_seconds = straggler_seconds
+        self.report = report
+        self.pending: deque[int] = deque(range(len(tasks)))
+        self.unit_holders: Dict[int, Set[int]] = {}
+        self.completed: Dict[int, List[PointOutcome]] = {}
+        self.workers: Dict[int, _RemoteWorker] = {}
+        self.workers_ever = 0
+        self.reassigned_units = 0
+        self.duplicated_units = 0
+        self.worker_stats: Dict[str, Dict[str, object]] = {}
+        self.done = asyncio.Event()
+        self.handler_tasks: Set[asyncio.Task] = set()
+        self._next_ident = 0
+
+    # -- scheduling
+
+    def _dispatch(self) -> None:
+        """Hand pending units to free worker slots (event-driven, never blocks)."""
+        if self.workers_ever < self.min_workers or self.done.is_set():
+            return
+        for worker in sorted(self.workers.values(), key=lambda w: -w.free_slots):
+            while worker.free_slots > 0 and self.pending:
+                self._assign(self.pending.popleft(), worker)
+        if not self.pending:
+            self._dispatch_stragglers()
+
+    def _assign(self, unit_id: int, worker: _RemoteWorker) -> None:
+        worker.assigned[unit_id] = time.monotonic()
+        self.unit_holders.setdefault(unit_id, set()).add(worker.ident)
+        self._send(worker, {"type": "work", "unit_id": unit_id, "task": task_to_wire(self.tasks[unit_id])})
+
+    def _dispatch_stragglers(self) -> None:
+        """Duplicate long-outstanding units onto idle workers (speculative)."""
+        now = time.monotonic()
+        outstanding = [
+            (assigned_at, unit_id)
+            for worker in self.workers.values()
+            for unit_id, assigned_at in worker.assigned.items()
+            if unit_id not in self.completed
+        ]
+        outstanding.sort()
+        for assigned_at, unit_id in outstanding:
+            if now - assigned_at < self.straggler_seconds:
+                break  # sorted oldest-first: the rest are younger still
+            holders = self.unit_holders.get(unit_id, set())
+            for worker in self.workers.values():
+                if worker.free_slots > 0 and worker.ident not in holders:
+                    self.duplicated_units += 1
+                    self.report(
+                        f"unit {unit_id} outstanding for {now - assigned_at:.1f}s; "
+                        f"duplicating onto worker {worker.name}"
+                    )
+                    self._assign(unit_id, worker)
+                    break
+
+    def _send(self, worker: _RemoteWorker, header: Dict[str, object], payload: bytes = b"") -> None:
+        try:
+            worker.writer.write(encode_frame(header, payload))
+        except (ConnectionError, RuntimeError):
+            # The reader loop of this worker will observe the broken pipe and
+            # requeue its units; nothing to do here.
+            pass
+
+    # -- lifecycle events
+
+    def _drop_worker(self, worker: _RemoteWorker, reason: str) -> None:
+        if self.workers.pop(worker.ident, None) is None:
+            return
+        requeue = [unit for unit in worker.assigned if unit not in self.completed]
+        for unit_id in requeue:
+            self.unit_holders.get(unit_id, set()).discard(worker.ident)
+            if not self.unit_holders.get(unit_id):
+                # No other worker is computing this unit: back to the queue,
+                # in front, so reassignment does not wait behind fresh work.
+                self.pending.appendleft(unit_id)
+                self.reassigned_units += 1
+        worker.assigned.clear()
+        try:
+            worker.writer.close()
+        except Exception:  # pragma: no cover - platform-dependent close errors
+            pass
+        if requeue:
+            self.report(
+                f"worker {worker.name} {reason}; requeued {len(requeue)} unit(s) "
+                f"{sorted(requeue)}"
+            )
+        else:
+            self.report(f"worker {worker.name} {reason}")
+        self._dispatch()
+
+    def _record_result(self, worker: _RemoteWorker, header: Dict[str, object]) -> None:
+        unit_id = int(header["unit_id"])
+        worker.assigned.pop(unit_id, None)
+        self.unit_holders.get(unit_id, set()).discard(worker.ident)
+        outcomes = [outcome_from_wire(wire) for wire in header["outcomes"]]
+        if unit_id in self.completed:
+            # Idempotent merge: a duplicate (straggler or reassigned-but-alive
+            # worker) recomputed the same grid keys.  First result wins --
+            # unless it carried errors and this recompute has fewer (a
+            # host-specific transient failure must not outrank a clean value).
+            previous_errors = sum(1 for o in self.completed[unit_id] if o.error is not None)
+            new_errors = sum(1 for o in outcomes if o.error is not None)
+            if previous_errors and new_errors < previous_errors:
+                self.completed[unit_id] = outcomes
+                self.report(
+                    f"unit {unit_id}: recompute on worker {worker.name} replaced "
+                    f"{previous_errors} errored point(s)"
+                )
+            if isinstance(header.get("stats"), dict):
+                worker.stats = header["stats"]
+                self.worker_stats[worker.name] = dict(header["stats"], units=worker.completed_units)
+            self._dispatch()
+            return
+        self.completed[unit_id] = outcomes
+        worker.completed_units += 1
+        if isinstance(header.get("stats"), dict):
+            worker.stats = header["stats"]
+            self.worker_stats[worker.name] = dict(header["stats"], units=worker.completed_units)
+        for outcome in outcomes:
+            self.report(describe_outcome(outcome))
+        if len(self.completed) == len(self.tasks):
+            self._finish()
+        else:
+            self._dispatch()
+
+    def _finish(self) -> None:
+        for worker in self.workers.values():
+            self._send(worker, {"type": "shutdown"})
+        self.done.set()
+
+    # -- asyncio plumbing
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one worker connection: handshake, then frames until EOF."""
+        task = asyncio.current_task()
+        if task is not None:
+            self.handler_tasks.add(task)
+            task.add_done_callback(self.handler_tasks.discard)
+        worker: Optional[_RemoteWorker] = None
+        try:
+            header, _ = await asyncio.wait_for(read_frame(reader), timeout=30.0)
+            if header.get("type") != "hello" or int(header.get("protocol", -1)) != PROTOCOL_VERSION:
+                writer.write(
+                    encode_frame(
+                        {"type": "error", "message": f"expected hello/protocol {PROTOCOL_VERSION}"}
+                    )
+                )
+                await writer.drain()
+                return
+            self._next_ident += 1
+            ident = self._next_ident
+            name = str(header.get("name") or f"worker-{ident}")
+            worker = _RemoteWorker(
+                ident=ident,
+                name=f"{name}#{ident}",
+                capacity=max(1, int(header.get("capacity", 1))),
+                writer=writer,
+                last_seen=time.monotonic(),
+                heartbeat_seconds=float(
+                    header.get("heartbeat_seconds", DEFAULT_HEARTBEAT_SECONDS)
+                ),
+            )
+            self.workers[ident] = worker
+            self.workers_ever += 1
+            self.report(f"worker {worker.name} connected (capacity {worker.capacity})")
+            self._send(
+                worker,
+                {"type": "welcome", "worker_id": ident, "structures": self.structures_blob is not None},
+                self.structures_blob or b"",
+            )
+            if self.done.is_set():
+                self._send(worker, {"type": "shutdown"})
+            else:
+                self._dispatch()
+            while True:
+                header, _ = await read_frame(reader)
+                worker.last_seen = time.monotonic()
+                kind = header.get("type")
+                if kind == "result":
+                    self._record_result(worker, header)
+                elif kind == "heartbeat":
+                    pass
+                elif kind == "goodbye":
+                    break
+                else:
+                    raise ProtocolError(f"unexpected frame {kind!r} from {worker.name}")
+        except (asyncio.IncompleteReadError, ConnectionError, asyncio.TimeoutError):
+            pass
+        except ProtocolError as exc:
+            self.report(f"protocol error: {exc}")
+        finally:
+            if worker is not None:
+                self._drop_worker(worker, "disconnected")
+            else:
+                writer.close()
+
+    async def monitor(self) -> None:
+        """Periodically drop heartbeat-silent workers and chase stragglers.
+
+        The liveness timeout honours each worker's *advertised* heartbeat
+        interval (from its hello frame): a coordinator configured with a
+        shorter ``--heartbeat-seconds`` than its workers must not declare
+        perfectly healthy workers dead between their beacons.
+        """
+        interval = max(0.1, self.heartbeat_seconds / 2.0)
+        while not self.done.is_set():
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for worker in list(self.workers.values()):
+                timeout = 3.0 * max(self.heartbeat_seconds, worker.heartbeat_seconds)
+                if now - worker.last_seen > timeout:
+                    self._drop_worker(worker, f"missed heartbeats for {now - worker.last_seen:.1f}s")
+            if not self.pending:
+                self._dispatch_stragglers()
+
+
+def run_distributed_sweep(
+    config: "SweepConfig",
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+    heartbeat_seconds: Optional[float] = None,
+    straggler_seconds: Optional[float] = None,
+    timeout: Optional[float] = None,
+    on_listen: Optional[Callable[[str, int], None]] = None,
+) -> SweepResult:
+    """Coordinate a sweep over remote TCP workers and return its sweep result.
+
+    Invoked by :func:`repro.core.engine.execute_sweep` when
+    ``config.coordinator`` is set; blocks until every grid unit has been
+    computed by some worker.  Baseline series are evaluated inline as in the
+    local engine, and the assembled :class:`~repro.core.results.SweepResult`
+    additionally carries fabric statistics under
+    ``result.metadata["distributed"]`` (per-worker ``builds`` / ``attaches`` /
+    ``units`` plus reassignment counters).
+
+    Args:
+        config: Sweep configuration with ``coordinator`` set to the
+            ``HOST:PORT`` to listen on and ``distributed_workers`` to the
+            number of workers to wait for before scheduling (0 = first worker).
+        progress: Optional per-event callback (worker joins/losses, unit
+            reassignments and one line per computed point).
+        heartbeat_seconds: Worker liveness granularity; a worker silent for 3x
+            this is presumed dead.  Defaults to ``REPRO_HEARTBEAT_SECONDS`` or
+            :data:`DEFAULT_HEARTBEAT_SECONDS`.
+        straggler_seconds: Age after which an outstanding unit may be
+            speculatively duplicated onto an idle worker once the queue is
+            empty.  Defaults to ``REPRO_STRAGGLER_SECONDS`` or
+            :data:`DEFAULT_STRAGGLER_SECONDS`.
+        timeout: Optional overall deadline (seconds); raises
+            :class:`~repro.exceptions.ModelError` when exceeded.
+        on_listen: Optional callback invoked with the bound ``(host, port)``
+            once the coordinator is accepting connections (ports chosen with
+            ``:0`` become known here).
+
+    Raises:
+        ModelError: If the listen address cannot be bound or ``timeout``
+            expires before the grid completes.
+    """
+    if heartbeat_seconds is None:
+        heartbeat_seconds = float(
+            os.environ.get("REPRO_HEARTBEAT_SECONDS", DEFAULT_HEARTBEAT_SECONDS)
+        )
+    if straggler_seconds is None:
+        straggler_seconds = float(
+            os.environ.get("REPRO_STRAGGLER_SECONDS", DEFAULT_STRAGGLER_SECONDS)
+        )
+    host, port = parse_address(str(config.coordinator))
+
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    tasks = _build_tasks(config)
+    structures_blob: Optional[bytes] = None
+    if tasks and config.use_structure_cache:
+        structures = _prewarm_structure_cache(config)
+        if structures:
+            structures_blob = pack_structures(structures)
+            if len(structures_blob) >= MAX_FRAME_BYTES - 4096:
+                # Fail fast: otherwise every worker handshake would raise on
+                # the oversized welcome frame and the sweep would hang with no
+                # worker ever accepted.
+                raise ModelError(
+                    f"packed model structures ({len(structures_blob)} bytes) exceed the "
+                    f"wire frame cap of {MAX_FRAME_BYTES} bytes; reduce the grid or "
+                    f"disable use_structure_cache"
+                )
+
+    coordinator = _Coordinator(
+        tasks,
+        structures_blob,
+        min_workers=int(config.distributed_workers),
+        heartbeat_seconds=heartbeat_seconds,
+        straggler_seconds=straggler_seconds,
+        report=report,
+    )
+
+    async def _run() -> None:
+        if not tasks:
+            return
+        try:
+            server = await asyncio.start_server(coordinator.handle_connection, host, port)
+        except OSError as exc:
+            raise ModelError(f"cannot listen on {host}:{port}: {exc}") from exc
+        bound = server.sockets[0].getsockname()
+        report(f"coordinator listening on {bound[0]}:{bound[1]}")
+        if on_listen is not None:
+            on_listen(bound[0], bound[1])
+        monitor = asyncio.ensure_future(coordinator.monitor())
+        try:
+            await asyncio.wait_for(coordinator.done.wait(), timeout)
+        except asyncio.TimeoutError:
+            raise ModelError(
+                f"distributed sweep did not complete within {timeout}s "
+                f"({len(coordinator.completed)}/{len(tasks)} units done, "
+                f"{len(coordinator.workers)} worker(s) connected)"
+            ) from None
+        finally:
+            monitor.cancel()
+            server.close()
+            await server.wait_closed()
+            # Nudge still-connected workers off the socket and let their
+            # handlers run to completion, so loop teardown never cancels a
+            # handler mid-read (noisy, and it would skip the drop bookkeeping).
+            for remote in list(coordinator.workers.values()):
+                remote.writer.close()
+            if coordinator.handler_tasks:
+                await asyncio.wait(list(coordinator.handler_tasks), timeout=5.0)
+
+    asyncio.run(_run())
+
+    outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
+    for unit_outcomes in coordinator.completed.values():
+        for outcome in unit_outcomes:
+            outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
+    result = assemble_sweep_result(
+        config,
+        outcomes,
+        report,
+        description=(
+            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
+            f"(distributed over {len(coordinator.worker_stats) or coordinator.workers_ever} "
+            f"worker(s) via {host}:{port})"
+        ),
+    )
+    result.metadata["distributed"] = {
+        "listen": f"{host}:{port}",
+        "workers": coordinator.worker_stats,
+        "reassigned_units": coordinator.reassigned_units,
+        "duplicated_units": coordinator.duplicated_units,
+        "units": len(tasks),
+    }
+    return result
+
+
+# --------------------------------------------------------------------- worker
+
+
+@dataclass
+class WorkerSummary:
+    """What one worker process did over the lifetime of its connection.
+
+    Attributes:
+        units: Work units this worker computed (and successfully reported).
+        outcomes: Individual grid points inside those units.
+        builds: Breadth-first explorations the worker performed -- 0 whenever
+            the coordinator shipped structures over the wire.
+        attaches: Structures installed from the coordinator's flat buffers.
+        clean_shutdown: True when the coordinator said ``shutdown``; False when
+            the connection dropped unexpectedly.
+    """
+
+    units: int = 0
+    outcomes: int = 0
+    builds: int = 0
+    attaches: int = 0
+    clean_shutdown: bool = False
+
+
+def run_worker(
+    connect: str,
+    *,
+    capacity: int = 1,
+    heartbeat_seconds: Optional[float] = None,
+    connect_retry_seconds: float = 10.0,
+    progress: Optional[Callable[[str], None]] = None,
+) -> WorkerSummary:
+    """Serve a remote coordinator: compute streamed sweep units until shutdown.
+
+    The worker connects to ``connect`` (retrying for ``connect_retry_seconds``
+    so it can be started before the coordinator), installs the structures
+    received in the ``welcome`` frame into its process-local cache (zero
+    explorations, exactly like a shared-memory pool worker), and computes up to
+    ``capacity`` units concurrently on a thread pool -- the solvers release the
+    GIL inside their numpy kernels, so thread-level capacity scales on numeric
+    workloads while keeping the structure cache shared.
+
+    Args:
+        connect: ``HOST:PORT`` of the coordinator (also accepts a
+            :class:`~repro.core.sweep.SweepConfig` whose ``connect`` is set).
+        capacity: Concurrent units this worker advertises and computes.
+        heartbeat_seconds: Interval between heartbeat frames.  Defaults to
+            ``REPRO_HEARTBEAT_SECONDS`` or :data:`DEFAULT_HEARTBEAT_SECONDS`.
+        connect_retry_seconds: How long to retry the initial connection.
+        progress: Optional callback for per-unit log lines.
+
+    Returns:
+        A :class:`WorkerSummary`; ``clean_shutdown`` distinguishes a
+        coordinator-initiated shutdown from a dropped connection.
+
+    Raises:
+        ModelError: If the coordinator cannot be reached within
+            ``connect_retry_seconds`` or speaks a different protocol version.
+    """
+    if hasattr(connect, "connect"):  # a SweepConfig-style object
+        connect = str(connect.connect)
+    if heartbeat_seconds is None:
+        heartbeat_seconds = float(
+            os.environ.get("REPRO_HEARTBEAT_SECONDS", DEFAULT_HEARTBEAT_SECONDS)
+        )
+    host, port = parse_address(str(connect))
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity}")
+
+    def report(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    summary = WorkerSummary()
+
+    async def _serve() -> None:
+        deadline = time.monotonic() + connect_retry_seconds
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ModelError(
+                        f"cannot connect to coordinator at {host}:{port}: {exc}"
+                    ) from exc
+                await asyncio.sleep(0.2)
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        stop = asyncio.Event()
+
+        def compute_in_daemon_thread(task: AttackTask) -> "asyncio.Future":
+            """Run one unit on a dedicated *daemon* thread.
+
+            Daemon threads (unlike a ``ThreadPoolExecutor``'s workers) are not
+            joined at interpreter exit, so a unit abandoned at shutdown --
+            e.g. one that was straggler-duplicated and already completed
+            elsewhere -- can never block the worker process from exiting.
+            Concurrency is bounded by the coordinator, which never keeps more
+            than the advertised ``capacity`` units outstanding per worker.
+            """
+            future = loop.create_future()
+
+            def runner() -> None:
+                try:
+                    result = _run_attack_task(task)
+                except BaseException as exc:  # noqa: BLE001 - marshalled to the loop
+                    outcome: Tuple[bool, object] = (False, exc)
+                else:
+                    outcome = (True, result)
+                def resolve() -> None:
+                    if future.cancelled():
+                        return
+                    ok, value = outcome
+                    if ok:
+                        future.set_result(value)
+                    else:
+                        future.set_exception(value)
+                try:
+                    loop.call_soon_threadsafe(resolve)
+                except RuntimeError:
+                    pass  # loop already closed; the process is exiting
+
+            threading.Thread(target=runner, daemon=True, name="repro-worker-unit").start()
+            return future
+
+        async def send(header: Dict[str, object]) -> None:
+            async with write_lock:
+                writer.write(encode_frame(header))
+                await writer.drain()
+
+        async def heartbeat() -> None:
+            while not stop.is_set():
+                await asyncio.sleep(heartbeat_seconds)
+                try:
+                    await send({"type": "heartbeat"})
+                except (ConnectionError, RuntimeError):
+                    return
+
+        async def run_unit(unit_id: int, task: AttackTask) -> None:
+            outcomes = await compute_in_daemon_thread(task)
+            stats = structure_cache_stats()
+            try:
+                await send(
+                    {
+                        "type": "result",
+                        "unit_id": unit_id,
+                        "outcomes": [outcome_to_wire(outcome) for outcome in outcomes],
+                        "stats": {
+                            "builds": stats["builds"],
+                            "attaches": stats["attaches"],
+                            "entries": stats["entries"],
+                        },
+                    }
+                )
+            except (ConnectionError, RuntimeError):
+                # The reader loop observes the dropped connection; the
+                # coordinator will reassign this unit elsewhere.
+                return
+            summary.units += 1
+            summary.outcomes += len(outcomes)
+            report(f"unit {unit_id}: {len(outcomes)} point(s) done")
+
+        await send(
+            {
+                "type": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "capacity": capacity,
+                "heartbeat_seconds": heartbeat_seconds,
+                "name": f"{socket.gethostname()}:{os.getpid()}",
+            }
+        )
+        heartbeats = asyncio.ensure_future(heartbeat())
+        units_in_flight: Set[asyncio.Task] = set()
+        try:
+            while True:
+                header, payload = await read_frame(reader)
+                kind = header.get("type")
+                if kind == "welcome":
+                    if header.get("structures") and payload:
+                        for structure in unpack_structures(payload):
+                            install_structure(structure)
+                        report(f"installed {structure_cache_stats()['attaches']} structure(s)")
+                elif kind == "work":
+                    task = task_from_wire(header["task"])
+                    unit = asyncio.ensure_future(run_unit(int(header["unit_id"]), task))
+                    units_in_flight.add(unit)
+                    unit.add_done_callback(units_in_flight.discard)
+                elif kind == "shutdown":
+                    summary.clean_shutdown = True
+                    # Units still in flight were duplicated or completed
+                    # elsewhere; the coordinator no longer wants them.
+                    break
+                elif kind == "error":
+                    raise ModelError(f"coordinator refused: {header.get('message')}")
+                else:
+                    raise ProtocolError(f"unexpected frame {kind!r} from coordinator")
+        except (asyncio.IncompleteReadError, ConnectionError):
+            report("connection to coordinator lost")
+        finally:
+            stop.set()
+            heartbeats.cancel()
+            for unit in units_in_flight:
+                unit.cancel()
+            try:
+                if summary.clean_shutdown:
+                    await send({"type": "goodbye"})
+            except (ConnectionError, RuntimeError):
+                pass
+            writer.close()
+        stats = structure_cache_stats()
+        summary.builds = stats["builds"]
+        summary.attaches = stats["attaches"]
+
+    asyncio.run(_serve())
+    return summary
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_SECONDS",
+    "DEFAULT_STRAGGLER_SECONDS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "WorkerSummary",
+    "decode_frame",
+    "encode_frame",
+    "outcome_from_wire",
+    "outcome_to_wire",
+    "parse_address",
+    "read_frame",
+    "run_distributed_sweep",
+    "run_worker",
+    "task_from_wire",
+    "task_to_wire",
+]

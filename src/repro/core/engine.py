@@ -52,6 +52,18 @@ legacy per-worker prewarm.
 The pool start method follows the platform default (fork on Linux, spawn
 elsewhere) and can be forced with the ``REPRO_TEST_START_METHOD`` environment
 variable (used by CI to exercise the spawn path on Linux runners).
+
+With ``SweepConfig.coordinator`` set the engine delegates to the distributed
+multi-host fabric (:mod:`repro.core.distributed`): the same tasks stream over
+TCP to remote ``repro worker`` processes and the same flat buffers replace the
+local shared-memory segment.  Every execution backend upholds the same two
+invariants:
+
+* **Zero worker explorations** -- pool and remote workers alike receive every
+  skeleton pre-built (``structure_cache_stats()["builds"] == 0`` in workers).
+* **Certified-bound reproducibility** -- the certified ``beta_low``/``beta_up``
+  of every point are bit-for-bit identical across worker counts, hosts and
+  scheduling order; only wall-clock metadata may differ.
 """
 
 from __future__ import annotations
@@ -92,6 +104,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 def attack_series_name(attack: AttackParams) -> str:
     """Series label of an attack configuration (matches the paper's legend)."""
     return f"ours(d={attack.depth},f={attack.forks})"
+
+
+def describe_outcome(outcome: "PointOutcome") -> str:
+    """One-line progress description of a computed (or failed) attack point."""
+    if outcome.error is not None:
+        return (
+            f"gamma={outcome.gamma} p={outcome.p} {outcome.series}: FAILED ({outcome.error})"
+        )
+    return (
+        f"gamma={outcome.gamma} p={outcome.p} {outcome.series}: "
+        f"ERRev={outcome.errev:.4f} ({outcome.num_states} states)"
+    )
 
 
 @dataclass(frozen=True)
@@ -394,6 +418,20 @@ def execute_sweep(
         (honest, single-tree, attacks...)`` independent of worker scheduling,
         with per-point timings attached and failures isolated.
     """
+    if getattr(config, "connect", None):
+        raise ValueError(
+            "SweepConfig.connect designates this process as a remote worker; "
+            "run `repro worker --connect HOST:PORT` (repro.core.distributed."
+            "run_worker) instead of run_sweep"
+        )
+    if getattr(config, "coordinator", None):
+        # Distributed execution: fan the same tasks out to remote workers over
+        # TCP instead of a local process pool.  Imported lazily to break the
+        # engine <-> distributed import cycle.
+        from .distributed import run_distributed_sweep
+
+        return run_distributed_sweep(config, progress=progress)
+
     workers = int(config.workers)
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {config.workers}")
@@ -403,16 +441,7 @@ def execute_sweep(
             progress(message)
 
     def report_outcome(outcome: PointOutcome) -> None:
-        if outcome.error is not None:
-            report(
-                f"gamma={outcome.gamma} p={outcome.p} {outcome.series}: "
-                f"FAILED ({outcome.error})"
-            )
-        else:
-            report(
-                f"gamma={outcome.gamma} p={outcome.p} {outcome.series}: "
-                f"ERRev={outcome.errev:.4f} ({outcome.num_states} states)"
-            )
+        report(describe_outcome(outcome))
 
     tasks = _build_tasks(config)
     outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
@@ -488,6 +517,33 @@ def execute_sweep(
             if plane is not None:
                 plane.release()
 
+    return assemble_sweep_result(
+        config,
+        outcomes,
+        report,
+        description=(
+            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
+            f"(workers={workers})"
+        ),
+    )
+
+
+def assemble_sweep_result(
+    config: "SweepConfig",
+    outcomes: Dict[Tuple[int, int, int], PointOutcome],
+    report: Callable[[str], None],
+    *,
+    description: str,
+) -> SweepResult:
+    """Assemble collected attack outcomes and inline baselines into a sweep result.
+
+    The closed-form baseline series are evaluated here, in the calling process,
+    and ``outcomes`` -- keyed by ``(gamma_index, p_index, attack_index)`` grid
+    coordinates, however they were computed (local pool or distributed fabric)
+    -- are re-ordered into the canonical ``gamma -> p -> series`` order with
+    failures isolated, so every execution backend produces an identically
+    shaped :class:`SweepResult`.
+    """
     points: List[SweepPoint] = []
     failures: List[SweepFailure] = []
     for gamma_index, gamma in enumerate(config.gammas):
@@ -519,11 +575,4 @@ def execute_sweep(
                         cancelled_iterations=outcome.cancelled_iterations,
                     )
                 )
-    return SweepResult(
-        points=points,
-        description=(
-            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
-            f"(workers={workers})"
-        ),
-        failures=failures,
-    )
+    return SweepResult(points=points, description=description, failures=failures)

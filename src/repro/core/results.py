@@ -162,11 +162,16 @@ class SweepResult:
         description: Human-readable description of the sweep.
         failures: Points whose analysis raised; the sweep engine isolates
             per-point failures instead of aborting the whole grid.
+        metadata: Execution metadata attached by the engine -- a distributed
+            sweep records its fabric statistics under ``metadata["distributed"]``
+            (per-worker ``builds``/``attaches``/``units`` counters, reassigned
+            and speculatively duplicated unit counts).
     """
 
     points: List[SweepPoint] = field(default_factory=list)
     description: str = ""
     failures: List[SweepFailure] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_compute_seconds(self) -> float:
@@ -203,9 +208,15 @@ class SweepResult:
         return values
 
     def merge(self, other: "SweepResult") -> "SweepResult":
-        """Return a new sweep containing the points of both sweeps."""
+        """Return a new sweep containing the points of both sweeps.
+
+        Points and failures concatenate; ``metadata`` merges *shallowly* with
+        ``other`` winning on key collisions -- merging two distributed sweeps
+        keeps only the second fabric's ``metadata["distributed"]`` stats.
+        """
         return SweepResult(
             points=self.points + other.points,
             description=self.description,
             failures=self.failures + other.failures,
+            metadata={**self.metadata, **other.metadata},
         )

@@ -22,6 +22,14 @@ The model plane removes every redundant exploration:
    Only the python-object state/action labels are materialised per worker; the
    numeric transition arrays, which dominate the footprint, are never copied.
 
+The invariant all of this buys: **workers never explore**.  Every worker's
+``structure_cache_stats()["builds"]`` stays 0 for the lifetime of the sweep --
+the test suite asserts it on fork, spawn and remote (distributed) workers
+alike.  The distributed fabric (:mod:`repro.core.distributed`) reuses the
+exact segment byte layout over TCP via :func:`pack_structures` /
+:func:`unpack_structures`, so "the model plane" means the same bytes whether
+they live in a local segment or crossed a socket.
+
 Lifecycle and cleanup
 ---------------------
 Shared-memory segments are kernel objects that outlive processes, so leaking
@@ -184,16 +192,116 @@ def _release_active_planes() -> None:  # pragma: no cover - interpreter shutdown
         plane.release()
 
 
+class _PackedLayout:
+    """Directory and sizing of a set of structures packed into one flat buffer.
+
+    The layout is shared by the shared-memory segment (:func:`publish_structures`
+    / :func:`attach_structures`) and the wire payload of the distributed fabric
+    (:func:`pack_structures` / :func:`unpack_structures`): a 16-byte prefix
+    ``[directory_length: uint64][data_start: uint64]``, a pickled directory
+    listing every array of every structure as ``(structure_index, buffer_key,
+    dtype, shape, offset)``, then the 64-byte-aligned raw array bytes.  Offsets
+    are relative to ``data_start``, so the directory can be built before the
+    prefix is known.
+    """
+
+    def __init__(self, structures: List[SelfishForksStructure]) -> None:
+        self.buffer_sets = [structure.to_buffers() for structure in structures]
+        self.directory: List[Tuple[int, str, str, Tuple[int, ...], int]] = []
+        offset = 0
+        for index, buffers in enumerate(self.buffer_sets):
+            for key in SelfishForksStructure.BUFFER_KEYS:
+                array = np.ascontiguousarray(buffers[key])
+                buffers[key] = array
+                offset = _align(offset)
+                self.directory.append((index, key, array.dtype.str, array.shape, offset))
+                offset += array.nbytes
+        self.directory_bytes = pickle.dumps(self.directory, protocol=pickle.HIGHEST_PROTOCOL)
+        self.data_start = _align(_HEADER_BYTES + len(self.directory_bytes))
+        self.total_size = max(1, self.data_start + offset)
+
+    def write_into(self, buf) -> None:
+        """Serialise the prefix, directory and every array into ``buf``."""
+        header = np.ndarray((2,), dtype=np.uint64, buffer=buf)
+        header[0] = len(self.directory_bytes)
+        header[1] = self.data_start
+        buf[_HEADER_BYTES : _HEADER_BYTES + len(self.directory_bytes)] = self.directory_bytes
+        for index, key, dtype, shape, rel_offset in self.directory:
+            target = np.ndarray(
+                shape, dtype=np.dtype(dtype), buffer=buf, offset=self.data_start + rel_offset
+            )
+            target[...] = self.buffer_sets[index][key]
+
+
+def _read_structures(buf) -> List[SelfishForksStructure]:
+    """Reconstruct every structure from a buffer written by :class:`_PackedLayout`.
+
+    Every numeric array of every reconstructed structure is a *read-only* numpy
+    view into ``buf`` -- nothing is copied, so structures decoded from a
+    shared-memory segment (or from a received wire payload kept alive by the
+    structure itself) stay zero-copy.
+    """
+    header = np.ndarray((2,), dtype=np.uint64, buffer=buf)
+    directory_length = int(header[0])
+    data_start = int(header[1])
+    directory = pickle.loads(bytes(buf[_HEADER_BYTES : _HEADER_BYTES + directory_length]))
+    buffer_sets: Dict[int, Dict[str, np.ndarray]] = {}
+    for index, key, dtype, shape, rel_offset in directory:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=data_start + rel_offset)
+        if view.flags.writeable:
+            view.flags.writeable = False
+        buffer_sets.setdefault(index, {})[key] = view
+    return [
+        SelfishForksStructure.from_buffers(buffer_sets[index]) for index in sorted(buffer_sets)
+    ]
+
+
+def pack_structures(structures: Iterable[SelfishForksStructure]) -> bytes:
+    """Serialise structures into one self-contained flat byte string.
+
+    The byte layout is identical to the shared-memory segment layout of
+    :func:`publish_structures`; the distributed sweep fabric
+    (:mod:`repro.core.distributed`) ships these bytes over a socket so remote
+    workers can reconstruct every skeleton without exploring.
+
+    Raises:
+        ModelError: If ``structures`` is empty (packing nothing is always a
+            caller bug).
+    """
+    structure_list = list(structures)
+    if not structure_list:
+        raise ModelError("cannot pack an empty set of structures")
+    layout = _PackedLayout(structure_list)
+    out = bytearray(layout.total_size)
+    layout.write_into(memoryview(out))
+    return bytes(out)
+
+
+def unpack_structures(data: bytes) -> List[SelfishForksStructure]:
+    """Reconstruct the structures serialised by :func:`pack_structures`.
+
+    The numeric arrays of the returned structures are read-only views into
+    ``data`` (zero-copy); the caller's bytes object is kept alive by those
+    views for as long as any structure is.
+
+    Raises:
+        ModelError: If ``data`` is not a :func:`pack_structures` payload.
+    """
+    try:
+        return _read_structures(memoryview(data))
+    except ModelError:
+        raise
+    except Exception as exc:
+        raise ModelError(f"malformed structure payload: {exc}") from exc
+
+
 def publish_structures(
     structures: Iterable[SelfishForksStructure],
 ) -> SharedStructurePlane:
     """Pack structures into one shared-memory segment and return the owner plane.
 
-    Layout: a 16-byte prefix (directory length, data start), a pickled
-    directory listing every array of every structure as ``(structure_index,
-    buffer_key, dtype, shape, offset)``, then the 64-byte-aligned raw array
-    bytes.  Offsets are relative to ``data_start``, so the directory can be
-    built before the prefix is known.
+    The segment holds the flat :class:`_PackedLayout` byte layout (prefix,
+    pickled directory, 64-byte-aligned raw array bytes).
 
     Raises:
         ModelError: If ``structures`` is empty (publishing nothing is always a
@@ -202,36 +310,13 @@ def publish_structures(
     structure_list = list(structures)
     if not structure_list:
         raise ModelError("cannot publish an empty set of structures")
-    buffer_sets = [structure.to_buffers() for structure in structure_list]
-
-    directory: List[Tuple[int, str, str, Tuple[int, ...], int]] = []
-    offset = 0
-    for index, buffers in enumerate(buffer_sets):
-        for key in SelfishForksStructure.BUFFER_KEYS:
-            array = np.ascontiguousarray(buffers[key])
-            buffers[key] = array
-            offset = _align(offset)
-            directory.append((index, key, array.dtype.str, array.shape, offset))
-            offset += array.nbytes
-    directory_bytes = pickle.dumps(directory, protocol=pickle.HIGHEST_PROTOCOL)
-    data_start = _align(_HEADER_BYTES + len(directory_bytes))
-    total_size = max(1, data_start + offset)
-
+    layout = _PackedLayout(structure_list)
     try:
-        segment = shared_memory.SharedMemory(create=True, size=total_size)
+        segment = shared_memory.SharedMemory(create=True, size=layout.total_size)
     except OSError as exc:
         raise ModelError(f"cannot allocate shared memory for the model plane: {exc}") from exc
     try:
-        header = np.ndarray((2,), dtype=np.uint64, buffer=segment.buf)
-        header[0] = len(directory_bytes)
-        header[1] = data_start
-        segment.buf[_HEADER_BYTES : _HEADER_BYTES + len(directory_bytes)] = directory_bytes
-        for index, key, dtype, shape, rel_offset in directory:
-            source = buffer_sets[index][key]
-            target = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=data_start + rel_offset
-            )
-            target[...] = source
+        layout.write_into(segment.buf)
     except Exception:
         segment.close()
         segment.unlink()
@@ -260,23 +345,7 @@ def attach_structures(name: str) -> SharedStructurePlane:
     except (FileNotFoundError, OSError) as exc:
         raise ModelError(f"shared structure plane {name!r} is not available: {exc}") from exc
     try:
-        header = np.ndarray((2,), dtype=np.uint64, buffer=segment.buf)
-        directory_length = int(header[0])
-        data_start = int(header[1])
-        directory = pickle.loads(
-            bytes(segment.buf[_HEADER_BYTES : _HEADER_BYTES + directory_length])
-        )
-        buffer_sets: Dict[int, Dict[str, np.ndarray]] = {}
-        for index, key, dtype, shape, rel_offset in directory:
-            view = np.ndarray(
-                shape, dtype=np.dtype(dtype), buffer=segment.buf, offset=data_start + rel_offset
-            )
-            view.flags.writeable = False
-            buffer_sets.setdefault(index, {})[key] = view
-        structures = [
-            SelfishForksStructure.from_buffers(buffer_sets[index])
-            for index in sorted(buffer_sets)
-        ]
+        structures = _read_structures(segment.buf)
     except ModelError:
         segment.close()
         raise

@@ -84,6 +84,22 @@ class SweepConfig:
             a process boundary.  Certified intervals still have width below
             ``epsilon``; the computed values can differ from cold-interval
             results by at most ``epsilon``.
+        coordinator: ``HOST:PORT`` to listen on as the coordinator of a
+            distributed multi-host sweep (:mod:`repro.core.distributed`): grid
+            units are streamed to remote ``repro worker`` processes over TCP
+            instead of a local pool, with the model skeletons shipped as the
+            same flat buffers the shared-memory plane uses.  ``None`` (default)
+            keeps execution local.  CLI: ``repro sweep --distributed --listen``.
+        connect: ``HOST:PORT`` of a remote coordinator this config's process
+            should serve as a *worker* (consumed by ``repro worker --connect`` /
+            :func:`repro.core.distributed.run_worker`, so one config object can
+            describe a whole fabric).  A config with ``connect`` set cannot be
+            passed to :func:`run_sweep` -- workers compute other sweeps' units,
+            they do not own a grid.  Mutually exclusive with ``coordinator``.
+        distributed_workers: Number of remote workers the coordinator waits
+            for before streaming work (0 = start with the first worker to
+            connect; late joiners are always welcome either way).  Only
+            meaningful together with ``coordinator``.
     """
 
     p_values: Sequence[float] = tuple(round(0.05 * i, 2) for i in range(0, 7))
@@ -98,6 +114,9 @@ class SweepConfig:
     use_shared_structures: bool = True
     warm_start_across_points: bool = False
     reuse_p_axis_bounds: bool = False
+    coordinator: Optional[str] = None
+    connect: Optional[str] = None
+    distributed_workers: int = 0
 
     def __post_init__(self) -> None:
         check_positive_int(self.workers, "workers")
@@ -109,6 +128,27 @@ class SweepConfig:
             raise ConfigurationError(
                 f"analysis must be an AnalysisConfig, got {type(self.analysis).__name__}"
             )
+        if self.coordinator is not None and self.connect is not None:
+            raise ConfigurationError(
+                "coordinator and connect are mutually exclusive: a process either "
+                "listens for workers or serves a remote coordinator"
+            )
+        if self.distributed_workers < 0:
+            raise ConfigurationError(
+                f"distributed_workers must be >= 0, got {self.distributed_workers}"
+            )
+        if self.distributed_workers > 0 and self.coordinator is None:
+            raise ConfigurationError(
+                "distributed_workers requires coordinator (the listen address)"
+            )
+        from .distributed import parse_address  # deferred: import cycle
+
+        for address in (self.coordinator, self.connect):
+            if address is not None:
+                try:
+                    parse_address(str(address))
+                except ValueError as exc:
+                    raise ConfigurationError(str(exc)) from exc
 
 
 def run_sweep(

@@ -22,6 +22,14 @@ loser had completed when it stopped are harvested into
 work the cancellation avoided.  The ``deadline`` bounds only how long the
 portfolio waits before it stops polling optimistically and simply blocks for
 the first backend to complete.
+
+Invariant: racing is a *scheduling* choice, not a numerical one.  Whichever
+backend wins, the value it returns satisfies the same tolerance, so Algorithm
+1's certified ``[beta_low, beta_up]`` stays within ``epsilon`` of the
+sequential single-backend search.  Only the timing-dependent metadata (which
+backend won, ``solver_iterations``, ``cancelled_iterations``) varies between
+runs -- the one deliberate exception to the sweep engine's bit-for-bit
+reproducibility guarantee.
 """
 
 from __future__ import annotations

@@ -35,10 +35,12 @@ class ProofOfSpaceTime(ProofSystem):
 
     @property
     def name(self) -> str:
+        """Human-readable proof-system name."""
         return "proof-of-space-time"
 
     @property
     def max_concurrent_targets(self) -> float:
+        """Blocks a miner can usefully direct its resource at simultaneously."""
         return self.num_vdfs
 
     def available_vdf(self) -> Optional[VerifiableDelayFunction]:

@@ -15,10 +15,12 @@ class ProofOfStake(ProofSystem):
 
     @property
     def name(self) -> str:
+        """Human-readable proof-system name."""
         return "proof-of-stake"
 
     @property
     def max_concurrent_targets(self) -> float:
+        """Blocks a miner can usefully direct its resource at simultaneously."""
         return float("inf")
 
     def attempt(

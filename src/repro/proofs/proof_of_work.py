@@ -15,10 +15,12 @@ class ProofOfWork(ProofSystem):
 
     @property
     def name(self) -> str:
+        """Human-readable proof-system name."""
         return "proof-of-work"
 
     @property
     def max_concurrent_targets(self) -> float:
+        """Blocks a miner can usefully direct its resource at simultaneously."""
         return 1
 
     def attempt(

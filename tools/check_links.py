@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Link check over the documentation surface (README.md, docs/, PAPER.md ...).
+
+Scans every tracked markdown file for inline links and verifies that
+
+* relative links point at files (or directories) that exist in the repo, and
+* intra-document anchors (``file.md#section`` or ``#section``) match a heading
+  of the target document (GitHub slug rules: lowercase, spaces to dashes,
+  punctuation dropped).
+
+External ``http(s)``/``mailto`` links are counted but not fetched, so the
+check runs offline and cannot flake in CI.  Exits non-zero listing every
+broken link.  Used by the CI docs job and by ``tests/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose links are checked (directories are scanned for *.md).
+DOC_PATHS = ("README.md", "PAPER.md", "ROADMAP.md", "CHANGES.md", "docs")
+
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """Approximate GitHub's heading-to-anchor slug rules."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return re.sub(r" ", "-", text)
+
+
+def _anchors_of(path: Path) -> set:
+    return {_slugify(match) for match in _HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+def documentation_files() -> List[Path]:
+    """Every markdown file covered by the check, relative to the repo root."""
+    files: List[Path] = []
+    for entry in DOC_PATHS:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_links() -> Tuple[List[str], int, int]:
+    """Return (broken link descriptions, local links checked, external skipped)."""
+    broken: List[str] = []
+    local = external = 0
+    for doc in documentation_files():
+        text = doc.read_text(encoding="utf-8")
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                external += 1
+                continue
+            local += 1
+            path_part, _, anchor = target.partition("#")
+            resolved = (doc.parent / path_part).resolve() if path_part else doc
+            where = doc.relative_to(REPO_ROOT)
+            if path_part and not resolved.exists():
+                try:
+                    shown = str(resolved.relative_to(REPO_ROOT))
+                except ValueError:  # ../-chain escaping the repo root
+                    shown = str(resolved)
+                broken.append(f"{where}: {target} -> {shown} missing")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if _slugify(anchor) not in _anchors_of(resolved):
+                    broken.append(f"{where}: {target} -> no heading for #{anchor}")
+    return broken, local, external
+
+
+def main() -> int:
+    """Run the check and report; non-zero exit on any broken link."""
+    broken, local, external = check_links()
+    print(
+        f"checked {local} local link(s) across {len(documentation_files())} file(s) "
+        f"({external} external link(s) skipped)"
+    )
+    for problem in broken:
+        print(f"BROKEN  {problem}", file=sys.stderr)
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
