@@ -43,7 +43,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,6 +52,9 @@ from ..exceptions import ModelError
 from ..mdp import MDP, MeanPayoffSolution, Strategy, solve_mean_payoff, solve_mean_payoff_batch
 from .errev import evaluate_strategy_errev
 from .rewards import beta_reward_weights
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from ..mdp.portfolio import PortfolioHistory
 
 
 @dataclass
@@ -220,6 +223,7 @@ def formal_analysis(
     beta_up: float = 1.0,
     initial_strategy_rows: Optional[np.ndarray] = None,
     initial_bias: Optional[np.ndarray] = None,
+    portfolio_history: Optional["PortfolioHistory"] = None,
 ) -> FormalAnalysisResult:
     """Run the paper's Algorithm 1 on a selfish-mining MDP.
 
@@ -241,6 +245,11 @@ def formal_analysis(
             match ``mdp.num_states`` or it contains non-finite entries, so that
             vectors carried across structurally different sweep points can
             never crash an analysis mid-sweep.
+        portfolio_history: Optional :class:`~repro.mdp.portfolio.
+            PortfolioHistory` shared across analyses (e.g. one per sweep
+            worker): every ``"portfolio"`` race consults it to launch the
+            recently dominant backend first and records its winner back.
+            Ignored by the non-portfolio solvers.
 
     Returns:
         A :class:`FormalAnalysisResult` with the epsilon-tight lower bound, the
@@ -270,11 +279,19 @@ def formal_analysis(
         round_start = time.perf_counter()
         if probes > 1:
             beta_low, beta_up, solutions, anchor = _batched_round(
-                mdp, beta_low, beta_up, probes, config, warm_strategy, warm_bias, iterations
+                mdp,
+                beta_low,
+                beta_up,
+                probes,
+                config,
+                warm_strategy,
+                warm_bias,
+                iterations,
+                portfolio_history,
             )
         else:
             beta = 0.5 * (beta_low + beta_up)
-            solution = _solve(mdp, beta, config, warm_strategy, warm_bias)
+            solution = _solve(mdp, beta, config, warm_strategy, warm_bias, portfolio_history)
             solve_seconds = time.perf_counter() - round_start
             if solution.gain < 0.0:
                 beta_up = beta
@@ -303,7 +320,7 @@ def formal_analysis(
             warm_bias = solutions[anchor].bias
 
     # Final solve at beta_low to extract the certified strategy.
-    final_solution = _solve(mdp, beta_low, config, warm_strategy, warm_bias)
+    final_solution = _solve(mdp, beta_low, config, warm_strategy, warm_bias, portfolio_history)
     total_solver_iterations += final_solution.iterations
     cancelled_solver_iterations += final_solution.cancelled_iterations
     _record_backend_win(final_solution, backend_wins)
@@ -365,6 +382,7 @@ def _batched_round(
     warm_strategy: Optional[Strategy],
     warm_bias: Optional[np.ndarray],
     iterations: List[BinarySearchIteration],
+    portfolio_history: Optional["PortfolioHistory"] = None,
 ) -> Tuple[float, float, List[MeanPayoffSolution], int]:
     """One batched binary-search round with ``k`` probes.
 
@@ -393,6 +411,7 @@ def _batched_round(
         warm_start=warm_strategy if config.warm_start else None,
         warm_start_bias=warm_bias if config.warm_start else None,
         portfolio_deadline=config.portfolio_deadline,
+        portfolio_history=portfolio_history,
     )
     round_seconds = time.perf_counter() - solve_start
 
@@ -448,6 +467,7 @@ def _solve(
     config: AnalysisConfig,
     warm_start: Optional[Strategy],
     warm_start_bias: Optional[np.ndarray],
+    portfolio_history: Optional["PortfolioHistory"] = None,
 ) -> MeanPayoffSolution:
     """Solve the mean-payoff MDP under ``r_beta`` with the configured backend."""
     return solve_mean_payoff(
@@ -459,4 +479,5 @@ def _solve(
         warm_start=warm_start,
         warm_start_bias=warm_start_bias,
         portfolio_deadline=config.portfolio_deadline,
+        portfolio_history=portfolio_history,
     )

@@ -48,9 +48,10 @@ search's within ``--epsilon``.
 
 Sweep-only engine flags: ``--workers N`` fans grid points out over N worker
 processes, ``--warm-start-across-points`` chains solver warm starts along the
-p axis, and ``--reuse-p-bounds`` additionally starts each point's binary
-search from the previous p point's certified lower bound (sound because ERRev*
-is monotone in p).
+p axis, ``--reuse-p-bounds`` additionally starts each point's binary search
+from the previous p point's certified lower bound (sound because ERRev* is
+monotone in p), and ``--no-results-plane`` returns worker outcomes by pickling
+instead of the shared-memory results plane (ablation).
 """
 
 from __future__ import annotations
@@ -190,6 +191,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rebuild the MDP from scratch at every grid point (disable the skeleton cache)",
     )
     sweep.add_argument(
+        "--no-results-plane",
+        action="store_true",
+        help="return worker outcomes by pickling instead of the shared-memory "
+        "results plane (ablation switch; workers > 1 only)",
+    )
+    sweep.add_argument(
         "--distributed",
         action="store_true",
         help="coordinate the sweep over remote `repro worker` processes instead of a local pool",
@@ -311,6 +318,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         ),
         workers=args.workers,
         use_structure_cache=not args.no_structure_cache,
+        use_results_plane=not args.no_results_plane,
         warm_start_across_points=args.warm_start_across_points,
         reuse_p_axis_bounds=args.reuse_p_bounds,
         coordinator=args.listen if args.distributed else None,

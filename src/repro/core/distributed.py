@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import os
 import socket
 import struct
@@ -203,6 +204,44 @@ def outcome_to_wire(outcome: PointOutcome) -> Dict[str, object]:
 def outcome_from_wire(wire: Dict[str, object]) -> PointOutcome:
     """Reconstruct a :class:`PointOutcome` from :func:`outcome_to_wire` output."""
     return PointOutcome(**wire)
+
+
+def _validate_hello(header: Dict[str, object]) -> Tuple[int, float]:
+    """Validate a worker hello frame; return ``(capacity, heartbeat_seconds)``.
+
+    Hello fields cross a trust boundary: a mismatched or buggy worker can send
+    anything, and the coordinator must reject it cleanly instead of crashing
+    (uncaught ``ValueError`` from ``int``/``float``) or accepting poison values
+    (``capacity <= 0`` starves the scheduler; a zero, negative, NaN or infinite
+    heartbeat either divides the monitor by nonsense or declares the worker
+    immortal).
+
+    Raises:
+        ProtocolError: Describing the offending field.
+    """
+    if header.get("type") != "hello":
+        raise ProtocolError(f"expected hello, got {header.get('type')!r}")
+    protocol = header.get("protocol")
+    if not isinstance(protocol, int) or isinstance(protocol, bool):
+        raise ProtocolError(f"non-integer protocol {protocol!r}")
+    if protocol != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol {protocol} unsupported (this coordinator speaks {PROTOCOL_VERSION})"
+        )
+    # isinstance, not int()/float() coercion: 2.9 or true must be *rejected*,
+    # not silently truncated to a capacity the worker never advertised.
+    capacity = header.get("capacity", 1)
+    if not isinstance(capacity, int) or isinstance(capacity, bool):
+        raise ProtocolError(f"non-integer capacity {capacity!r}")
+    if capacity < 1:
+        raise ProtocolError(f"capacity must be >= 1, got {capacity}")
+    heartbeat = header.get("heartbeat_seconds", DEFAULT_HEARTBEAT_SECONDS)
+    if not isinstance(heartbeat, (int, float)) or isinstance(heartbeat, bool):
+        raise ProtocolError(f"non-numeric heartbeat_seconds {heartbeat!r}")
+    heartbeat = float(heartbeat)
+    if not math.isfinite(heartbeat) or heartbeat <= 0.0:
+        raise ProtocolError(f"heartbeat_seconds must be finite and > 0, got {heartbeat}")
+    return capacity, heartbeat
 
 
 # ---------------------------------------------------------------- coordinator
@@ -388,12 +427,16 @@ class _Coordinator:
         worker: Optional[_RemoteWorker] = None
         try:
             header, _ = await asyncio.wait_for(read_frame(reader), timeout=30.0)
-            if header.get("type") != "hello" or int(header.get("protocol", -1)) != PROTOCOL_VERSION:
-                writer.write(
-                    encode_frame(
-                        {"type": "error", "message": f"expected hello/protocol {PROTOCOL_VERSION}"}
-                    )
-                )
+            try:
+                capacity, advertised_heartbeat = _validate_hello(header)
+            except ProtocolError as exc:
+                # A garbage hello (wrong type/protocol, non-numeric or
+                # non-positive capacity/heartbeat) must refuse *this* worker
+                # with a clean error frame -- never take the coordinator (and
+                # every healthy worker's sweep) down with an uncaught
+                # ValueError.
+                self.report(f"rejecting worker hello: {exc}")
+                writer.write(encode_frame({"type": "error", "message": str(exc)}))
                 await writer.drain()
                 return
             self._next_ident += 1
@@ -402,12 +445,10 @@ class _Coordinator:
             worker = _RemoteWorker(
                 ident=ident,
                 name=f"{name}#{ident}",
-                capacity=max(1, int(header.get("capacity", 1))),
+                capacity=capacity,
                 writer=writer,
                 last_seen=time.monotonic(),
-                heartbeat_seconds=float(
-                    header.get("heartbeat_seconds", DEFAULT_HEARTBEAT_SECONDS)
-                ),
+                heartbeat_seconds=advertised_heartbeat,
             )
             self.workers[ident] = worker
             self.workers_ever += 1
@@ -692,6 +733,12 @@ def run_worker(
         loop = asyncio.get_running_loop()
         write_lock = asyncio.Lock()
         stop = asyncio.Event()
+        # One race history per connection: every unit this worker computes
+        # seeds the next one's portfolio scheduling (thread-safe, since
+        # capacity > 1 runs units concurrently against it).
+        from ..mdp.portfolio import PortfolioHistory
+
+        portfolio_history = PortfolioHistory()
 
         def compute_in_daemon_thread(task: AttackTask) -> "asyncio.Future":
             """Run one unit on a dedicated *daemon* thread.
@@ -707,7 +754,7 @@ def run_worker(
 
             def runner() -> None:
                 try:
-                    result = _run_attack_task(task)
+                    result = _run_attack_task(task, portfolio_history)
                 except BaseException as exc:  # noqa: BLE001 - marshalled to the loop
                     outcome: Tuple[bool, object] = (False, exc)
                 else:

@@ -98,6 +98,8 @@ from .shared_structures import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..mdp.portfolio import PortfolioHistory
+    from .results_plane import ResultsPlane
     from .sweep import SweepConfig
 
 
@@ -143,7 +145,13 @@ class AttackTask:
 
 @dataclass(frozen=True)
 class PointOutcome:
-    """Result of one attack grid point, as returned from a worker process."""
+    """Result of one attack grid point, as returned from a worker process.
+
+    ``portfolio_races`` / ``portfolio_launches_avoided`` are the point's slice
+    of the worker's :class:`~repro.mdp.portfolio.PortfolioHistory` activity
+    (``None`` outside portfolio runs); :func:`assemble_sweep_result` sums them
+    into ``SweepResult.metadata["portfolio"]``.
+    """
 
     gamma_index: int
     p_index: int
@@ -160,10 +168,52 @@ class PointOutcome:
     beta_up: Optional[float] = None
     solver_backend: Optional[str] = None
     cancelled_iterations: Optional[int] = None
+    portfolio_races: Optional[int] = None
+    portfolio_launches_avoided: Optional[int] = None
 
 
-def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
-    """Worker entry point; must stay importable at module top level (pickling)."""
+#: Fallback race history of a *pool worker* process, shared by every task it
+#: computes (lazily created; dies with the worker at pool shutdown).  Serial
+#: sweeps and distributed workers pass an explicitly owned history instead.
+_WORKER_PORTFOLIO_HISTORY: Optional["PortfolioHistory"] = None
+
+
+def _portfolio_history_for(analysis: AnalysisConfig) -> Optional["PortfolioHistory"]:
+    """This process's shared :class:`PortfolioHistory` (portfolio solver only)."""
+    global _WORKER_PORTFOLIO_HISTORY
+    if analysis.solver != "portfolio":
+        return None
+    if _WORKER_PORTFOLIO_HISTORY is None:
+        from ..mdp.portfolio import PortfolioHistory
+
+        _WORKER_PORTFOLIO_HISTORY = PortfolioHistory()
+    return _WORKER_PORTFOLIO_HISTORY
+
+
+def _run_attack_task(
+    task: AttackTask,
+    portfolio_history: Optional["PortfolioHistory"] = None,
+) -> List[PointOutcome]:
+    """Worker entry point; must stay importable at module top level (pickling).
+
+    When the pool initializer installed a results plane in this process, every
+    computed outcome is published into its grid slot instead of being returned:
+    the returned list then holds only the outcomes the plane refused (oversized
+    error strings), which fall back to the pickled future path.
+
+    Args:
+        task: The unit of work.
+        portfolio_history: Optional externally owned race history (the
+            distributed fabric passes its per-connection one); defaults to this
+            process's shared history for the ``"portfolio"`` solver.
+    """
+    from .results_plane import installed_results_plane
+
+    if task.analysis.solver != "portfolio":
+        portfolio_history = None
+    elif portfolio_history is None:
+        portfolio_history = _portfolio_history_for(task.analysis)
+    plane = installed_results_plane()
     outcomes: List[PointOutcome] = []
     warm_rows: Optional[np.ndarray] = None
     warm_bias: Optional[np.ndarray] = None
@@ -171,6 +221,12 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
     prev_p: Optional[float] = None
     for p, p_index in zip(task.p_values, task.p_indices):
         start = time.perf_counter()
+        # Per-point deltas come from the *calling thread's* counters: the
+        # history may be shared with concurrently racing threads (distributed
+        # capacity > 1), whose races must not leak into this point's stats.
+        history_before = (
+            portfolio_history.thread_stats() if portfolio_history is not None else {}
+        )
         try:
             protocol = ProtocolParams(p=p, gamma=task.gamma)
             model = build_selfish_forks_mdp(
@@ -192,6 +248,7 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
                 beta_low=initial_beta_low,
                 initial_strategy_rows=warm_rows,
                 initial_bias=warm_bias,
+                portfolio_history=portfolio_history,
             )
             if task.warm_start_across_points:
                 warm_rows = result.strategy.rows
@@ -204,47 +261,56 @@ def _run_attack_task(task: AttackTask) -> List[PointOutcome]:
                 if result.strategy_errev is not None
                 else result.errev_lower_bound
             )
-            outcomes.append(
-                PointOutcome(
-                    gamma_index=task.gamma_index,
-                    p_index=p_index,
-                    attack_index=task.attack_index,
-                    p=p,
-                    gamma=task.gamma,
-                    series=task.series,
-                    errev=errev,
-                    seconds=time.perf_counter() - start,
-                    solver_iterations=result.total_solver_iterations,
-                    num_states=model.mdp.num_states,
-                    beta_low=result.beta_low,
-                    beta_up=result.beta_up,
-                    solver_backend=result.winning_solver,
-                    cancelled_iterations=(
-                        result.cancelled_solver_iterations if result.backend_wins else None
-                    ),
-                )
+            outcome = PointOutcome(
+                gamma_index=task.gamma_index,
+                p_index=p_index,
+                attack_index=task.attack_index,
+                p=p,
+                gamma=task.gamma,
+                series=task.series,
+                errev=errev,
+                seconds=time.perf_counter() - start,
+                solver_iterations=result.total_solver_iterations,
+                num_states=model.mdp.num_states,
+                beta_low=result.beta_low,
+                beta_up=result.beta_up,
+                solver_backend=result.winning_solver,
+                cancelled_iterations=(
+                    result.cancelled_solver_iterations if result.backend_wins else None
+                ),
+                portfolio_races=(
+                    portfolio_history.thread_stats()["races"] - history_before["races"]
+                    if portfolio_history is not None
+                    else None
+                ),
+                portfolio_launches_avoided=(
+                    portfolio_history.thread_stats()["launches_avoided"]
+                    - history_before["launches_avoided"]
+                    if portfolio_history is not None
+                    else None
+                ),
             )
         except Exception as exc:  # noqa: BLE001 - failure isolation is the point
-            outcomes.append(
-                PointOutcome(
-                    gamma_index=task.gamma_index,
-                    p_index=p_index,
-                    attack_index=task.attack_index,
-                    p=p,
-                    gamma=task.gamma,
-                    series=task.series,
-                    errev=None,
-                    seconds=time.perf_counter() - start,
-                    solver_iterations=0,
-                    num_states=0,
-                    error=f"{type(exc).__name__}: {exc}",
-                )
+            outcome = PointOutcome(
+                gamma_index=task.gamma_index,
+                p_index=p_index,
+                attack_index=task.attack_index,
+                p=p,
+                gamma=task.gamma,
+                series=task.series,
+                errev=None,
+                seconds=time.perf_counter() - start,
+                solver_iterations=0,
+                num_states=0,
+                error=f"{type(exc).__name__}: {exc}",
             )
             # A failed point cannot seed the next one.
             warm_rows = None
             warm_bias = None
             prev_beta_low = None
             prev_p = None
+        if plane is None or not plane.write(outcome):
+            outcomes.append(outcome)
     return outcomes
 
 
@@ -310,7 +376,11 @@ def _prewarm_structure_cache(config: "SweepConfig") -> List[SelfishForksStructur
     return structures
 
 
-def _initialize_worker(plane_name: Optional[str], config: "SweepConfig") -> None:
+def _initialize_worker(
+    plane_name: Optional[str],
+    config: "SweepConfig",
+    results_plane_name: Optional[str] = None,
+) -> None:
     """Pool initializer: attach the shared model plane (or prewarm as fallback).
 
     With a published plane the worker's structure cache and inherited plane
@@ -321,10 +391,25 @@ def _initialize_worker(plane_name: Optional[str], config: "SweepConfig") -> None
     and its numeric arrays are views of the shared segment on fork and spawn
     alike.  Without a plane -- shared memory unavailable, or disabled via
     ``SweepConfig.use_shared_structures`` -- the worker falls back to building
-    every skeleton of the grid once, up front.  Must stay importable at module
-    top level (pickling).
+    every skeleton of the grid once, up front.
+
+    With ``results_plane_name`` set the worker additionally attaches the
+    results plane (:mod:`repro.core.results_plane`) and installs it as this
+    process's outcome sink, so computed :class:`PointOutcome`\\ s are published
+    as packed shared-memory records instead of pickled future results; a
+    vanished segment degrades to the pickled path.  Must stay importable at
+    module top level (pickling).
     """
+    from .results_plane import forget_inherited_results_planes, install_results_plane
+
     forget_inherited_planes()
+    forget_inherited_results_planes()
+    if results_plane_name is not None:
+        try:
+            install_results_plane(results_plane_name)
+        except ModelError:
+            # Segment vanished: fall back to returning outcomes by pickling.
+            pass
     if plane_name is not None:
         try:
             clear_structure_cache()
@@ -445,15 +530,27 @@ def execute_sweep(
 
     tasks = _build_tasks(config)
     outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
+    plane_stats = {"via_plane": 0, "via_pickle": 0, "in_process": 0, "synthesized": 0}
 
-    def collect(task_outcomes: List[PointOutcome]) -> None:
+    def collect(task_outcomes: List[PointOutcome], *, channel: str = "via_pickle") -> None:
         for outcome in task_outcomes:
             outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
+            plane_stats[channel] += 1
             report_outcome(outcome)
 
+    results_plane: Optional["ResultsPlane"] = None
     if workers == 1 or not tasks:
+        # A per-sweep history (not the per-worker-process global, which would
+        # leak race history across independent serial sweeps in a long-lived
+        # process): every in-process sweep starts with a cold window, exactly
+        # like a fresh pool worker.
+        serial_history: Optional["PortfolioHistory"] = None
+        if tasks and config.analysis.solver == "portfolio":
+            from ..mdp.portfolio import PortfolioHistory
+
+            serial_history = PortfolioHistory()
         for task in tasks:
-            collect(_run_attack_task(task))
+            collect(_run_attack_task(task, serial_history), channel="in_process")
     else:
         # The parent builds every skeleton of the grid once, publishes the flat
         # buffers on the shared-memory model plane, and each worker -- fork- or
@@ -473,51 +570,113 @@ def execute_sweep(
                     plane = publish_structures(structures)
                 except ModelError:
                     plane = None
-            if plane is not None:
-                pool_kwargs["initializer"] = _initialize_worker
-                pool_kwargs["initargs"] = (plane.name, config)
-            elif start_method != "fork":
-                # Fresh interpreters cannot inherit the parent's cache.
-                pool_kwargs["initializer"] = _initialize_worker
-                pool_kwargs["initargs"] = (None, config)
+        if getattr(config, "use_results_plane", True):
+            # The pickle-free return path: one fixed record per attack grid
+            # point, written by workers, drained by the parent.  Unavailable
+            # shared memory degrades to the pickled future path.
+            from .results_plane import create_results_plane
+
+            try:
+                results_plane = create_results_plane(
+                    len(config.gammas), len(config.p_values), len(config.attack_configs)
+                )
+            except ModelError:
+                results_plane = None
+        if plane is not None or results_plane is not None or (
+            start_method != "fork" and config.use_structure_cache
+        ):
+            # Fresh (spawn) interpreters cannot inherit the parent's cache, and
+            # any shared plane must be attached inside the worker.
+            pool_kwargs["initializer"] = _initialize_worker
+            pool_kwargs["initargs"] = (
+                plane.name if plane is not None else None,
+                config,
+                results_plane.name if results_plane is not None else None,
+            )
+
+        def drain_task_slots(task: AttackTask) -> None:
+            """Consume one task's plane slots (call only after syncing with its writer).
+
+            The per-slot seqlock detects torn records but is not a memory
+            barrier, so slots are only consumed once the writer has
+            synchronized with this process: here via the task's future
+            *result* (queue IPC).  Failed futures don't qualify -- a broken
+            pool fails every in-flight future while sibling workers may still
+            be writing -- so crashed tasks are handled after the pool joins.
+            """
+            if results_plane is None:
+                return
+            ready = []
+            for p_index in task.p_indices:
+                outcome = results_plane.take_new(
+                    results_plane.slot_of(task.gamma_index, p_index, task.attack_index)
+                )
+                if outcome is not None:
+                    ready.append(outcome)
+            collect(ready, channel="via_plane")
+
+        crashed_tasks: List[Tuple[AttackTask, str]] = []
         try:
             with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
                 futures = {pool.submit(_run_attack_task, task): task for task in tasks}
                 for future in as_completed(futures):
                     task = futures[future]
                     try:
-                        collect(future.result())
+                        spilled = future.result()
+                        # Outcomes the plane absorbed are drained here, once
+                        # their task's future confirms the records are
+                        # published; anything the plane refused (oversized
+                        # strings, no plane at all) arrives pickled.
+                        drain_task_slots(task)
+                        collect(spilled)
                     except Exception as exc:
                         # A worker that died (OOM kill, segfault, broken pool)
                         # must not discard the outcomes already collected from
-                        # others; record its points as failures and keep
-                        # assembling.
-                        collect(
-                            [
-                                PointOutcome(
-                                    gamma_index=task.gamma_index,
-                                    p_index=p_index,
-                                    attack_index=task.attack_index,
-                                    p=p,
-                                    gamma=task.gamma,
-                                    series=task.series,
-                                    errev=None,
-                                    seconds=0.0,
-                                    solver_iterations=0,
-                                    num_states=0,
-                                    error=f"worker crashed: {type(exc).__name__}: {exc}",
-                                )
-                                for p, p_index in zip(task.p_values, task.p_indices)
-                            ]
+                        # others.  A broken pool marks *every* in-flight future
+                        # failed while sibling workers may still be writing, so
+                        # neither plane slots nor failure placeholders may be
+                        # touched here -- both wait for the post-join drain,
+                        # where no concurrent writer can exist.
+                        crashed_tasks.append(
+                            (task, f"worker crashed: {type(exc).__name__}: {exc}")
                         )
+            # The pool has joined: every worker is gone, so a full drain is
+            # race-free and catches anything published by crashed or
+            # interrupted workers; only grid keys that never made it anywhere
+            # become synthesized failures (each key is collected exactly once).
+            if results_plane is not None:
+                collect(results_plane.drain_new(), channel="via_plane")
+            for task, message in crashed_tasks:
+                collect(
+                    [
+                        PointOutcome(
+                            gamma_index=task.gamma_index,
+                            p_index=p_index,
+                            attack_index=task.attack_index,
+                            p=p,
+                            gamma=task.gamma,
+                            series=task.series,
+                            errev=None,
+                            seconds=0.0,
+                            solver_iterations=0,
+                            num_states=0,
+                            error=message,
+                        )
+                        for p, p_index in zip(task.p_values, task.p_indices)
+                        if (task.gamma_index, p_index, task.attack_index) not in outcomes
+                    ],
+                    channel="synthesized",
+                )
         finally:
-            # The parent owns the shared segment: release (and hence unlink) it
-            # whether the pool exited cleanly, a worker crashed, or the sweep
-            # raised.  Workers merely drop their mappings.
+            # The parent owns the shared segments: release (and hence unlink)
+            # them whether the pool exited cleanly, a worker crashed, or the
+            # sweep raised.  Workers merely drop their mappings.
             if plane is not None:
                 plane.release()
+            if results_plane is not None:
+                results_plane.release()
 
-    return assemble_sweep_result(
+    result = assemble_sweep_result(
         config,
         outcomes,
         report,
@@ -526,6 +685,15 @@ def execute_sweep(
             f"(workers={workers})"
         ),
     )
+    if workers > 1 and tasks:
+        result.metadata["results_plane"] = {
+            "enabled": results_plane is not None,
+            "slots": results_plane.num_slots if results_plane is not None else 0,
+            "via_plane": plane_stats["via_plane"],
+            "via_pickle": plane_stats["via_pickle"],
+            "synthesized": plane_stats["synthesized"],
+        }
+    return result
 
 
 def assemble_sweep_result(
@@ -542,15 +710,38 @@ def assemble_sweep_result(
     coordinates, however they were computed (local pool or distributed fabric)
     -- are re-ordered into the canonical ``gamma -> p -> series`` order with
     failures isolated, so every execution backend produces an identically
-    shaped :class:`SweepResult`.
+    shaped :class:`SweepResult`.  A grid key with no collected outcome at all
+    -- a distributed shutdown that lost a unit, a results-plane slot torn by a
+    crashed writer -- becomes a :class:`SweepFailure` instead of a crash that
+    would discard every point that *was* collected.  Portfolio race statistics
+    carried by the outcomes are summed into ``metadata["portfolio"]``.
     """
     points: List[SweepPoint] = []
     failures: List[SweepFailure] = []
+    portfolio = {"races": 0, "launches_avoided": 0, "backend_wins": {}}
+    portfolio_seen = False
     for gamma_index, gamma in enumerate(config.gammas):
         for p_index, p in enumerate(config.p_values):
             points.extend(_baseline_points(config, p, gamma, failures, report))
-            for attack_index in range(len(config.attack_configs)):
-                outcome = outcomes[(gamma_index, p_index, attack_index)]
+            for attack_index, attack in enumerate(config.attack_configs):
+                outcome = outcomes.get((gamma_index, p_index, attack_index))
+                if outcome is None:
+                    failures.append(
+                        SweepFailure(
+                            p=p,
+                            gamma=gamma,
+                            series=attack_series_name(attack),
+                            message="outcome never reported (worker lost or result torn)",
+                        )
+                    )
+                    continue
+                if outcome.portfolio_races is not None:
+                    portfolio_seen = True
+                    portfolio["races"] += outcome.portfolio_races
+                    portfolio["launches_avoided"] += outcome.portfolio_launches_avoided or 0
+                    if outcome.solver_backend is not None:
+                        wins = portfolio["backend_wins"]
+                        wins[outcome.solver_backend] = wins.get(outcome.solver_backend, 0) + 1
                 if outcome.error is not None:
                     failures.append(
                         SweepFailure(
@@ -575,4 +766,7 @@ def assemble_sweep_result(
                         cancelled_iterations=outcome.cancelled_iterations,
                     )
                 )
-    return SweepResult(points=points, description=description, failures=failures)
+    result = SweepResult(points=points, description=description, failures=failures)
+    if portfolio_seen:
+        result.metadata["portfolio"] = portfolio
+    return result

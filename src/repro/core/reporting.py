@@ -59,7 +59,10 @@ def write_csv(
             for key in row:
                 if key not in columns:
                     columns.append(key)
-    with path.open("w", newline="") as handle:
+    # Explicit encoding: the default follows the host locale, so a C-locale
+    # (ASCII) machine would write a different -- or crash on a non-ASCII
+    # series/error cell -- CSV than a UTF-8 one.
+    with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.DictWriter(handle, fieldnames=list(columns), restval="", extrasaction="ignore")
         writer.writeheader()
         for row in rows:

@@ -1,0 +1,466 @@
+"""Shared-memory results plane: pickle-free return path for sweep outcomes.
+
+The model plane (:mod:`repro.core.shared_structures`) made the *inputs* of a
+pooled sweep zero-copy, but every :class:`~repro.core.engine.PointOutcome`
+still returned to the parent by pickling through the pool's result queue.  The
+results plane closes that gap: a fixed-record shared-memory ring with one slot
+per attack grid point, where workers *write* their outcomes as packed numpy
+records and the parent *drains* them by reading shared pages -- no pickle, no
+queue copy, no per-outcome allocation on the hot path.
+
+Layout and protocol
+-------------------
+The segment is a 64-byte header (magic, slot count, grid dimensions) followed
+by ``num_slots`` fixed-size records of :data:`OUTCOME_DTYPE`.  Slot ``i`` is
+the flattened grid coordinate ``(gamma_index * n_p + p_index) * n_attacks +
+attack_index``, so writers need no allocator and results are idempotent by
+grid key -- exactly the keying the sweep's merge path already uses.
+
+Each slot is protected by a per-slot **seqlock** (its ``seq`` field):
+
+* a writer sets ``seq`` to an odd value, fills the payload fields, then sets
+  ``seq`` to the even value ``2`` (publish);
+* a reader treats ``seq == 0`` (never written) and odd ``seq`` (write in
+  progress -- e.g. the writer died mid-record) as *not ready*, and re-reads
+  ``seq`` after decoding to discard torn reads.
+
+Every grid point is computed by exactly one pool task, so each slot has a
+single writer and the seqlock only has to protect the parent's concurrent
+drain from observing a half-written record.  A slot whose writer crashed
+mid-write simply stays unpublished; the sweep's assembly step records the
+missing grid key as a :class:`~repro.core.results.SweepFailure` instead of
+crashing.
+
+Plain numpy stores provide no cross-process release/acquire ordering, so the
+seqlock is a *tear detector*, not a memory barrier: on a weakly ordered CPU a
+concurrently racing reader could in principle observe ``seq == 2`` before the
+payload stores land.  The parent therefore consumes a slot only after a true
+synchronization point with its writer -- the task's future result arriving
+(queue IPC), the pool having joined, or the writer process having died --
+each of which guarantees the published payload is visible.
+
+Strings (series name, error message, backend name) live in fixed-size fields
+-- :data:`ERROR_BYTES` etc.  An outcome whose strings do not fit is *not*
+truncated: :meth:`ResultsPlane.write` refuses it and the worker falls back to
+returning that one outcome through the pickled future path (counted by the
+engine's plane stats), so drained outcomes are always byte-exact.
+
+Lifecycle mirrors the model plane: the parent creates (and finally unlinks)
+the segment; workers attach untracked
+(:func:`~repro.core.shared_structures.attach_segment_untracked`), never
+unlink, and fork-started workers first forget any creator handle inherited
+from the parent (:func:`forget_inherited_results_planes`).  An ``atexit``
+backstop closes planes still open at interpreter shutdown.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .shared_structures import attach_segment_untracked
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .engine import PointOutcome
+
+#: Magic value identifying a results-plane segment (helps reject foreign segments).
+PLANE_MAGIC = 0x5245_5355_4C54_5331  # b"RESULTS1"
+
+#: Fixed header: ``[magic][num_slots][n_p][n_attacks]`` as uint64, padded to 64.
+_HEADER_DTYPE = np.dtype(np.uint64)
+_HEADER_BYTES = 64
+
+#: Capacity of the fixed-size string fields of one record.
+SERIES_BYTES = 96
+ERROR_BYTES = 512
+BACKEND_BYTES = 48
+
+#: Bit flags marking which optional fields of a record are present.
+_HAS_ERREV = 1 << 0
+_HAS_ERROR = 1 << 1
+_HAS_BETA_LOW = 1 << 2
+_HAS_BETA_UP = 1 << 3
+_HAS_BACKEND = 1 << 4
+_HAS_CANCELLED = 1 << 5
+_HAS_PORTFOLIO = 1 << 6
+
+#: Packed per-slot record: seqlock word, grid key, payload, flagged optionals.
+OUTCOME_DTYPE = np.dtype(
+    [
+        ("seq", np.uint32),
+        ("flags", np.uint32),
+        ("gamma_index", np.int32),
+        ("p_index", np.int32),
+        ("attack_index", np.int32),
+        ("solver_iterations", np.int64),
+        ("num_states", np.int64),
+        ("cancelled_iterations", np.int64),
+        ("portfolio_races", np.int64),
+        ("portfolio_launches_avoided", np.int64),
+        ("p", np.float64),
+        ("gamma", np.float64),
+        ("errev", np.float64),
+        ("seconds", np.float64),
+        ("beta_low", np.float64),
+        ("beta_up", np.float64),
+        ("series", f"S{SERIES_BYTES}"),
+        ("error", f"S{ERROR_BYTES}"),
+        ("solver_backend", f"S{BACKEND_BYTES}"),
+    ]
+)
+
+#: Results planes currently open in this process (for the atexit backstop).
+_ACTIVE_RESULTS_PLANES: Dict[str, "ResultsPlane"] = {}
+_REGISTRY_LOCK = threading.Lock()
+
+#: The plane the sweep pool initializer installed in *this worker process*.
+_INSTALLED_PLANE: Optional["ResultsPlane"] = None
+
+
+class ResultsPlane:
+    """One shared-memory outcome ring, created by the parent or attached by a worker.
+
+    Use :func:`create_results_plane` / :func:`attach_results_plane` instead of
+    constructing directly.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        *,
+        creator: bool,
+        num_slots: int,
+        n_p: int,
+        n_attacks: int,
+    ) -> None:
+        self._segment = segment
+        self._creator = creator
+        self._closed = False
+        self._lock = threading.Lock()
+        self.num_slots = num_slots
+        self.n_p = n_p
+        self.n_attacks = n_attacks
+        self._records = np.ndarray(
+            (num_slots,), dtype=OUTCOME_DTYPE, buffer=segment.buf, offset=_HEADER_BYTES
+        )
+        #: Parent-side drain cursor: the ``seq`` value last observed per slot.
+        self._seen = np.zeros(num_slots, dtype=np.uint32)
+
+    @property
+    def name(self) -> str:
+        """System-wide name of the shared-memory segment."""
+        return self._segment.name
+
+    @property
+    def closed(self) -> bool:
+        """Whether this process has dropped its mapping of the segment."""
+        return self._closed
+
+    # ----------------------------------------------------------------- writing
+
+    def slot_of(self, gamma_index: int, p_index: int, attack_index: int) -> int:
+        """Flattened slot index of one grid coordinate."""
+        return (gamma_index * self.n_p + p_index) * self.n_attacks + attack_index
+
+    def write(self, outcome: "PointOutcome") -> bool:
+        """Publish one outcome into its grid slot; ``False`` if it does not fit.
+
+        An outcome whose series/error/backend strings exceed the fixed field
+        sizes (or whose grid coordinates fall outside the plane's grid) is
+        refused rather than truncated -- the caller must return it through the
+        ordinary pickled path so the drained result stays byte-exact.
+        """
+        slot = self.slot_of(outcome.gamma_index, outcome.p_index, outcome.attack_index)
+        if not 0 <= slot < self.num_slots:
+            return False
+        series = outcome.series.encode("utf-8")
+        error = (outcome.error or "").encode("utf-8")
+        backend = (outcome.solver_backend or "").encode("utf-8")
+        if len(series) > SERIES_BYTES or len(error) > ERROR_BYTES or len(backend) > BACKEND_BYTES:
+            return False
+        # Fixed-size numpy bytes fields strip trailing NULs on read, so a
+        # string that *ends* in one cannot round-trip byte-exactly -- refuse
+        # it (pathological, but correctness beats coverage here).
+        if any(text.endswith(b"\x00") for text in (series, error, backend)):
+            return False
+        records = self._records
+        flags = 0
+        # Seqlock write protocol: odd while the payload is in flux, even once
+        # published.  The single writer of this slot is us; the odd value only
+        # protects a concurrently draining parent from a torn read.
+        records["seq"][slot] = 1
+        records["gamma_index"][slot] = outcome.gamma_index
+        records["p_index"][slot] = outcome.p_index
+        records["attack_index"][slot] = outcome.attack_index
+        records["p"][slot] = outcome.p
+        records["gamma"][slot] = outcome.gamma
+        records["seconds"][slot] = outcome.seconds
+        records["solver_iterations"][slot] = outcome.solver_iterations
+        records["num_states"][slot] = outcome.num_states
+        records["series"][slot] = series
+        if outcome.errev is not None:
+            flags |= _HAS_ERREV
+            records["errev"][slot] = outcome.errev
+        if outcome.error is not None:
+            flags |= _HAS_ERROR
+        records["error"][slot] = error
+        if outcome.beta_low is not None:
+            flags |= _HAS_BETA_LOW
+            records["beta_low"][slot] = outcome.beta_low
+        if outcome.beta_up is not None:
+            flags |= _HAS_BETA_UP
+            records["beta_up"][slot] = outcome.beta_up
+        if outcome.solver_backend is not None:
+            flags |= _HAS_BACKEND
+        records["solver_backend"][slot] = backend
+        if outcome.cancelled_iterations is not None:
+            flags |= _HAS_CANCELLED
+            records["cancelled_iterations"][slot] = outcome.cancelled_iterations
+        if outcome.portfolio_races is not None:
+            flags |= _HAS_PORTFOLIO
+            records["portfolio_races"][slot] = outcome.portfolio_races
+            records["portfolio_launches_avoided"][slot] = (
+                outcome.portfolio_launches_avoided or 0
+            )
+        records["flags"][slot] = flags
+        records["seq"][slot] = 2
+        return True
+
+    # ----------------------------------------------------------------- reading
+
+    def _decode(self, slot: int) -> "PointOutcome":
+        from .engine import PointOutcome  # deferred: engine imports this module
+
+        record = self._records[slot]
+        flags = int(record["flags"])
+        return PointOutcome(
+            gamma_index=int(record["gamma_index"]),
+            p_index=int(record["p_index"]),
+            attack_index=int(record["attack_index"]),
+            p=float(record["p"]),
+            gamma=float(record["gamma"]),
+            series=bytes(record["series"]).decode("utf-8"),
+            errev=float(record["errev"]) if flags & _HAS_ERREV else None,
+            seconds=float(record["seconds"]),
+            solver_iterations=int(record["solver_iterations"]),
+            num_states=int(record["num_states"]),
+            error=bytes(record["error"]).decode("utf-8") if flags & _HAS_ERROR else None,
+            beta_low=float(record["beta_low"]) if flags & _HAS_BETA_LOW else None,
+            beta_up=float(record["beta_up"]) if flags & _HAS_BETA_UP else None,
+            solver_backend=(
+                bytes(record["solver_backend"]).decode("utf-8")
+                if flags & _HAS_BACKEND
+                else None
+            ),
+            cancelled_iterations=(
+                int(record["cancelled_iterations"]) if flags & _HAS_CANCELLED else None
+            ),
+            portfolio_races=(
+                int(record["portfolio_races"]) if flags & _HAS_PORTFOLIO else None
+            ),
+            portfolio_launches_avoided=(
+                int(record["portfolio_launches_avoided"]) if flags & _HAS_PORTFOLIO else None
+            ),
+        )
+
+    def read(self, slot: int) -> Optional["PointOutcome"]:
+        """Read one slot, or ``None`` if it is unwritten or mid-write.
+
+        The seqlock is re-checked after decoding, so a record the writer was
+        still filling (or re-publishing) is discarded instead of returned torn.
+        The seqlock alone is *not* an inter-process memory barrier (plain
+        numpy stores carry no release/acquire ordering), so callers must only
+        trust a slot after a real synchronization point with its writer -- the
+        writer's future result arriving, the pool joining, or the writer
+        process having exited; the engine's drains observe that rule.
+        """
+        if not 0 <= slot < self.num_slots:
+            raise ModelError(f"slot {slot} outside results plane of {self.num_slots} slots")
+        seq_before = int(self._records["seq"][slot])
+        if seq_before == 0 or seq_before % 2 == 1:
+            return None
+        outcome = self._decode(slot)
+        if int(self._records["seq"][slot]) != seq_before:
+            return None
+        return outcome
+
+    def take_new(self, slot: int) -> Optional["PointOutcome"]:
+        """Read one slot and mark it consumed; ``None`` if unready or already taken.
+
+        Only the creating (parent) process should consume slots: the cursor of
+        "what was already seen" is process-local state.
+        """
+        outcome = self.read(slot)
+        if outcome is None or self._seen[slot] == self._records["seq"][slot]:
+            return None
+        self._seen[slot] = self._records["seq"][slot]
+        return outcome
+
+    def drain_new(self) -> List["PointOutcome"]:
+        """Consume every slot published since the previous drain, in slot order.
+
+        Safe only once all writers have synchronized with this process (pool
+        joined / workers exited) -- see :meth:`read`.
+        """
+        published = self._records["seq"]
+        candidates = np.flatnonzero((published != self._seen) & (published % 2 == 0))
+        fresh = (self.take_new(int(slot)) for slot in candidates)
+        return [outcome for outcome in fresh if outcome is not None]
+
+    # --------------------------------------------------------------- lifecycle
+
+    def release(self) -> None:
+        """Close this process's mapping; the creator additionally unlinks.
+
+        Idempotent -- the engine's ``finally`` and the ``atexit`` backstop may
+        both call it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        with _REGISTRY_LOCK:
+            _ACTIVE_RESULTS_PLANES.pop(self.name, None)
+        # The record view holds an exported pointer into the segment buffer;
+        # drop it before close() so mmap teardown cannot raise BufferError.
+        self._records = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a caller still holds a view
+            return
+        if self._creator:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+
+def _register(plane: ResultsPlane) -> ResultsPlane:
+    with _REGISTRY_LOCK:
+        _ACTIVE_RESULTS_PLANES[plane.name] = plane
+    return plane
+
+
+@atexit.register
+def _release_active_results_planes() -> None:  # pragma: no cover - shutdown path
+    """Backstop: close every results plane still open at interpreter exit."""
+    with _REGISTRY_LOCK:
+        planes = list(_ACTIVE_RESULTS_PLANES.values())
+    for plane in planes:
+        plane.release()
+
+
+def create_results_plane(n_gammas: int, n_p: int, n_attacks: int) -> ResultsPlane:
+    """Allocate a results plane covering one sweep grid (creator side).
+
+    Raises:
+        ModelError: If the grid is empty or shared memory cannot be allocated.
+    """
+    num_slots = n_gammas * n_p * n_attacks
+    if num_slots < 1:
+        raise ModelError("cannot create a results plane for an empty grid")
+    size = _HEADER_BYTES + num_slots * OUTCOME_DTYPE.itemsize
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=size)
+    except OSError as exc:
+        raise ModelError(f"cannot allocate shared memory for the results plane: {exc}") from exc
+    segment.buf[:size] = b"\x00" * size  # some platforms hand out dirty pages
+    header = np.ndarray((4,), dtype=_HEADER_DTYPE, buffer=segment.buf)
+    header[0] = PLANE_MAGIC
+    header[1] = num_slots
+    header[2] = n_p
+    header[3] = n_attacks
+    return _register(
+        ResultsPlane(segment, creator=True, num_slots=num_slots, n_p=n_p, n_attacks=n_attacks)
+    )
+
+
+def attach_results_plane(name: str) -> ResultsPlane:
+    """Attach an existing results plane by segment name (worker side).
+
+    Raises:
+        ModelError: If no segment with ``name`` exists or it is not a results
+            plane (wrong magic, impossible geometry).
+    """
+    try:
+        segment = attach_segment_untracked(name)
+    except (FileNotFoundError, OSError) as exc:
+        raise ModelError(f"results plane {name!r} is not available: {exc}") from exc
+    try:
+        header = np.ndarray((4,), dtype=_HEADER_DTYPE, buffer=segment.buf)
+        magic, num_slots, n_p, n_attacks = (int(value) for value in header)
+        if magic != PLANE_MAGIC:
+            raise ModelError(f"segment {name!r} is not a results plane")
+        expected = _HEADER_BYTES + num_slots * OUTCOME_DTYPE.itemsize
+        if num_slots < 1 or n_p < 1 or n_attacks < 1 or segment.size < expected:
+            raise ModelError(f"results plane {name!r} has an impossible geometry")
+        return _register(
+            ResultsPlane(
+                segment, creator=False, num_slots=num_slots, n_p=n_p, n_attacks=n_attacks
+            )
+        )
+    except ModelError:
+        segment.close()
+        raise
+
+
+def install_results_plane(name: str) -> ResultsPlane:
+    """Attach a plane and make it this worker process's outcome sink.
+
+    Called by the sweep pool initializer; :func:`installed_results_plane` then
+    routes every computed outcome of this process into the plane.
+    """
+    global _INSTALLED_PLANE
+    plane = attach_results_plane(name)
+    _INSTALLED_PLANE = plane
+    return plane
+
+
+def installed_results_plane() -> Optional[ResultsPlane]:
+    """The plane installed in this process by the pool initializer, if any."""
+    if _INSTALLED_PLANE is not None and _INSTALLED_PLANE.closed:
+        return None
+    return _INSTALLED_PLANE
+
+
+def forget_inherited_results_planes() -> None:
+    """Drop results-plane handles inherited through ``fork`` without closing.
+
+    The same hazard as the model plane's
+    :func:`~repro.core.shared_structures.forget_inherited_planes`: a
+    fork-started worker inherits the parent's creator-flagged handle (whose
+    release would unlink the segment under the parent) and any installed sink
+    from a previous life.  Workers must start from a clean registry and attach
+    their own untracked mapping.
+    """
+    global _INSTALLED_PLANE
+    _INSTALLED_PLANE = None
+    with _REGISTRY_LOCK:
+        _ACTIVE_RESULTS_PLANES.clear()
+
+
+def active_results_plane_names() -> List[str]:
+    """Names of the results planes this process holds open (for tests)."""
+    with _REGISTRY_LOCK:
+        return [name for name, plane in _ACTIVE_RESULTS_PLANES.items() if not plane.closed]
+
+
+__all__: Tuple[str, ...] = (
+    "BACKEND_BYTES",
+    "ERROR_BYTES",
+    "OUTCOME_DTYPE",
+    "PLANE_MAGIC",
+    "SERIES_BYTES",
+    "ResultsPlane",
+    "active_results_plane_names",
+    "attach_results_plane",
+    "create_results_plane",
+    "forget_inherited_results_planes",
+    "install_results_plane",
+    "installed_results_plane",
+)

@@ -81,7 +81,7 @@ def _align(offset: int) -> int:
 _ATTACH_LOCK = threading.Lock()
 
 
-def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+def attach_segment_untracked(name: str) -> shared_memory.SharedMemory:
     """Open an existing segment without handing it to the resource tracker.
 
     On Python < 3.13 every ``SharedMemory(name=...)`` attach registers the
@@ -91,6 +91,9 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
     process, unregistering afterwards would corrupt the parent's bookkeeping).
     Python 3.13 grew ``track=False`` for this; on older interpreters the
     registration call is suppressed for the duration of the attach instead.
+    Shared by the model plane here and the results plane
+    (:mod:`repro.core.results_plane`), which attach worker-side segments under
+    the same ownership rules.
     """
     if sys.version_info >= (3, 13):  # pragma: no cover - interpreter dependent
         return shared_memory.SharedMemory(name=name, track=False)
@@ -341,7 +344,7 @@ def attach_structures(name: str) -> SharedStructurePlane:
     if existing is not None and not existing.closed:
         return existing.acquire()
     try:
-        segment = _attach_untracked(name)
+        segment = attach_segment_untracked(name)
     except (FileNotFoundError, OSError) as exc:
         raise ModelError(f"shared structure plane {name!r} is not available: {exc}") from exc
     try:

@@ -71,6 +71,15 @@ class SweepConfig:
             PR 2 behaviour -- forked workers inherit private copies, spawned
             workers rebuild every skeleton once per worker -- which the
             shared-structure ablation benchmark uses as its baseline.
+        use_results_plane: With ``workers > 1``, return every computed
+            :class:`~repro.core.engine.PointOutcome` through the fixed-record
+            shared-memory results plane (:mod:`repro.core.results_plane`)
+            instead of pickling it through the pool's result queue (the
+            default).  Setting this to false restores the pickled future path
+            -- the results-plane ablation benchmark uses it as its baseline.
+            Either way the computed values are identical; only the return
+            transport changes (``SweepResult.metadata["results_plane"]``
+            records which path each outcome took).
         warm_start_across_points: Chain each attack series along the ``p``
             axis, seeding every Algorithm 1 run with the optimal strategy and
             bias of the previous grid point.  Changes results only within
@@ -112,6 +121,7 @@ class SweepConfig:
     workers: int = 1
     use_structure_cache: bool = True
     use_shared_structures: bool = True
+    use_results_plane: bool = True
     warm_start_across_points: bool = False
     reuse_p_axis_bounds: bool = False
     coordinator: Optional[str] = None

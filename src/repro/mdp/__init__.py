@@ -25,7 +25,7 @@ from .mean_payoff import (
     solve_mean_payoff,
     solve_mean_payoff_batch,
 )
-from .portfolio import PORTFOLIO_BACKENDS, SolverPortfolio
+from .portfolio import PORTFOLIO_BACKENDS, PortfolioHistory, SolverPortfolio
 from .reachability import end_components, is_unichain, reachable_states
 from .validation import validate_mdp
 
@@ -52,6 +52,7 @@ __all__ = [
     "solve_mean_payoff",
     "solve_mean_payoff_batch",
     "PORTFOLIO_BACKENDS",
+    "PortfolioHistory",
     "SolverPortfolio",
     "end_components",
     "is_unichain",

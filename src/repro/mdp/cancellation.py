@@ -10,6 +10,13 @@ boundary instead of burning the rest of its iteration budget.
 
 Tokens are thread-safe (a :class:`threading.Event` underneath), cheap to poll
 once per iteration, and never reset: a cancelled token stays cancelled.
+
+Tokens can be *linked*: a token constructed with ``parent=other`` observes its
+parent's cancellation as its own, so cancelling the parent stops every child at
+its next iteration boundary.  The solver portfolio uses this to link an
+external stop signal (e.g. a coordinator shutdown) into the per-backend tokens
+of a running race: cancelling the external token aborts both racing backends
+mid-solve instead of only being honoured before the race starts.
 """
 
 from __future__ import annotations
@@ -21,12 +28,20 @@ from ..exceptions import SolverCancelled
 
 
 class CancellationToken:
-    """A one-way, thread-safe stop signal polled at solver iteration boundaries."""
+    """A one-way, thread-safe stop signal polled at solver iteration boundaries.
 
-    __slots__ = ("_event",)
+    Args:
+        parent: Optional token whose cancellation this token inherits: a child
+            reports :attr:`cancelled` as soon as either itself *or* its parent
+            is cancelled.  Cancelling a child never cancels the parent (or any
+            sibling linked to the same parent).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_event", "_parent")
+
+    def __init__(self, parent: Optional["CancellationToken"] = None) -> None:
         self._event = threading.Event()
+        self._parent = parent
 
     def cancel(self) -> None:
         """Request cancellation; idempotent and irreversible."""
@@ -34,8 +49,10 @@ class CancellationToken:
 
     @property
     def cancelled(self) -> bool:
-        """Whether cancellation has been requested."""
-        return self._event.is_set()
+        """Whether cancellation has been requested (here or on a linked parent)."""
+        if self._event.is_set():
+            return True
+        return self._parent is not None and self._parent.cancelled
 
     def raise_if_cancelled(self, *, solver: str, iterations: int) -> None:
         """Raise :class:`~repro.exceptions.SolverCancelled` if cancellation was requested.
@@ -45,7 +62,7 @@ class CancellationToken:
             iterations: Iterations the solver completed so far; recorded on the
                 exception so the canceller can account for the work saved.
         """
-        if self._event.is_set():
+        if self.cancelled:
             raise SolverCancelled(
                 f"{solver} cancelled cooperatively after {iterations} iterations",
                 iterations=iterations,

@@ -18,7 +18,7 @@ Two scaling extensions share this front-end:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from .model import MDP
 from .policy_iteration import batched_policy_iteration, policy_iteration
 from .strategy import Strategy
 from .value_iteration import batched_relative_value_iteration, relative_value_iteration
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .portfolio import PortfolioHistory
 
 #: Names of the available solver backends.
 SOLVER_BACKENDS = ("policy_iteration", "value_iteration", "linear_program", "portfolio")
@@ -71,6 +74,7 @@ def solve_mean_payoff(
     warm_start: Optional[Strategy] = None,
     warm_start_bias: Optional[np.ndarray] = None,
     portfolio_deadline: float = 30.0,
+    portfolio_history: Optional["PortfolioHistory"] = None,
     cancel_token: Optional[CancellationToken] = None,
 ) -> MeanPayoffSolution:
     """Compute the optimal mean payoff and an optimal strategy.
@@ -94,9 +98,14 @@ def solve_mean_payoff(
             models without checking.
         portfolio_deadline: Seconds the ``"portfolio"`` backend waits for the
             first finisher before blocking unconditionally; ignored otherwise.
+        portfolio_history: Optional :class:`~repro.mdp.portfolio.
+            PortfolioHistory` seeding the ``"portfolio"`` race from recent
+            winners (the dominant backend launches first, rivals are delayed
+            or skipped); ignored by the other backends.
         cancel_token: Optional cooperative stop signal polled at iteration
             boundaries by the iterative backends (the portfolio additionally
-            creates per-backend tokens internally to stop race losers).
+            creates per-backend tokens internally, linked to this one, to stop
+            race losers).
 
     Raises:
         SolverError: If ``solver`` is not a known backend.
@@ -109,7 +118,7 @@ def solve_mean_payoff(
     if solver == "portfolio":
         from .portfolio import SolverPortfolio  # local import: avoids a cycle
 
-        return SolverPortfolio(deadline=portfolio_deadline).solve(
+        return SolverPortfolio(deadline=portfolio_deadline, history=portfolio_history).solve(
             mdp,
             reward_weights,
             tolerance=tolerance,
@@ -189,6 +198,7 @@ def solve_mean_payoff_batch(
     warm_start: Optional[Strategy] = None,
     warm_start_bias: Optional[np.ndarray] = None,
     portfolio_deadline: float = 30.0,
+    portfolio_history: Optional["PortfolioHistory"] = None,
     cancel_token: Optional[CancellationToken] = None,
 ) -> List[MeanPayoffSolution]:
     """Solve several reward weightings of the *same* model in one call.
@@ -215,6 +225,8 @@ def solve_mean_payoff_batch(
             a per-column matrix of shape ``(num_states, k)``; silently ignored
             on shape mismatch.
         portfolio_deadline: Deadline of the ``"portfolio"`` race; ignored otherwise.
+        portfolio_history: Optional race history seeding the ``"portfolio"``
+            backend, as for :func:`solve_mean_payoff`; ignored otherwise.
         cancel_token: Optional cooperative stop signal polled at iteration
             boundaries by the iterative backends.
 
@@ -241,7 +253,7 @@ def solve_mean_payoff_batch(
     if solver == "portfolio":
         from .portfolio import SolverPortfolio  # local import: avoids a cycle
 
-        return SolverPortfolio(deadline=portfolio_deadline).solve_batch(
+        return SolverPortfolio(deadline=portfolio_deadline, history=portfolio_history).solve_batch(
             mdp,
             weight_matrix,
             tolerance=tolerance,

@@ -23,6 +23,32 @@ work the cancellation avoided.  The ``deadline`` bounds only how long the
 portfolio waits before it stops polling optimistically and simply blocks for
 the first backend to complete.
 
+History seeding
+---------------
+On a sweep grid the same backend tends to win long runs of adjacent probes
+(warm-started policy iteration dominates once a chain is established; value
+iteration wins the cold starts), so launching both backends cold on every probe
+wastes a thread spin-up and a few solver iterations per race.  A
+:class:`PortfolioHistory` -- a sliding window of recent race winners, carried in
+the sweep engine's per-worker state and the distributed fabric's per-connection
+state -- turns that streak into scheduling: when one backend has clearly
+dominated the recent window, the portfolio launches it immediately and holds
+the rival back for a few milliseconds (:attr:`PortfolioHistory.rival_delay`).
+If the favourite finishes inside the grace period the rival is never launched
+at all (counted in :attr:`PortfolioHistory.launches_avoided`); if it does not,
+the rival starts and the race proceeds exactly as before.  Seeding is pure
+scheduling -- any backend's result satisfies the same tolerance -- so certified
+bounds are unaffected.
+
+External cancellation
+---------------------
+``solve``/``solve_batch`` accept an external ``cancel_token`` (e.g. a
+distributed worker's shutdown signal).  The per-backend tokens are *linked* to
+it (:class:`~repro.mdp.cancellation.CancellationToken` ``parent=``), so an
+external cancellation arriving mid-solve stops both racing backends at their
+next iteration boundary and re-raises :class:`~repro.exceptions.SolverCancelled`
+from the race, instead of being honoured only before the race starts.
+
 Invariant: racing is a *scheduling* choice, not a numerical one.  Whichever
 backend wins, the value it returns satisfies the same tolerance, so Algorithm
 1's certified ``[beta_low, beta_up]`` stays within ``epsilon`` of the
@@ -34,9 +60,17 @@ reproducibility guarantee.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, TimeoutError as FuturesTimeoutError, as_completed
-from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+import threading
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ThreadPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+    as_completed,
+    wait,
+)
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +81,113 @@ from .strategy import Strategy
 
 #: Backends raced by default (the LP is excluded: it is a cross-check, not a race contender).
 PORTFOLIO_BACKENDS: Tuple[str, ...] = ("policy_iteration", "value_iteration")
+
+
+class PortfolioHistory:
+    """Sliding-window race history used to seed the portfolio's scheduling.
+
+    One instance represents "what the recent sweep has learned": a bounded
+    window of race winners plus cumulative counters.  The sweep engine keeps
+    one per worker process and the distributed fabric one per connection, so
+    the history a race consults reflects the points that worker actually
+    computed.  Thread-safe -- a distributed worker with ``capacity > 1``
+    races several units concurrently against the same history.
+
+    Args:
+        window: Number of recent race winners remembered.
+        min_streak: Consecutive most-recent wins a backend needs (on top of a
+            strict majority of the whole window) before it is declared the
+            leader; a single rival win inside the streak demotes it.
+        rival_delay: Seconds the rival's launch is delayed once a leader is
+            seeded.  A leader finishing inside this grace period avoids the
+            rival launch entirely.
+    """
+
+    def __init__(
+        self,
+        *,
+        window: int = 50,
+        min_streak: int = 3,
+        rival_delay: float = 0.004,
+    ) -> None:
+        if window < 1:
+            raise SolverError(f"window must be >= 1, got {window}")
+        if min_streak < 1:
+            raise SolverError(f"min_streak must be >= 1, got {min_streak}")
+        if rival_delay < 0.0:
+            raise SolverError(f"rival_delay must be >= 0, got {rival_delay}")
+        self.window = window
+        self.min_streak = min_streak
+        self.rival_delay = rival_delay
+        self._winners: Deque[str] = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.races = 0
+        self.launches_avoided = 0
+        self.seeded_races = 0
+        self.wins: Dict[str, int] = {}
+
+    def _thread_counts(self) -> Dict[str, int]:
+        counts = getattr(self._tls, "counts", None)
+        if counts is None:
+            counts = self._tls.counts = {"races": 0, "launches_avoided": 0}
+        return counts
+
+    def thread_stats(self) -> Dict[str, int]:
+        """Races/avoided-launches recorded *by the calling thread* (cumulative).
+
+        A history may be shared by threads racing concurrently (a distributed
+        worker with ``capacity > 1``); per-point deltas taken against the
+        global counters would then include other threads' races.  Each thread
+        races sequentially, so its own counters are exact.
+        """
+        return dict(self._thread_counts())
+
+    def record_win(self, backend: str) -> None:
+        """Record the winner of one race."""
+        self._thread_counts()["races"] += 1
+        with self._lock:
+            self.races += 1
+            self._winners.append(backend)
+            self.wins[backend] = self.wins.get(backend, 0) + 1
+
+    def record_avoided(self, count: int, *, seeded: bool = True) -> None:
+        """Record rival launches a seeded race skipped (and the seeding itself)."""
+        self._thread_counts()["launches_avoided"] += count
+        with self._lock:
+            if seeded:
+                self.seeded_races += 1
+            self.launches_avoided += count
+
+    def leader(self) -> Optional[str]:
+        """The backend dominating the recent window, or ``None`` when contested.
+
+        A backend leads when it won every one of the last ``min_streak`` races
+        and holds a strict majority of the whole window -- a single rival win
+        inside the streak immediately demotes it, so a genuinely contested
+        region of the grid falls back to the plain cold race.
+        """
+        with self._lock:
+            if len(self._winners) < self.min_streak:
+                return None
+            recent = list(self._winners)
+        streak = recent[-self.min_streak :]
+        candidate = streak[0]
+        if any(winner != candidate for winner in streak):
+            return None
+        if sum(1 for winner in recent if winner == candidate) * 2 <= len(recent):
+            return None
+        return candidate
+
+    def stats(self) -> Dict[str, object]:
+        """Cumulative counters (races, seeded races, avoided launches, wins)."""
+        with self._lock:
+            return {
+                "races": self.races,
+                "seeded_races": self.seeded_races,
+                "launches_avoided": self.launches_avoided,
+                "wins": dict(self.wins),
+            }
 
 
 @dataclass(frozen=True)
@@ -60,10 +201,16 @@ class SolverPortfolio:
         deadline: Seconds to wait for the first completion before falling back
             to an unbounded wait (a race cannot return *no* result; the
             deadline only bounds the optimistic polling phase).
+        history: Optional :class:`PortfolioHistory` consulted before each race:
+            a clearly leading backend is launched immediately and its rivals
+            are delayed by ``history.rival_delay`` (skipped outright when the
+            leader finishes first).  Race winners and avoided launches are
+            recorded back into the same history.
     """
 
     backends: Tuple[str, ...] = PORTFOLIO_BACKENDS
     deadline: float = 30.0
+    history: Optional[PortfolioHistory] = field(default=None, compare=False)
 
     #: Upper bound (seconds) on waiting for cancelled losers to report their
     #: completed iterations.  Losers stop at their next iteration boundary --
@@ -82,36 +229,73 @@ class SolverPortfolio:
 
     # ------------------------------------------------------------------ racing
 
-    def _race(self, thunks: Sequence[Tuple[str, Callable[[Optional[CancellationToken]], object]]]):
+    def _race(
+        self,
+        thunks: Sequence[Tuple[str, Callable[[Optional[CancellationToken]], object]]],
+        cancel_token: Optional[CancellationToken] = None,
+    ):
         """Run one thunk per backend; return the winner and the losers' savings.
 
-        Each thunk receives its own cancellation token.  The winner is the
-        first backend whose thunk returns without raising; its rivals' tokens
-        are cancelled immediately, so they stop at their next iteration
-        boundary, and the iterations they completed by then are summed into
-        the returned ``cancelled_iterations``.  If every backend raises, the
-        last error is re-raised.
+        Each thunk receives its own cancellation token, *linked* to the
+        optional external ``cancel_token`` so an external cancellation arriving
+        mid-solve stops every backend at its next iteration boundary.  With a
+        :attr:`history` whose window names a clear leader, the leader launches
+        first and the rivals wait ``history.rival_delay`` seconds -- rivals
+        whose launch the leader's finish made unnecessary are never started and
+        are counted into ``history.launches_avoided``.  The winner is the first
+        backend whose thunk returns without raising; its rivals' tokens are
+        cancelled immediately, so they stop at their next iteration boundary,
+        and the iterations they completed by then are summed into the returned
+        ``cancelled_iterations``.  If every backend raises, the last error is
+        re-raised.
 
         Returns:
             ``(backend, result, cancelled_iterations)``.
         """
         if len(thunks) == 1:
             backend, thunk = thunks[0]
-            return backend, thunk(None), 0
+            return backend, thunk(cancel_token), 0
         # One short-lived executor per race, by design: a shared pool would let
         # still-draining losers from earlier races occupy its threads and
         # starve later races behind the deadline, while the two threads spawned
         # here cost microseconds against millisecond-scale solves.
         executor = ThreadPoolExecutor(max_workers=len(thunks), thread_name_prefix="mp-portfolio")
-        tokens = {backend: CancellationToken() for backend, _ in thunks}
-        futures = {
-            executor.submit(thunk, tokens[backend]): backend for backend, thunk in thunks
-        }
+        tokens = {backend: CancellationToken(parent=cancel_token) for backend, _ in thunks}
+        leader = self.history.leader() if self.history is not None else None
         last_error: Optional[BaseException] = None
         winner_backend: Optional[str] = None
         winner_result: Optional[object] = None
         try:
-            pending = dict(futures)
+            futures: Dict[object, str] = {}
+            pending: Dict[object, str] = {}
+            delayed = list(thunks)
+            if leader is not None and any(backend == leader for backend, _ in thunks):
+                # History seeding: launch the recent winner alone and give it
+                # a head start.  If it finishes inside the grace period the
+                # rivals are never launched at all.
+                leader_thunk = next(thunk for backend, thunk in thunks if backend == leader)
+                delayed = [(backend, thunk) for backend, thunk in thunks if backend != leader]
+                future = executor.submit(leader_thunk, tokens[leader])
+                futures[future] = leader
+                pending[future] = leader
+                done, _ = wait(
+                    [future], timeout=self.history.rival_delay, return_when=FIRST_COMPLETED
+                )
+                if future in done:
+                    pending.pop(future, None)
+                    try:
+                        winner_result = future.result()
+                        winner_backend = leader
+                        self.history.record_avoided(len(delayed))
+                        delayed = []
+                    except Exception as exc:  # noqa: BLE001 - rivals take over
+                        last_error = exc
+                else:
+                    self.history.record_avoided(0)
+            for backend, thunk in delayed:
+                future = executor.submit(thunk, tokens[backend])
+                futures[future] = backend
+                pending[future] = backend
             for use_deadline in (True, False):
                 if winner_backend is not None or not pending:
                     break
@@ -170,9 +354,11 @@ class SolverPortfolio:
         """Race one mean-payoff solve across the configured backends.
 
         Args:
-            cancel_token: Optional *external* stop signal, honoured at race
-                granularity (checked before the race starts); the per-backend
-                tokens that stop race losers are managed internally.
+            cancel_token: Optional *external* stop signal.  Checked before the
+                race starts *and* linked into the per-backend tokens, so a
+                cancellation arriving mid-solve aborts both racing backends at
+                their next iteration boundary (the race re-raises
+                :class:`~repro.exceptions.SolverCancelled`).
 
         Returns:
             The winning backend's :class:`~repro.mdp.mean_payoff.MeanPayoffSolution`
@@ -197,8 +383,10 @@ class SolverPortfolio:
             )
 
         backend, solution, cancelled_iterations = self._race(
-            [(backend, thunk(backend)) for backend in self.backends]
+            [(backend, thunk(backend)) for backend in self.backends], cancel_token
         )
+        if self.history is not None:
+            self.history.record_win(backend)
         return replace(
             solution,
             solver=f"portfolio:{backend}",
@@ -239,8 +427,10 @@ class SolverPortfolio:
             )
 
         backend, solutions, cancelled_iterations = self._race(
-            [(backend, thunk(backend)) for backend in self.backends]
+            [(backend, thunk(backend)) for backend in self.backends], cancel_token
         )
+        if self.history is not None:
+            self.history.record_win(backend)
         rewritten = [
             replace(solution, solver=f"portfolio:{backend}") for solution in solutions
         ]

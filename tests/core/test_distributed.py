@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import os
 import socket
+import struct
 import subprocess
 import sys
 from pathlib import Path
@@ -324,6 +325,84 @@ def test_distributed_sweep_survives_killed_worker():
     assert not distributed.failures
     _assert_same_points(serial, distributed)
     assert workers[1].returncode == 0
+
+
+def _read_frame_blocking(sock: socket.socket) -> dict:
+    """Read one length-prefixed frame from a blocking socket; return its header."""
+    def read_exact(count: int) -> bytes:
+        data = b""
+        while len(data) < count:
+            chunk = sock.recv(count - len(data))
+            if not chunk:
+                raise ConnectionError("peer closed")
+            data += chunk
+        return data
+
+    (body_len,) = struct.unpack(">I", read_exact(4))
+    header, _ = decode_frame(read_exact(body_len))
+    return header
+
+
+def test_garbage_hello_is_rejected_and_sweep_survives():
+    """Regression: a malformed hello must refuse *that* worker, not kill the sweep.
+
+    ``float(header["heartbeat_seconds"])`` / the capacity parse used to raise
+    uncaught inside the coordinator (and zero-or-negative values were
+    silently clamped).  Three garbage hellos now each draw a clean ``error``
+    frame while a healthy worker completes the whole grid.
+    """
+    import threading
+    import time as time_module
+
+    listening = threading.Event()
+    bound = {}
+
+    def on_listen(host: str, port: int) -> None:
+        bound["port"] = port
+        listening.set()
+
+    grid = _base_grid(p_values=(0.0, 0.05))
+    result = {}
+
+    def coordinate() -> None:
+        result["sweep"] = run_distributed_sweep(
+            SweepConfig(**grid, coordinator="127.0.0.1:0"),
+            timeout=120.0,
+            on_listen=on_listen,
+        )
+
+    coordinator = threading.Thread(target=coordinate, daemon=True)
+    coordinator.start()
+    assert listening.wait(timeout=30.0), "coordinator never started listening"
+    port = bound["port"]
+
+    garbage_hellos = [
+        {"type": "hello", "protocol": 1, "capacity": "lots"},  # non-integer capacity
+        {"type": "hello", "protocol": 1, "capacity": 2.9},  # truncation is not consent
+        {"type": "hello", "protocol": 1, "capacity": 0},  # starves the scheduler
+        {"type": "hello", "protocol": 1, "heartbeat_seconds": -3},  # immortal worker
+        {"type": "hello", "protocol": 1, "heartbeat_seconds": "soon"},  # non-numeric
+    ]
+    for hello in garbage_hellos:
+        with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+            sock.sendall(encode_frame(hello))
+            header = _read_frame_blocking(sock)
+            assert header["type"] == "error", hello
+            assert "capacity" in header["message"] or "heartbeat" in header["message"]
+
+    worker = _spawn_worker(port)
+    try:
+        deadline = time_module.monotonic() + 120.0
+        while coordinator.is_alive() and time_module.monotonic() < deadline:
+            coordinator.join(timeout=0.5)
+    finally:
+        out, _ = worker.communicate(timeout=30)
+    assert not coordinator.is_alive(), "sweep never completed after garbage hellos"
+    sweep = result["sweep"]
+    assert not sweep.failures
+    _assert_same_points(run_sweep(SweepConfig(**grid)), sweep)
+    assert worker.returncode == 0
+    assert "clean shutdown" in out
 
 
 def test_late_worker_joins_running_sweep():

@@ -329,6 +329,54 @@ class TestMonotonePAxisBoundReuse:
         assert point.to_row()["solver_backend"] == point.solver_backend
 
 
+class TestPortfolioSweepMetadata:
+    def test_portfolio_history_stats_in_metadata(self):
+        """A portfolio sweep records its race history under metadata["portfolio"]."""
+        config = SweepConfig(
+            p_values=(0.1, 0.2, 0.3),
+            gammas=(0.5,),
+            attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+            include_honest=False,
+            include_single_tree=False,
+            analysis=AnalysisConfig(epsilon=1e-2, solver="portfolio"),
+        )
+        sweep = run_sweep(config)
+        stats = sweep.metadata["portfolio"]
+        assert stats["races"] > 0
+        assert 0 <= stats["launches_avoided"] <= stats["races"]
+        assert sum(stats["backend_wins"].values()) == len(sweep.points)
+        # Non-portfolio sweeps carry no portfolio metadata at all.
+        cold = run_sweep(small_grid(workers=1))
+        assert "portfolio" not in cold.metadata
+
+
+class TestAssembleMissingOutcomes:
+    """Regression: a grid key nobody reported must become a failure, not a crash.
+
+    ``assemble_sweep_result`` used to index ``outcomes[...]`` bare, so a
+    distributed shutdown that lost a unit (or a torn results-plane slot)
+    raised ``KeyError`` and discarded every point that *was* collected.
+    """
+
+    def test_missing_outcome_becomes_sweep_failure(self):
+        from repro.core.engine import _run_attack_task, assemble_sweep_result
+
+        config = small_grid(workers=1)
+        tasks = _build_tasks(config)
+        outcomes = {}
+        for task in tasks:
+            for outcome in _run_attack_task(task):
+                outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
+        lost = (0, 1, 1)  # gamma=0.0, p=0.15, second attack
+        del outcomes[lost]
+        sweep = assemble_sweep_result(config, outcomes, lambda _: None, description="test")
+        (failure,) = sweep.failures
+        assert "outcome never reported" in failure.message
+        assert (failure.p, failure.gamma, failure.series) == (0.15, 0.0, "ours(d=2,f=1)")
+        # Every collected point survives the lost one.
+        assert len(sweep.points) == len(run_sweep(config).points) - 1
+
+
 class TestWarmStartedAlgorithm1:
     @pytest.fixture(scope="class")
     def model(self):

@@ -68,6 +68,39 @@ class TestWriteCsv:
             (row,) = list(csv.DictReader(handle))
         assert row["seconds"] == "0.123456789"
 
+    def test_utf8_regardless_of_locale(self, tmp_path, monkeypatch):
+        """Regression: CSV output must be UTF-8 even on a C-locale host.
+
+        ``open`` without an explicit encoding follows
+        ``locale.getpreferredencoding``, so the same sweep wrote different --
+        or crashing, for non-ASCII series/error cells -- files depending on
+        the host locale.  The file must now open with ``encoding="utf-8"``
+        (asserted on the actual ``Path.open`` call, since the test process
+        cannot reliably switch its C-level locale) and the bytes on disk must
+        decode as UTF-8.
+        """
+        import locale
+        from pathlib import Path
+
+        monkeypatch.setattr(
+            locale, "getpreferredencoding", lambda do_setlocale=True: "ANSI_X3.4-1968"
+        )
+        opened_encodings = []
+        original_open = Path.open
+
+        def spying_open(self, *args, **kwargs):
+            opened_encodings.append(kwargs.get("encoding"))
+            return original_open(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "open", spying_open)
+        path = write_csv(
+            [{"series": "ours(γ=0.5, β≤ε)", "error": "Solver détruit"}],
+            tmp_path / "unicode.csv",
+        )
+        assert opened_encodings == ["utf-8"]
+        text = path.read_bytes().decode("utf-8")
+        assert "ours(γ=0.5, β≤ε)" in text and "Solver détruit" in text
+
 
 class TestRenderTable:
     def test_contains_all_columns_and_values(self):

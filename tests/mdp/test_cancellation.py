@@ -32,6 +32,27 @@ from repro.analysis.rewards import beta_reward_weights
 WEIGHTS = beta_reward_weights(0.4)
 
 
+class TripAfterPolls(CancellationToken):
+    """External token that flips cancelled after a fixed number of polls.
+
+    Deterministic stand-in for "an external cancel arrives mid-race": the
+    linked per-backend tokens poll their parent at every iteration boundary,
+    so after ``polls`` polls every racing backend is provably *inside* its
+    solve and must abort at the next boundary.
+    """
+
+    def __init__(self, polls: int) -> None:
+        super().__init__()
+        self.remaining = polls
+
+    @property
+    def cancelled(self) -> bool:  # polled via the linked child tokens
+        self.remaining -= 1
+        if self.remaining <= 0:
+            self.cancel()
+        return super().cancelled
+
+
 @pytest.fixture(scope="module")
 def mdp():
     return build_selfish_forks_mdp(
@@ -46,6 +67,24 @@ class TestToken:
         token.cancel()
         token.cancel()
         assert token.cancelled
+
+    def test_child_inherits_parent_cancellation(self):
+        parent = CancellationToken()
+        child = CancellationToken(parent=parent)
+        assert not child.cancelled
+        parent.cancel()
+        assert child.cancelled
+        with pytest.raises(SolverCancelled):
+            child.raise_if_cancelled(solver="test", iterations=3)
+
+    def test_cancelling_child_leaves_parent_and_siblings_alone(self):
+        parent = CancellationToken()
+        left = CancellationToken(parent=parent)
+        right = CancellationToken(parent=parent)
+        left.cancel()
+        assert left.cancelled
+        assert not parent.cancelled
+        assert not right.cancelled
 
     def test_raise_if_cancelled_carries_iterations(self):
         token = CancellationToken()
@@ -175,6 +214,46 @@ class TestPortfolioCancellation:
         token.cancel()
         with pytest.raises(SolverCancelled):
             solve_mean_payoff(mdp, WEIGHTS, solver="portfolio", cancel_token=token)
+
+    def test_external_cancel_mid_race_aborts_both_backends(self, mdp):
+        """Regression: an external cancel arriving *mid-solve* must stop the race.
+
+        The external token used to be checked only before the race, so a
+        coordinator shutdown could never interrupt running backends.  Policy
+        iteration converges in ~5 rounds on this model, polling once per
+        round; tripping on the 4th poll (1 pre-race + 3 boundary polls,
+        shared by both backends) guarantees no backend can finish first.
+        """
+        token = TripAfterPolls(polls=4)
+        with pytest.raises(SolverCancelled) as excinfo:
+            solve_mean_payoff(
+                mdp,
+                WEIGHTS,
+                solver="portfolio",
+                tolerance=1e-300,  # without cancellation this spins ~forever
+                max_iterations=100_000_000,
+                cancel_token=token,
+            )
+        # The losing solver reports the iterations it completed before the
+        # external stop -- proof it aborted at an iteration boundary mid-solve
+        # rather than never starting.
+        assert excinfo.value.iterations >= 0
+        assert token.cancelled
+
+    def test_external_cancel_mid_race_aborts_batched_solve(self, mdp):
+        """The same deterministic mid-race cancel through the batched entry point."""
+        token = TripAfterPolls(polls=4)
+        matrix = np.array([beta_reward_weights(beta) for beta in (0.3, 0.4, 0.5)])
+        with pytest.raises(SolverCancelled):
+            solve_mean_payoff_batch(
+                mdp,
+                matrix,
+                solver="portfolio",
+                tolerance=1e-300,
+                max_iterations=100_000_000,
+                cancel_token=token,
+            )
+        assert token.cancelled
 
     def test_formal_analysis_records_cancellations(self, mdp):
         result = formal_analysis(mdp, AnalysisConfig(epsilon=1e-2, solver="portfolio"))

@@ -1,0 +1,121 @@
+"""Tests of portfolio history seeding (:class:`repro.mdp.portfolio.PortfolioHistory`).
+
+Seeding is a scheduling optimisation only: a seeded race must return the same
+certified values as a cold race, merely skipping rival launches the recent
+window proves unnecessary.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import AnalysisConfig, AttackParams, ProtocolParams
+from repro.analysis import formal_analysis
+from repro.analysis.rewards import beta_reward_weights
+from repro.attacks import build_selfish_forks_mdp
+from repro.exceptions import SolverError
+from repro.mdp import PortfolioHistory, SolverPortfolio, solve_mean_payoff
+
+WEIGHTS = beta_reward_weights(0.4)
+
+
+@pytest.fixture(scope="module")
+def mdp():
+    return build_selfish_forks_mdp(
+        ProtocolParams(p=0.3, gamma=0.5), AttackParams(depth=2, forks=1, max_fork_length=4)
+    ).mdp
+
+
+class TestLeaderElection:
+    def test_no_leader_before_min_streak(self):
+        history = PortfolioHistory(min_streak=3)
+        history.record_win("policy_iteration")
+        history.record_win("policy_iteration")
+        assert history.leader() is None
+        history.record_win("policy_iteration")
+        assert history.leader() == "policy_iteration"
+
+    def test_single_rival_win_demotes_the_leader(self):
+        history = PortfolioHistory(min_streak=3)
+        for _ in range(10):
+            history.record_win("policy_iteration")
+        assert history.leader() == "policy_iteration"
+        history.record_win("value_iteration")
+        assert history.leader() is None
+
+    def test_streak_without_window_majority_does_not_lead(self):
+        history = PortfolioHistory(window=10, min_streak=2)
+        # 6 VI wins then 2 PI wins: PI has the streak but not the majority.
+        for _ in range(6):
+            history.record_win("value_iteration")
+        for _ in range(2):
+            history.record_win("policy_iteration")
+        assert history.leader() is None
+
+    def test_window_slides(self):
+        history = PortfolioHistory(window=4, min_streak=2)
+        for _ in range(10):
+            history.record_win("value_iteration")
+        for _ in range(4):
+            history.record_win("policy_iteration")
+        # The VI era has slid out of the window entirely.
+        assert history.leader() == "policy_iteration"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SolverError):
+            PortfolioHistory(window=0)
+        with pytest.raises(SolverError):
+            PortfolioHistory(min_streak=0)
+        with pytest.raises(SolverError):
+            PortfolioHistory(rival_delay=-0.1)
+
+
+class TestSeededRaces:
+    def test_seeded_race_matches_cold_values_and_avoids_launches(self, mdp):
+        reference = solve_mean_payoff(mdp, WEIGHTS, solver="policy_iteration")
+        history = PortfolioHistory(min_streak=2, rival_delay=5.0)
+        # Deterministic leader: the window already names policy iteration.
+        for _ in range(4):
+            history.record_win("policy_iteration")
+        portfolio = SolverPortfolio(history=history)
+        solutions = [portfolio.solve(mdp, WEIGHTS) for _ in range(3)]
+        for solution in solutions:
+            assert solution.gain == pytest.approx(reference.gain, abs=1e-6)
+            # The seeded leader finishes well inside the generous grace
+            # period, so the rival is never launched and nothing is cancelled.
+            assert solution.solver == "portfolio:policy_iteration"
+            assert solution.cancelled_iterations == 0
+        stats = history.stats()
+        assert stats["races"] == 4 + 3
+        assert stats["launches_avoided"] == 3
+        assert stats["seeded_races"] == 3
+
+    def test_history_threads_through_formal_analysis(self, mdp):
+        cold = formal_analysis(mdp, AnalysisConfig(epsilon=1e-2, solver="portfolio"))
+        history = PortfolioHistory(min_streak=2, rival_delay=5.0)
+        seeded = formal_analysis(
+            mdp,
+            AnalysisConfig(epsilon=1e-2, solver="portfolio"),
+            portfolio_history=history,
+        )
+        assert seeded.errev_lower_bound == pytest.approx(
+            cold.errev_lower_bound, abs=1e-2
+        )
+        assert seeded.interval_width < 1e-2
+        assert history.stats()["races"] > 0
+
+    def test_leaderless_history_races_all_backends(self, mdp):
+        history = PortfolioHistory(min_streak=1000)  # can never elect a leader
+        portfolio = SolverPortfolio(history=history)
+        solution = portfolio.solve(mdp, WEIGHTS)
+        assert solution.solver.startswith("portfolio:")
+        assert history.stats()["launches_avoided"] == 0
+        assert history.stats()["seeded_races"] == 0
+
+    def test_non_portfolio_solver_ignores_history(self, mdp):
+        history = PortfolioHistory()
+        result = formal_analysis(
+            mdp, AnalysisConfig(epsilon=1e-2), portfolio_history=history
+        )
+        assert result.interval_width < 1e-2
+        assert history.stats()["races"] == 0
