@@ -1,7 +1,13 @@
 """Mining strategies and attack models.
 
+* :mod:`repro.attacks.registry` -- the attack-scenario registry, the one public
+  entry point for enumerating, selecting and registering attack families
+  (:func:`get_attack` / :func:`list_attacks` / :func:`register_attack`).
 * :mod:`repro.attacks.fork_state` / :mod:`repro.attacks.selfish_forks` -- the
-  paper's multi-fork selfish-mining MDP (Section 3.2), the primary contribution.
+  paper's multi-fork selfish-mining MDP (Section 3.2), the primary contribution,
+  registered as the ``"selfish-forks"`` scenario.
+* :mod:`repro.attacks.sm_actions` -- the classic ADOPT/OVERRIDE/WAIT/MATCH
+  action space (Sapirshtein et al.), registered as ``"sm-actions"``.
 * :mod:`repro.attacks.honest` -- the honest-mining baseline.
 * :mod:`repro.attacks.single_tree` -- the single-tree (Eyal-Sirer style) baseline.
 * :mod:`repro.attacks.eyal_sirer` -- the classic PoW selfish-mining closed form.
@@ -9,6 +15,16 @@
   discrete-time chain simulator for Monte-Carlo validation.
 """
 
+from .registry import (
+    AttackScenario,
+    ScenarioStructure,
+    get_attack,
+    list_attacks,
+    register_attack,
+    resolve_scenario,
+    scenario_id_for,
+    unregister_attack,
+)
 from .fork_state import (
     ADVERSARY,
     HONEST,
@@ -42,8 +58,28 @@ from .eyal_sirer import (
 from .single_tree import SingleTreeParams, simulate_single_tree_errev, single_tree_errev
 from .base import AttackDecision, MiningPolicy
 from .policies import GreedyLeadPolicy, HonestPolicy, SelfishForksPolicy
+from .sm_actions import (
+    SmActionsModel,
+    SmActionsPolicy,
+    SmActionsStructure,
+    build_sm_actions_mdp,
+    simulate_sm_actions,
+)
 
 __all__ = [
+    "AttackScenario",
+    "ScenarioStructure",
+    "get_attack",
+    "list_attacks",
+    "register_attack",
+    "resolve_scenario",
+    "scenario_id_for",
+    "unregister_attack",
+    "SmActionsModel",
+    "SmActionsPolicy",
+    "SmActionsStructure",
+    "build_sm_actions_mdp",
+    "simulate_sm_actions",
     "ADVERSARY",
     "HONEST",
     "TYPE_ADVERSARY",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import ClassVar, Optional
 
 from .fork_state import ForkState, MineAction, ReleaseAction
 
@@ -24,6 +24,10 @@ class AttackDecision:
     Attributes:
         release: The release action to perform, or ``None`` to keep mining.
     """
+
+    #: Scenario whose simulator understands this decision type.  Scenarios with
+    #: a different observation/decision contract subclass and override this.
+    scenario_name: ClassVar[str] = "selfish-forks"
 
     release: Optional[ReleaseAction] = None
 
@@ -48,7 +52,19 @@ class AttackDecision:
 
 
 class MiningPolicy(ABC):
-    """Abstract adversarial mining policy driven by the chain simulator."""
+    """Abstract adversarial mining policy driven by a scenario's simulator.
+
+    The :data:`scenario_name` hook names the registered attack scenario whose
+    replay understands this policy's observation/decision contract; simulator
+    front-ends use it to dispatch a policy to the matching scenario entry
+    (see :func:`repro.attacks.registry.get_attack`).  Fork-window policies
+    (the default, ``"selfish-forks"``) observe a
+    :data:`~repro.attacks.fork_state.ForkState` and return an
+    :class:`AttackDecision`; other scenarios may document different types.
+    """
+
+    #: Registered scenario this policy replays under.
+    scenario_name: ClassVar[str] = "selfish-forks"
 
     @abstractmethod
     def decide(self, state: ForkState) -> AttackDecision:

@@ -378,6 +378,11 @@ PROB_ADVERSARY = 1  #: p / ((1 - p) + p * sigma)
 PROB_HONEST = 2  #: (1 - p) / ((1 - p) + p * sigma)
 PROB_GAMMA = 3  #: gamma
 PROB_ONE_MINUS_GAMMA = 4  #: 1 - gamma
+#: Combined race tags used by scenarios that fold the mining lottery and the
+#: tie-break into a single transition (e.g. ``sm-actions``); the selfish-forks
+#: kernel never emits them.
+PROB_GAMMA_HONEST = 5  #: gamma * (1 - p)
+PROB_ONE_MINUS_GAMMA_HONEST = 6  #: (1 - gamma) * (1 - p)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,757 @@
+"""ADOPT/OVERRIDE/WAIT/MATCH selfish mining as a registered attack scenario.
+
+This is the classic single-fork action space of Sapirshtein et al. ("Optimal
+selfish mining strategies in Bitcoin"), registered as the ``"sm-actions"``
+scenario behind the same skeleton-cache and flat-buffer interface as the
+paper's multi-fork family, so every engine feature (warm starts, batched
+probes, shared-memory planes, the distributed fabric) applies to it unchanged.
+
+State and actions
+-----------------
+A state is ``(a, h, fork)``: the lengths of the adversary's private chain and
+of the honest chain since the last common ancestor, plus a fork flag --
+``IRRELEVANT`` (last block was adversarial), ``RELEVANT`` (last block was
+honest, a match is possible) or ``ACTIVE`` (the adversary has published a
+matching branch and the network is split).  Actions: ``adopt`` (give up and
+mine on the honest chain), ``override`` (publish ``h + 1`` blocks, orphaning
+the honest chain), ``wait`` (keep mining privately) and ``match`` (publish an
+equal-length branch, triggering the ``gamma`` race).
+
+Both chains are truncated at ``attack.max_fork_length`` (the paper's ``l``),
+which keeps the MDP finite; ``attack.depth`` and ``attack.forks`` are unused
+by this scenario.  Two reward regimes bound the truncation error from either
+side (Sapirshtein et al., Section 4):
+
+* *underpaying* (``variant=""``, the default): blocks mined past the bound are
+  simply discarded, so the adversary is under-rewarded and the computed value
+  is a lower bound;
+* *overpaying* (``variant="overpaying"``): boundary states are settled with a
+  closed-form expected reward of the untruncated random-walk race, which
+  over-rewards the adversary and yields an upper bound.  The settlement
+  rewards depend on ``p``, so they are patched into a copy of the reward
+  array at instantiation time (the skeleton stays parameter-free).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import AttackParams, ProtocolParams
+from ..exceptions import ConfigurationError, ModelError
+from ..mdp import MDP, Strategy
+from .base import MiningPolicy
+from .fork_state import (
+    PROB_ADVERSARY,
+    PROB_GAMMA_HONEST,
+    PROB_HONEST,
+    PROB_ONE_MINUS_GAMMA_HONEST,
+)
+from .registry import ScenarioStructure, SupportSignature, register_attack
+
+#: Fork-flag values of the ``(a, h, fork)`` state.
+IRRELEVANT = 0
+RELEVANT = 1
+ACTIVE = 2
+
+#: Action labels, in the fixed per-state enumeration order.
+ADOPT = ("adopt",)
+OVERRIDE = ("override",)
+WAIT = ("wait",)
+MATCH = ("match",)
+#: Forced terminal action of overpaying boundary states.
+SETTLE = ("settle",)
+
+_ACTION_CODES = {ADOPT: 0, OVERRIDE: 1, WAIT: 2, MATCH: 3, SETTLE: 4}
+_ACTION_LABELS = {code: label for label, code in _ACTION_CODES.items()}
+
+_REGIME_UNDERPAYING = 0
+_REGIME_OVERPAYING = 1
+_REGIME_CODES = {"": _REGIME_UNDERPAYING, "overpaying": _REGIME_OVERPAYING}
+_REGIME_VARIANTS = {code: variant for variant, code in _REGIME_CODES.items()}
+
+#: Number of reward components per transition: ``(r_A, r_H)``.
+NUM_REWARD_COMPONENTS = 2
+
+_DEFAULT_MAX_STATES = 20_000_000
+
+
+def _regime_of(attack: AttackParams) -> int:
+    """Map ``attack.variant`` to a reward-regime code.
+
+    Raises:
+        ConfigurationError: If the attack belongs to another scenario or names
+            an unknown variant (only ``""`` and ``"overpaying"`` exist; the
+            underpaying regime is spelled ``""`` so that serialised skeletons
+            round-trip to an identical cache key).
+    """
+    if attack.scenario != "sm-actions":
+        raise ConfigurationError(
+            f"attack {attack!r} belongs to scenario {attack.scenario!r}, not 'sm-actions'"
+        )
+    regime = _REGIME_CODES.get(attack.variant)
+    if regime is None:
+        raise ConfigurationError(
+            f"unknown sm-actions variant {attack.variant!r}; valid variants: "
+            f"'' (underpaying, the default) and 'overpaying'"
+        )
+    return regime
+
+
+@register_attack("sm-actions")
+class SmActionsStructure(ScenarioStructure):
+    """ADOPT/OVERRIDE/WAIT/MATCH selfish mining (single fork, ``gamma`` race).
+
+    The skeleton layout extends the canonical buffers with the indices and
+    ``(a, h)`` labels of the overpaying settlement transitions, whose rewards
+    are ``p``-dependent and therefore refilled per parameter point by
+    :meth:`_rewards_for` (underpaying skeletons carry empty settle arrays).
+    """
+
+    SCENARIO_VERSION = 1
+    #: Single concurrent mining target, so every proof system's ``k`` suffices.
+    PROOF_SYSTEMS = ("pow", "pos", "pospacetime", "vdf")
+
+    BUFFER_KEYS = ScenarioStructure.BUFFER_KEYS + ("settle_trans", "settle_ah")
+
+    def __init__(
+        self,
+        *,
+        settle_trans: Optional[np.ndarray] = None,
+        settle_ah: Optional[np.ndarray] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.settle_trans = (
+            settle_trans if settle_trans is not None else np.empty(0, dtype=np.int64)
+        )
+        self.settle_ah = (
+            settle_ah if settle_ah is not None else np.empty((0, 2), dtype=np.int32)
+        )
+
+    # -------------------------------------------------------------------- refill
+
+    def _rewards_for(self, protocol: ProtocolParams) -> np.ndarray:
+        """Patch the ``p``-dependent overpaying settlement rewards into a copy.
+
+        For a boundary state ``(a, h)`` the settlement credits the expected
+        outcome of the untruncated biased random walk: with ``K = p(1-p) /
+        (1-2p)^2`` and the adversary ahead (``a >= h``), ``r_A = K + C`` and
+        ``r_H = -C`` where ``C = ((a-h)/(1-2p) + a + h) / 2``; behind
+        (``h > a``), with ``q = p/(1-p)``, ``r_A = q^(h-a) (K + (h-a)/(1-2p))``
+        and ``r_H = h (1 - q^(h-a))``.
+
+        Raises:
+            ModelError: For the overpaying regime at ``p >= 0.5``, where the
+                closed forms diverge (the walk is no longer biased towards the
+                honest chain).
+        """
+        if self.settle_trans.size == 0:
+            return self.trans_reward
+        p = protocol.p
+        if p >= 0.5:
+            raise ModelError(
+                f"the overpaying settlement rewards diverge for p >= 0.5 (got p={p}); "
+                f"use the underpaying variant for super-majority adversaries"
+            )
+        rewards = np.array(self.trans_reward, dtype=float, copy=True)
+        a = self.settle_ah[:, 0].astype(float)
+        h = self.settle_ah[:, 1].astype(float)
+        drift = 1.0 - 2.0 * p
+        k_const = p * (1.0 - p) / (drift * drift)
+        ahead = a >= h
+        c_term = ((a - h) / drift + a + h) / 2.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            decay = np.where(ahead, 1.0, (p / (1.0 - p)) ** (h - a))
+        r_a = np.where(ahead, k_const + c_term, decay * (k_const + (h - a) / drift))
+        r_h = np.where(ahead, -c_term, h * (1.0 - decay))
+        rewards[self.settle_trans, 0] = r_a
+        rewards[self.settle_trans, 1] = r_h
+        return rewards
+
+    # --------------------------------------------------------------- scenario API
+
+    @classmethod
+    def explore(
+        cls,
+        attack: AttackParams,
+        signature: SupportSignature,
+        *,
+        max_states: Optional[int] = _DEFAULT_MAX_STATES,
+    ) -> "SmActionsStructure":
+        """Breadth-first exploration of the reachable ``(a, h, fork)`` fragment.
+
+        Raises:
+            ConfigurationError: On an unknown variant or when the exploration
+                exceeds ``max_states``.
+        """
+        regime = _regime_of(attack)
+        l = attack.max_fork_length
+        start = (0, 0, IRRELEVANT)
+        state_ids: Dict[Tuple[int, int, int], int] = {start: 0}
+        labels: List[Hashable] = [start]
+        queue: deque = deque([start])
+
+        row_state: List[int] = []
+        row_actions: List[Hashable] = []
+        state_row_counts: List[int] = []
+        trans_succ: List[int] = []
+        trans_kind: List[int] = []
+        trans_sigma: List[int] = []
+        trans_mult: List[int] = []
+        trans_reward: List[Tuple[float, float]] = []
+        row_trans_offsets: List[int] = [0]
+        settle_trans: List[int] = []
+        settle_ah: List[Tuple[int, int]] = []
+
+        def state_index(label: Tuple[int, int, int]) -> int:
+            index = state_ids.get(label)
+            if index is None:
+                index = len(labels)
+                state_ids[label] = index
+                labels.append(label)
+                queue.append(label)
+                if max_states is not None and len(labels) > max_states:
+                    raise ConfigurationError(
+                        f"state-space exploration exceeded max_states={max_states}; "
+                        f"reduce l or raise the cap explicitly"
+                    )
+            return index
+
+        def actions_of(a: int, h: int, fork: int):
+            """Yield ``(label, transitions)`` with symbolic probability tags.
+
+            Each transition is ``(successor, kind, sigma, (r_A, r_H))``; the
+            race tags fold the mining lottery and the tie-break together.
+            """
+            if a == l or h == l:
+                if regime == _REGIME_OVERPAYING:
+                    # Truncation frontier: forced settlement with closed-form
+                    # rewards patched in per parameter point (recorded below).
+                    yield (
+                        SETTLE,
+                        [
+                            ((1, 0, IRRELEVANT), PROB_ADVERSARY, 1, (0.0, 0.0)),
+                            ((0, 1, RELEVANT), PROB_HONEST, 1, (0.0, 0.0)),
+                        ],
+                    )
+                    return
+                # Underpaying frontier: waiting (and matching) are forbidden so
+                # the race always resolves -- conceding at ``h == l`` discards
+                # the private chain, which is what under-rewards the adversary.
+                if h == l or h >= 1:
+                    reward = (0.0, float(h))
+                    yield (
+                        ADOPT,
+                        [
+                            ((1, 0, IRRELEVANT), PROB_ADVERSARY, 1, reward),
+                            ((0, 1, RELEVANT), PROB_HONEST, 1, reward),
+                        ],
+                    )
+                if h < l:
+                    reward = (float(h + 1), 0.0)
+                    yield (
+                        OVERRIDE,
+                        [
+                            ((a - h, 0, IRRELEVANT), PROB_ADVERSARY, 1, reward),
+                            ((a - h - 1, 1, RELEVANT), PROB_HONEST, 1, reward),
+                        ],
+                    )
+                return
+            race = [
+                ((min(a + 1, l), h, ACTIVE), PROB_ADVERSARY, 1, (0.0, 0.0)),
+                ((a - h, 1, RELEVANT), PROB_GAMMA_HONEST, 0, (float(h), 0.0)),
+                ((a, min(h + 1, l), RELEVANT), PROB_ONE_MINUS_GAMMA_HONEST, 0, (0.0, 0.0)),
+            ]
+            if h >= 1:
+                reward = (0.0, float(h))
+                yield (
+                    ADOPT,
+                    [
+                        ((1, 0, IRRELEVANT), PROB_ADVERSARY, 1, reward),
+                        ((0, 1, RELEVANT), PROB_HONEST, 1, reward),
+                    ],
+                )
+            if a > h:
+                reward = (float(h + 1), 0.0)
+                yield (
+                    OVERRIDE,
+                    [
+                        ((a - h, 0, IRRELEVANT), PROB_ADVERSARY, 1, reward),
+                        ((a - h - 1, 1, RELEVANT), PROB_HONEST, 1, reward),
+                    ],
+                )
+            if fork == ACTIVE:
+                yield (WAIT, race)
+            else:
+                yield (
+                    WAIT,
+                    [
+                        ((min(a + 1, l), h, IRRELEVANT), PROB_ADVERSARY, 1, (0.0, 0.0)),
+                        ((a, min(h + 1, l), RELEVANT), PROB_HONEST, 1, (0.0, 0.0)),
+                    ],
+                )
+            if fork == RELEVANT and a >= h >= 1:
+                yield (MATCH, race)
+
+        while queue:
+            state = queue.popleft()
+            owner_index = state_ids[state]
+            a, h, fork = state
+            num_rows_before = len(row_state)
+            for label, transitions in actions_of(a, h, fork):
+                kept = [entry for entry in transitions if signature.keeps(entry[1])]
+                if not kept:
+                    continue
+                row_state.append(owner_index)
+                row_actions.append(label)
+                for successor, kind, sigma, reward in kept:
+                    if label == SETTLE:
+                        settle_trans.append(len(trans_succ))
+                        settle_ah.append((a, h))
+                    trans_succ.append(state_index(successor))
+                    trans_kind.append(kind)
+                    trans_sigma.append(sigma)
+                    trans_mult.append(1)
+                    trans_reward.append(reward)
+                row_trans_offsets.append(len(trans_succ))
+            if len(row_state) == num_rows_before:
+                raise ConfigurationError(
+                    f"state {state!r} has no actions with positive probability under "
+                    f"support {signature}"
+                )
+            state_row_counts.append(len(row_state) - num_rows_before)
+
+        state_row_offsets = np.zeros(len(labels) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(state_row_counts, dtype=np.int64), out=state_row_offsets[1:])
+
+        return cls(
+            attack=attack,
+            signature=signature,
+            initial_state=0,
+            state_labels=labels,
+            row_state=np.asarray(row_state, dtype=np.int64),
+            state_row_offsets=state_row_offsets,
+            row_trans_offsets=np.asarray(row_trans_offsets, dtype=np.int64),
+            row_actions=row_actions,
+            trans_succ=np.asarray(trans_succ, dtype=np.int64),
+            trans_kind=np.asarray(trans_kind, dtype=np.int8),
+            trans_sigma=np.asarray(trans_sigma, dtype=np.int64),
+            trans_mult=np.asarray(trans_mult, dtype=float),
+            trans_reward=np.asarray(trans_reward, dtype=float).reshape(
+                len(trans_reward), NUM_REWARD_COMPONENTS
+            ),
+            settle_trans=np.asarray(settle_trans, dtype=np.int64),
+            settle_ah=np.asarray(settle_ah, dtype=np.int32).reshape(len(settle_ah), 2),
+        )
+
+    @classmethod
+    def series_name(cls, attack: AttackParams) -> str:
+        """Sweep series label, e.g. ``sm-actions(l=8)``."""
+        suffix = f",{attack.variant}" if attack.variant else ""
+        return f"sm-actions(l={attack.max_fork_length}{suffix})"
+
+    @classmethod
+    def grid_configs(cls, spec: str = "default") -> Tuple[AttackParams, ...]:
+        """Parse an sm-actions grid specification.
+
+        Accepted forms: ``"default"`` (``l=4`` and ``l=8``), ``"paper"``
+        (``l=4,8,12``) and comma-separated ``lZ[:overpaying]`` tokens, e.g.
+        ``"l8,l8:overpaying"``.
+
+        Raises:
+            ConfigurationError: On an unparseable specification.
+        """
+        text = (spec or "default").strip()
+        if text == "default":
+            lengths: Tuple[Tuple[int, str], ...] = ((4, ""), (8, ""))
+        elif text == "paper":
+            lengths = ((4, ""), (8, ""), (12, ""))
+        else:
+            lengths = ()
+            for token in text.split(","):
+                token = token.strip()
+                base, _, variant = token.partition(":")
+                if not base.startswith("l") or not base[1:].isdigit():
+                    raise ConfigurationError(
+                        f"invalid sm-actions grid token {token!r} "
+                        f"(expected lZ[:overpaying], 'default' or 'paper')"
+                    )
+                if variant not in _REGIME_CODES:
+                    raise ConfigurationError(
+                        f"invalid sm-actions grid token {token!r}: unknown variant "
+                        f"{variant!r} (valid: 'overpaying')"
+                    )
+                lengths += ((int(base[1:]), variant),)
+        return tuple(
+            AttackParams(
+                depth=1,
+                forks=1,
+                max_fork_length=length,
+                scenario="sm-actions",
+                variant=variant,
+            )
+            for length, variant in lengths
+        )
+
+    @classmethod
+    def build_model(
+        cls,
+        protocol: ProtocolParams,
+        attack: AttackParams,
+        *,
+        max_states: Optional[int] = None,
+        use_structure_cache: bool = True,
+    ) -> "SmActionsModel":
+        """Build the sm-actions model for one parameter point."""
+        kwargs = {} if max_states is None else {"max_states": max_states}
+        return build_sm_actions_mdp(
+            protocol, attack, use_structure_cache=use_structure_cache, **kwargs
+        )
+
+    @classmethod
+    def make_policy(cls, strategy: Strategy) -> "SmActionsPolicy":
+        """Wrap a formal strategy into an :class:`SmActionsPolicy` replay."""
+        return SmActionsPolicy(strategy)
+
+    @classmethod
+    def simulate(
+        cls,
+        protocol: ProtocolParams,
+        attack: AttackParams,
+        policy: "SmActionsPolicy",
+        *,
+        num_steps: int,
+        seed: int = 0,
+    ) -> "SmActionsSimulationResult":
+        """Replay ``policy`` in the dedicated ``(a, h, fork)`` chain replay."""
+        return simulate_sm_actions(protocol, attack, policy, num_steps=num_steps, seed=seed)
+
+    @classmethod
+    def honest_strategy(cls, mdp: MDP) -> Strategy:
+        """Protocol-following baseline: override a lead, else adopt, else wait."""
+        return Strategy(mdp, honest_strategy_rows(mdp))
+
+    # ------------------------------------------------------------- serialisation
+
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """Serialise the structure into a dict of flat numpy buffers.
+
+        State labels ``(a, h, fork)`` encode as int32 triples and action labels
+        as single int32 codes; the numeric transition arrays (including the
+        settle arrays) are returned as-is, so :meth:`from_buffers` is zero-copy
+        for everything that matters.
+        """
+        state_labels = np.asarray(self.state_labels, dtype=np.int32).reshape(
+            self.num_states, 3
+        )
+        row_actions = np.asarray(
+            [_ACTION_CODES[action] for action in self.row_actions], dtype=np.int32
+        )
+        header = np.array(
+            [
+                self.attack.depth,
+                self.attack.forks,
+                self.attack.max_fork_length,
+                _regime_of(self.attack),
+                int(self.signature.adversary_mines),
+                int(self.signature.honest_mines),
+                int(self.signature.race_win),
+                int(self.signature.race_loss),
+                self.initial_state,
+            ],
+            dtype=np.int64,
+        )
+        return {
+            "header": header,
+            "state_labels": state_labels,
+            "row_actions": row_actions,
+            "row_state": self.row_state,
+            "state_row_offsets": self.state_row_offsets,
+            "row_trans_offsets": self.row_trans_offsets,
+            "trans_succ": self.trans_succ,
+            "trans_kind": self.trans_kind,
+            "trans_sigma": self.trans_sigma,
+            "trans_mult": self.trans_mult,
+            "trans_reward": self.trans_reward,
+            "settle_trans": self.settle_trans,
+            "settle_ah": self.settle_ah,
+        }
+
+    @classmethod
+    def from_buffers(cls, buffers: Dict[str, np.ndarray]) -> "SmActionsStructure":
+        """Reconstruct a structure from :meth:`to_buffers` output (zero-copy)."""
+        header = [int(value) for value in buffers["header"]]
+        attack = AttackParams(
+            depth=header[0],
+            forks=header[1],
+            max_fork_length=header[2],
+            scenario="sm-actions",
+            variant=_REGIME_VARIANTS[header[3]],
+        )
+        signature = SupportSignature(
+            adversary_mines=bool(header[4]),
+            honest_mines=bool(header[5]),
+            race_win=bool(header[6]),
+            race_loss=bool(header[7]),
+        )
+        labels: List[Hashable] = [
+            (int(a), int(h), int(fork)) for a, h, fork in buffers["state_labels"].tolist()
+        ]
+        actions: List[Hashable] = [
+            _ACTION_LABELS[code] for code in buffers["row_actions"].tolist()
+        ]
+        return cls(
+            attack=attack,
+            signature=signature,
+            initial_state=header[8],
+            state_labels=labels,
+            row_state=buffers["row_state"],
+            state_row_offsets=buffers["state_row_offsets"],
+            row_trans_offsets=buffers["row_trans_offsets"],
+            row_actions=actions,
+            trans_succ=buffers["trans_succ"],
+            trans_kind=buffers["trans_kind"],
+            trans_sigma=buffers["trans_sigma"],
+            trans_mult=buffers["trans_mult"],
+            trans_reward=buffers["trans_reward"],
+            settle_trans=buffers["settle_trans"],
+            settle_ah=buffers["settle_ah"],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SmActionsStructure(l={self.attack.max_fork_length}, "
+            f"variant={self.attack.variant or 'underpaying'!r}, "
+            f"states={self.num_states}, rows={self.num_rows}, "
+            f"transitions={self.num_transitions})"
+        )
+
+
+# ---------------------------------------------------------------------- model
+
+
+@dataclass
+class SmActionsModel:
+    """A fully built sm-actions MDP with its construction parameters.
+
+    Attributes:
+        mdp: The instantiated Markov decision process.
+        protocol: Protocol parameters the probabilities were filled for.
+        attack: Attack parameters (``max_fork_length`` and ``variant`` matter).
+    """
+
+    mdp: MDP
+    protocol: ProtocolParams
+    attack: AttackParams
+
+    @property
+    def num_states(self) -> int:
+        """Number of states of the underlying MDP."""
+        return self.mdp.num_states
+
+    def honest_strategy(self) -> Strategy:
+        """The protocol-following baseline strategy inside this MDP."""
+        return Strategy(self.mdp, honest_strategy_rows(self.mdp))
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"sm-actions MDP: l={self.attack.max_fork_length}, "
+            f"variant={self.attack.variant or 'underpaying'}, "
+            f"{self.mdp.num_states} states, p={self.protocol.p}, "
+            f"gamma={self.protocol.gamma}"
+        )
+
+
+def build_sm_actions_mdp(
+    protocol: ProtocolParams,
+    attack: AttackParams,
+    *,
+    max_states: Optional[int] = _DEFAULT_MAX_STATES,
+    use_structure_cache: bool = True,
+) -> SmActionsModel:
+    """Build the ADOPT/OVERRIDE/WAIT/MATCH MDP for one parameter point.
+
+    With ``use_structure_cache`` (the default) the ``(p, gamma)``-independent
+    skeleton is memoised in the process-local structure cache shared with every
+    other scenario; without it the exploration runs afresh.
+
+    Raises:
+        ConfigurationError: If ``attack`` names another scenario or an unknown
+            variant.
+    """
+    _regime_of(attack)
+    if use_structure_cache:
+        from .structure import get_model_structure
+
+        structure = get_model_structure(attack, protocol, max_states=max_states)
+    else:
+        structure = SmActionsStructure.explore(
+            attack, SupportSignature.of(protocol), max_states=max_states
+        )
+    return SmActionsModel(mdp=structure.instantiate(protocol), protocol=protocol, attack=attack)
+
+
+def honest_strategy_rows(mdp: MDP) -> np.ndarray:
+    """Row choices of the protocol-following baseline.
+
+    Publish a strict lead immediately (``override``), otherwise concede a
+    non-empty honest chain (``adopt``), otherwise keep mining (``wait``);
+    overpaying boundary states take their forced ``settle``.  For every ``p``
+    this earns exactly ``p`` in the long run, mirroring honest mining.
+    """
+    precedence = {OVERRIDE: 0, ADOPT: 1, SETTLE: 2, WAIT: 3, MATCH: 4}
+    rows = np.zeros(mdp.num_states, dtype=np.int64)
+    for state in range(mdp.num_states):
+        start = int(mdp.state_row_offsets[state])
+        end = int(mdp.state_row_offsets[state + 1])
+        rows[state] = min(
+            range(start, end), key=lambda row: precedence.get(mdp.row_actions[row], 9)
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------- replay
+
+
+class SmActionsPolicy(MiningPolicy):
+    """Replay a positional sm-actions strategy.
+
+    Unlike the fork-window policies, :meth:`decide` receives an ``(a, h, fork)``
+    label (already truncated to the MDP's bound) and returns the chosen action
+    label; the :data:`scenario_name` hook tells simulators to route the replay
+    through :func:`simulate_sm_actions` rather than the fork-window simulator.
+    """
+
+    scenario_name = "sm-actions"
+
+    def __init__(self, strategy: Strategy) -> None:
+        if strategy.mdp.state_labels is None:
+            raise ModelError("the strategy's MDP carries no state labels")
+        self._strategy = strategy
+        self._mdp = strategy.mdp
+        self.unknown_states = 0
+
+    def reset(self) -> None:
+        """Clear the unknown-state diagnostic counter."""
+        self.unknown_states = 0
+
+    def decide(self, state: Tuple[int, int, int]) -> Hashable:
+        """Look the ``(a, h, fork)`` label up in the strategy (wait on misses)."""
+        try:
+            index = self._mdp.state_of_label(tuple(state))
+        except ModelError:
+            self.unknown_states += 1
+            return WAIT
+        return self._strategy.action(index)
+
+    @property
+    def name(self) -> str:
+        """Human-readable policy name."""
+        return "sm-actions(optimal)"
+
+
+@dataclass
+class SmActionsSimulationResult:
+    """Outcome of an sm-actions chain replay.
+
+    Attributes:
+        steps: Number of simulated block events.
+        attacker_blocks: Adversarial blocks settled into the main chain.
+        honest_blocks: Honest blocks settled into the main chain.
+        relative_revenue: ``attacker_blocks / (attacker_blocks + honest_blocks)``.
+        policy_name: Name of the replayed policy.
+    """
+
+    steps: int
+    attacker_blocks: int
+    honest_blocks: int
+    relative_revenue: float
+    policy_name: str
+
+
+def simulate_sm_actions(
+    protocol: ProtocolParams,
+    attack: AttackParams,
+    policy: MiningPolicy,
+    *,
+    num_steps: int,
+    seed: int = 0,
+) -> SmActionsSimulationResult:
+    """Monte-Carlo replay of an sm-actions policy on a concrete block process.
+
+    The replay tracks the true (untruncated) race ``(a, h, fork)`` and queries
+    the policy at the truncated label, so it estimates the revenue the strategy
+    earns on a real chain -- independent of the MDP's incremental reward
+    bookkeeping and of the truncation regime (a ``settle`` decision is replayed
+    as ``adopt``).  Used by the cross-scenario agreement test.
+    """
+    rng = np.random.default_rng(seed)
+    p, gamma = protocol.p, protocol.gamma
+    bound = attack.max_fork_length
+    a = h = 0
+    fork = IRRELEVANT
+    attacker_blocks = honest_blocks = 0
+    for _ in range(num_steps):
+        action = policy.decide((min(a, bound), min(h, bound), fork))
+        if action in (ADOPT, SETTLE):
+            honest_blocks += h
+            a, h = 0, 0
+            fork = IRRELEVANT
+        elif action == OVERRIDE:
+            if a <= h:
+                raise ModelError(f"policy requested an impossible override at (a={a}, h={h})")
+            attacker_blocks += h + 1
+            a, h = a - h - 1, 0
+            fork = IRRELEVANT
+        elif action == MATCH:
+            if fork != RELEVANT or not a >= h >= 1:
+                raise ModelError(f"policy requested an impossible match at (a={a}, h={h})")
+            fork = ACTIVE
+        elif action != WAIT:
+            raise ModelError(f"unknown sm-actions action {action!r}")
+        if rng.random() < p:
+            a += 1
+            if fork != ACTIVE:
+                fork = IRRELEVANT
+        elif fork == ACTIVE and rng.random() < gamma:
+            # Honest miners extend the adversary's matching branch: its h
+            # published blocks win, the new honest block is pending on top.
+            attacker_blocks += h
+            a -= h
+            h = 1
+            fork = RELEVANT
+        else:
+            h += 1
+            fork = RELEVANT
+    settled = attacker_blocks + honest_blocks
+    return SmActionsSimulationResult(
+        steps=num_steps,
+        attacker_blocks=attacker_blocks,
+        honest_blocks=honest_blocks,
+        relative_revenue=attacker_blocks / settled if settled else 0.0,
+        policy_name=policy.name,
+    )
+
+
+__all__ = [
+    "ACTIVE",
+    "ADOPT",
+    "IRRELEVANT",
+    "MATCH",
+    "OVERRIDE",
+    "RELEVANT",
+    "SETTLE",
+    "WAIT",
+    "SmActionsModel",
+    "SmActionsPolicy",
+    "SmActionsSimulationResult",
+    "SmActionsStructure",
+    "build_sm_actions_mdp",
+    "honest_strategy_rows",
+    "simulate_sm_actions",
+]

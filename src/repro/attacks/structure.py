@@ -31,25 +31,26 @@ zero explorations.
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
-from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from ..config import AttackParams, ProtocolParams
-from ..exceptions import ConfigurationError, ModelError
-from ..mdp import MDP
+from ..exceptions import ConfigurationError
 from . import fork_state
 from .fork_state import (
-    PROB_ADVERSARY,
-    PROB_GAMMA,
-    PROB_HONEST,
-    PROB_ONE_MINUS_GAMMA,
     ForkState,
     action_label,
     symbolic_successor_distribution,
+)
+from .registry import (
+    ScenarioStructure,
+    SupportSignature,
+    get_attack,
+    register_attack,
 )
 
 #: Hard cap on the number of states explored; prevents accidental explosion when
@@ -57,155 +58,140 @@ from .fork_state import (
 DEFAULT_MAX_STATES = 20_000_000
 
 
-@dataclass(frozen=True)
-class SupportSignature:
-    """Which symbolic transition branches have positive probability.
-
-    Two protocol parameter points with the same signature induce exactly the
-    same reachable fragment, so the signature is part of the structure-cache
-    key.
-
-    Attributes:
-        adversary_mines: ``p > 0`` -- adversarial mining outcomes exist.
-        honest_mines: ``p < 1`` -- honest mining outcomes exist.
-        race_win: ``gamma > 0`` -- an equal-length release can be accepted.
-        race_loss: ``gamma < 1`` -- an equal-length release can be rejected.
-    """
-
-    adversary_mines: bool
-    honest_mines: bool
-    race_win: bool
-    race_loss: bool
-
-    @classmethod
-    def of(cls, protocol: ProtocolParams) -> "SupportSignature":
-        """Return the signature of a concrete protocol parameter point."""
-        return cls(
-            adversary_mines=protocol.p > 0.0,
-            honest_mines=protocol.p < 1.0,
-            race_win=protocol.gamma > 0.0,
-            race_loss=protocol.gamma < 1.0,
-        )
-
-    def keeps(self, kind: int) -> bool:
-        """Whether transitions of symbolic ``kind`` have positive probability."""
-        if kind == PROB_ADVERSARY:
-            return self.adversary_mines
-        if kind == PROB_HONEST:
-            return self.honest_mines
-        if kind == PROB_GAMMA:
-            return self.race_win
-        if kind == PROB_ONE_MINUS_GAMMA:
-            return self.race_loss
-        return True
-
-
-class SelfishForksStructure:
-    """The ``(p, gamma)``-independent skeleton of one selfish-forks MDP.
+@register_attack("selfish-forks")
+class SelfishForksStructure(ScenarioStructure):
+    """Multi-fork selfish mining: the paper's ``(d, f, l)`` attack family.
 
     Holds the reachable states, the per-state action rows and, per transition,
     the successor index, the symbolic probability tag and the constant reward
-    vector.  :meth:`instantiate` turns the skeleton into a concrete
-    :class:`~repro.mdp.MDP` for one parameter point by refilling only the
-    probability array.
+    vector.  :meth:`~repro.attacks.registry.ScenarioStructure.instantiate`
+    turns the skeleton into a concrete :class:`~repro.mdp.MDP` for one
+    parameter point by refilling only the probability array.
     """
 
-    def __init__(
-        self,
-        *,
+    SCENARIO_VERSION = 1
+    #: ``(p, k)``-mining: d*f concurrent targets need ``k >= d*f``, which PoS
+    #: (k = inf) and PoSpaceTime (configurable k) provide; PoW/VDF cover d=f=1.
+    PROOF_SYSTEMS = ("pow", "pos", "pospacetime", "vdf")
+
+    # --------------------------------------------------------------- scenario API
+
+    @classmethod
+    def explore(
+        cls,
         attack: AttackParams,
         signature: SupportSignature,
-        initial_state: int,
-        state_labels: List[Hashable],
-        row_state: np.ndarray,
-        state_row_offsets: np.ndarray,
-        row_trans_offsets: np.ndarray,
-        row_actions: List[Hashable],
-        trans_succ: np.ndarray,
-        trans_kind: np.ndarray,
-        trans_sigma: np.ndarray,
-        trans_mult: np.ndarray,
-        trans_reward: np.ndarray,
-    ) -> None:
-        self.attack = attack
-        self.signature = signature
-        self.initial_state = initial_state
-        self.state_labels = state_labels
-        self.row_state = row_state
-        self.state_row_offsets = state_row_offsets
-        self.row_trans_offsets = row_trans_offsets
-        self.row_actions = row_actions
-        self.trans_succ = trans_succ
-        self.trans_kind = trans_kind
-        self.trans_sigma = trans_sigma
-        self.trans_mult = trans_mult
-        self.trans_reward = trans_reward
-        self.num_states = len(state_labels)
-        self.num_rows = int(row_state.shape[0])
-        self.num_transitions = int(trans_succ.shape[0])
-        # Row index of every transition, for the vectorised renormalisation.
-        self._trans_row = np.repeat(
-            np.arange(self.num_rows, dtype=np.int64), np.diff(row_trans_offsets)
-        )
+        *,
+        max_states: Optional[int] = DEFAULT_MAX_STATES,
+    ) -> "SelfishForksStructure":
+        """Breadth-first exploration (see :func:`build_model_structure`)."""
+        return build_model_structure(attack, signature, max_states=max_states)
 
-    def instantiate(self, protocol: ProtocolParams) -> MDP:
-        """Refill the probability array for ``protocol`` and return the MDP.
+    @classmethod
+    def series_name(cls, attack: AttackParams) -> str:
+        """Sweep series label, e.g. ``ours(d=2,f=1)``."""
+        return f"ours(d={attack.depth},f={attack.forks})"
+
+    @classmethod
+    def grid_configs(cls, spec: str = "default") -> Tuple[AttackParams, ...]:
+        """Parse a selfish-forks grid specification.
+
+        Accepted forms: ``"default"`` (the d<=2 CLI default), ``"paper"``
+        (Table 1 / Figure 2 configurations), ``"max-depth=N"`` (the legacy
+        ``--max-depth`` ladder) and comma-separated ``dXfY[lZ]`` tokens
+        (``l`` defaults to 4), e.g. ``"d1f1,d2f2l6"``.
 
         Raises:
-            ModelError: If ``protocol`` has a different support signature than
-                the one this structure was explored for.
+            ConfigurationError: On an unparseable specification.
         """
-        signature = SupportSignature.of(protocol)
-        if signature != self.signature:
-            raise ModelError(
-                f"structure was built for support {self.signature}, cannot instantiate "
-                f"for {signature} (p={protocol.p}, gamma={protocol.gamma})"
+        text = (spec or "default").strip()
+        if text == "default":
+            return (
+                AttackParams(depth=1, forks=1, max_fork_length=4),
+                AttackParams(depth=2, forks=1, max_fork_length=4),
             )
-        p, gamma = protocol.p, protocol.gamma
-        prob = np.ones(self.num_transitions)
-        adversary = self.trans_kind == PROB_ADVERSARY
-        honest = self.trans_kind == PROB_HONEST
-        if adversary.any():
-            denominator = (1.0 - p) + p * self.trans_sigma[adversary]
-            prob[adversary] = p / denominator
-        if honest.any():
-            denominator = (1.0 - p) + p * self.trans_sigma[honest]
-            prob[honest] = (1.0 - p) / denominator
-        prob[self.trans_kind == PROB_GAMMA] = gamma
-        prob[self.trans_kind == PROB_ONE_MINUS_GAMMA] = 1.0 - gamma
-        prob *= self.trans_mult
-        # Renormalise each row (mirrors MDPBuilder.build washing out float drift).
-        totals = np.add.reduceat(prob, self.row_trans_offsets[:-1])
-        prob /= totals[self._trans_row]
-        return MDP(
-            num_states=self.num_states,
-            initial_state=self.initial_state,
-            row_state=self.row_state,
-            state_row_offsets=self.state_row_offsets,
-            row_trans_offsets=self.row_trans_offsets,
-            trans_succ=self.trans_succ,
-            trans_prob=prob,
-            trans_reward=self.trans_reward,
-            row_actions=self.row_actions,
-            state_labels=self.state_labels,
+        if text == "paper":
+            from ..config import PAPER_ATTACK_CONFIGS
+
+            return PAPER_ATTACK_CONFIGS
+        if text.startswith("max-depth="):
+            try:
+                max_depth = int(text.split("=", 1)[1])
+            except ValueError as exc:
+                raise ConfigurationError(f"invalid grid spec {spec!r}") from exc
+            if max_depth < 1:
+                raise ConfigurationError(f"max-depth must be >= 1, got {max_depth}")
+            configs = [AttackParams(depth=1, forks=1, max_fork_length=4)]
+            if max_depth >= 2:
+                configs.append(AttackParams(depth=2, forks=1, max_fork_length=4))
+            if max_depth >= 3:
+                configs.append(AttackParams(depth=2, forks=2, max_fork_length=4))
+            return tuple(configs)
+        configs = []
+        for token in text.split(","):
+            match = re.fullmatch(r"d(\d+)f(\d+)(?:l(\d+))?", token.strip())
+            if match is None:
+                raise ConfigurationError(
+                    f"invalid selfish-forks grid token {token.strip()!r} "
+                    f"(expected dXfY[lZ], 'default', 'paper' or 'max-depth=N')"
+                )
+            configs.append(
+                AttackParams(
+                    depth=int(match.group(1)),
+                    forks=int(match.group(2)),
+                    max_fork_length=int(match.group(3) or 4),
+                )
+            )
+        return tuple(configs)
+
+    @classmethod
+    def build_model(
+        cls,
+        protocol: ProtocolParams,
+        attack: AttackParams,
+        *,
+        max_states: Optional[int] = None,
+        use_structure_cache: bool = True,
+    ) -> object:
+        """Build the selfish-forks model for one parameter point."""
+        from .selfish_forks import build_selfish_forks_mdp
+
+        kwargs = {} if max_states is None else {"max_states": max_states}
+        return build_selfish_forks_mdp(
+            protocol, attack, use_structure_cache=use_structure_cache, **kwargs
         )
 
-    # ------------------------------------------------------------- serialisation
+    @classmethod
+    def make_policy(cls, strategy: object) -> object:
+        """Wrap a formal strategy into a :class:`SelfishForksPolicy` replay."""
+        from .policies import SelfishForksPolicy
 
-    #: Buffer keys of :meth:`to_buffers`, in canonical order.
-    BUFFER_KEYS = (
-        "header",
-        "state_labels",
-        "row_actions",
-        "row_state",
-        "state_row_offsets",
-        "row_trans_offsets",
-        "trans_succ",
-        "trans_kind",
-        "trans_sigma",
-        "trans_mult",
-        "trans_reward",
-    )
+        return SelfishForksPolicy(strategy)
+
+    @classmethod
+    def simulate(
+        cls,
+        protocol: ProtocolParams,
+        attack: AttackParams,
+        policy: object,
+        *,
+        num_steps: int,
+        seed: int = 0,
+    ) -> object:
+        """Replay ``policy`` in the discrete-time fork-window simulator."""
+        from ..chain.simulator import SelfishMiningSimulator
+
+        simulator = SelfishMiningSimulator(protocol, attack, policy, seed=seed)
+        return simulator.run(num_steps)
+
+    @classmethod
+    def honest_strategy(cls, mdp) -> object:
+        """Immediate-release baseline (honest mining for ``d = f = 1``)."""
+        from .honest import immediate_release_strategy
+
+        return immediate_release_strategy(mdp)
+
+    # ------------------------------------------------------------- serialisation
 
     def to_buffers(self) -> Dict[str, np.ndarray]:
         """Serialise the structure into a dict of flat numpy buffers.
@@ -414,7 +400,7 @@ def build_model_structure(
 
 # ------------------------------------------------------------------ process cache
 
-_STRUCTURE_CACHE: Dict[Tuple[AttackParams, SupportSignature], SelfishForksStructure] = {}
+_STRUCTURE_CACHE: Dict[Tuple[AttackParams, SupportSignature], ScenarioStructure] = {}
 _CACHE_LOCK = threading.Lock()
 #: Number of breadth-first explorations performed by this process since the
 #: last :func:`clear_structure_cache` -- sweep workers attached to the shared
@@ -429,10 +415,12 @@ def get_model_structure(
     protocol: ProtocolParams,
     *,
     max_states: Optional[int] = DEFAULT_MAX_STATES,
-) -> SelfishForksStructure:
+) -> ScenarioStructure:
     """Return the (memoised) structure for ``attack`` at ``protocol``'s support.
 
-    The cache is process-local; sweep workers have it populated up front by the
+    Dispatches the exploration through the scenario registry, so any registered
+    scenario shares this cache (and its builds/attaches accounting).  The cache
+    is process-local; sweep workers have it populated up front by the
     shared-memory model plane (or, as a fallback, by a per-worker prewarm) and
     therefore always hit.
     """
@@ -442,7 +430,8 @@ def get_model_structure(
     with _CACHE_LOCK:
         structure = _STRUCTURE_CACHE.get(key)
         if structure is None:
-            structure = build_model_structure(attack, signature, max_states=max_states)
+            entry = get_attack(attack.scenario)
+            structure = entry.explore(attack, signature, max_states=max_states)
             _STRUCTURE_CACHE[key] = structure
             _BUILD_COUNT += 1
     # The cap must hold even when a previous caller already paid the exploration.
@@ -454,7 +443,7 @@ def get_model_structure(
     return structure
 
 
-def install_structure(structure: SelfishForksStructure) -> None:
+def install_structure(structure: ScenarioStructure) -> None:
     """Install an externally built structure (idempotent, counts as an attach).
 
     Sweep workers call this with structures reconstructed from the shared-memory

@@ -1,16 +1,27 @@
 """Command-line interface.
 
-Four subcommands mirror the library's main entry points (installed as both
+Five subcommands mirror the library's main entry points (installed as both
 ``repro`` and the legacy ``repro-selfish-mining``)::
 
     repro analyze  --p 0.3 --gamma 0.5 --depth 2 --forks 1
     repro sweep    --gamma 0.5 --p-step 0.05 --csv out.csv
     repro simulate --p 0.3 --gamma 0.5 --depth 2 --forks 1 --steps 100000
     repro worker   --connect HOST:PORT
+    repro attacks
 
 ``analyze`` runs Algorithm 1 for one parameter point, ``sweep`` regenerates a
-Figure 2 panel, ``simulate`` Monte-Carlo-validates the computed strategy, and
-``worker`` serves a remote distributed-sweep coordinator (see below).
+Figure 2 panel, ``simulate`` Monte-Carlo-validates the computed strategy,
+``worker`` serves a remote distributed-sweep coordinator (see below), and
+``attacks`` lists the registered attack scenarios.
+
+Every model-facing subcommand accepts ``--attack NAME`` to select a registered
+attack scenario (:mod:`repro.attacks.registry`): the paper's ``selfish-forks``
+family (default) or the classic ``sm-actions`` ADOPT/OVERRIDE/WAIT/MATCH
+space, plus anything registered at runtime.  ``sweep`` additionally takes
+``--grid SPEC``, interpreted by the selected scenario (``default``, ``paper``,
+or scenario-specific tokens such as ``d2f1l4`` / ``l8:overpaying``), and
+``--variant`` to select a scenario variant for every grid configuration.
+``--max-depth`` is deprecated in favour of ``--grid max-depth=N``.
 
 The full flag-by-flag reference lives in ``docs/cli.md``.
 
@@ -60,7 +71,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .config import AnalysisConfig, AttackParams, ProtocolParams
+from dataclasses import replace
+
+from .config import AnalysisConfig, AttackParams, ProtocolParams, known_scenario_names
 from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
 from .core.distributed import parse_address, run_worker
 from .core.sweep import SweepConfig, run_sweep
@@ -109,6 +122,17 @@ def _address(value: str) -> str:
     return value
 
 
+def _attack_name(value: str) -> str:
+    """Validate an ``--attack`` value against the registered scenario names."""
+    names = known_scenario_names()
+    if value not in names:
+        raise argparse.ArgumentTypeError(
+            f"unknown attack scenario {value!r} (known: {', '.join(sorted(names))}; "
+            f"see `repro attacks`)"
+        )
+    return value
+
+
 def _batch_probes(value: str):
     """Parse ``--batch-probes``: a positive probe count or the string ``auto``."""
     if value.strip().lower() == "auto":
@@ -121,7 +145,25 @@ def _batch_probes(value: str):
         ) from None
 
 
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--attack",
+        type=_attack_name,
+        default="selfish-forks",
+        metavar="NAME",
+        help="registered attack scenario (see `repro attacks`)",
+    )
+    parser.add_argument(
+        "--variant",
+        type=str,
+        default="",
+        metavar="NAME",
+        help="scenario variant, e.g. 'overpaying' for sm-actions (default: none)",
+    )
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_scenario_arguments(parser)
     parser.add_argument("--p", type=float, default=0.3, help="adversarial resource fraction")
     parser.add_argument("--gamma", type=float, default=0.5, help="switching probability")
     parser.add_argument("--depth", "-d", type=int, default=2, help="attack depth d")
@@ -161,11 +203,26 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(analyze)
 
     sweep = subparsers.add_parser("sweep", help="regenerate a Figure 2 panel")
+    _add_scenario_arguments(sweep)
     sweep.add_argument("--gamma", type=float, default=0.5)
     sweep.add_argument("--p-max", type=float, default=0.3)
     sweep.add_argument("--p-step", type=_positive_float, default=0.05)
     sweep.add_argument("--epsilon", type=_positive_float, default=1e-3)
-    sweep.add_argument("--max-depth", type=int, default=2, help="largest attack depth to include")
+    sweep.add_argument(
+        "--grid",
+        type=str,
+        default=None,
+        metavar="SPEC",
+        help="attack grid specification interpreted by the selected scenario "
+        "('default', 'paper', or scenario tokens such as 'd1f1,d2f1l6' / 'l4,l8')",
+    )
+    sweep.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="deprecated: largest selfish-forks attack depth to include "
+        "(use --grid max-depth=N instead)",
+    )
     sweep.add_argument("--csv", type=str, default=None, help="optional CSV output path")
     _add_solver_arguments(sweep)
     sweep.add_argument(
@@ -274,13 +331,26 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(simulate)
     simulate.add_argument("--steps", type=int, default=100_000, help="simulated block events")
     simulate.add_argument("--seed", type=int, default=0, help="random seed")
+
+    subparsers.add_parser("attacks", help="list the registered attack scenarios")
     return parser
+
+
+def _attack_params(args: argparse.Namespace) -> AttackParams:
+    """Build the :class:`AttackParams` of a model-facing subcommand."""
+    return AttackParams(
+        depth=args.depth,
+        forks=args.forks,
+        max_fork_length=args.max_fork_length,
+        scenario=args.attack,
+        variant=args.variant,
+    )
 
 
 def _command_analyze(args: argparse.Namespace) -> int:
     analyzer = SelfishMiningAnalyzer(
         ProtocolParams(p=args.p, gamma=args.gamma),
-        AttackParams(depth=args.depth, forks=args.forks, max_fork_length=args.max_fork_length),
+        _attack_params(args),
         AnalysisConfig(
             epsilon=args.epsilon,
             solver=_resolve_solver(args.solver),
@@ -299,18 +369,47 @@ def _command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+_MAX_DEPTH_DEPRECATION_WARNED = False
+
+
+def _sweep_attack_configs(args: argparse.Namespace):
+    """Resolve the sweep's attack grid through the selected scenario's builder.
+
+    The legacy ``--max-depth N`` flag is a deprecation shim for
+    ``--grid max-depth=N`` (same ladder, built by the scenario's
+    ``grid_configs``); it warns once per process and cannot be combined with
+    an explicit ``--grid``.
+    """
+    from .attacks.registry import get_attack
+
+    global _MAX_DEPTH_DEPRECATION_WARNED
+    entry = get_attack(args.attack)
+    grid_spec = args.grid
+    if args.max_depth is not None:
+        if grid_spec is not None:
+            raise SystemExit("repro sweep: --max-depth and --grid are mutually exclusive")
+        if not _MAX_DEPTH_DEPRECATION_WARNED:
+            print(
+                "warning: --max-depth is deprecated; use --grid max-depth=N "
+                "(or explicit --grid tokens such as d1f1,d2f1)",
+                file=sys.stderr,
+            )
+            _MAX_DEPTH_DEPRECATION_WARNED = True
+        grid_spec = f"max-depth={args.max_depth}"
+    configs = entry.grid_configs(grid_spec or "default")
+    if args.variant:
+        configs = tuple(replace(attack, variant=args.variant) for attack in configs)
+    return configs
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     num_points = int(round(args.p_max / args.p_step)) + 1
     p_values = tuple(round(index * args.p_step, 4) for index in range(num_points))
-    attack_configs = [AttackParams(depth=1, forks=1, max_fork_length=4)]
-    if args.max_depth >= 2:
-        attack_configs.append(AttackParams(depth=2, forks=1, max_fork_length=4))
-    if args.max_depth >= 3:
-        attack_configs.append(AttackParams(depth=2, forks=2, max_fork_length=4))
     config = SweepConfig(
         p_values=p_values,
         gammas=(args.gamma,),
-        attack_configs=tuple(attack_configs),
+        attack_configs=_sweep_attack_configs(args),
+        attack=args.attack,
         analysis=AnalysisConfig(
             epsilon=args.epsilon,
             solver=_resolve_solver(args.solver),
@@ -373,10 +472,25 @@ def _command_worker(args: argparse.Namespace) -> int:
     return 0 if summary.clean_shutdown else 1
 
 
+def _command_attacks(args: argparse.Namespace) -> int:
+    from .attacks.registry import list_attacks
+
+    for entry in list_attacks():
+        default_grid = ", ".join(
+            entry.series_name(attack) for attack in entry.grid_configs("default")
+        )
+        proof_systems = ", ".join(sorted(entry.proof_systems())) or "-"
+        print(entry.scenario_id)
+        print(f"  {entry.description}")
+        print(f"  default grid:  {default_grid}")
+        print(f"  proof systems: {proof_systems}")
+    return 0
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     analyzer = SelfishMiningAnalyzer(
         ProtocolParams(p=args.p, gamma=args.gamma),
-        AttackParams(depth=args.depth, forks=args.forks, max_fork_length=args.max_fork_length),
+        _attack_params(args),
         AnalysisConfig(
             epsilon=args.epsilon,
             solver=_resolve_solver(args.solver),
@@ -404,6 +518,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_worker(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "attacks":
+        return _command_attacks(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

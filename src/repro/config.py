@@ -16,13 +16,44 @@ collects solver choices for the formal analysis procedure (Algorithm 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Union
+from typing import Dict, Tuple, Union
 
 from ._validation import (
     check_positive_float,
     check_positive_int,
     check_probability,
 )
+from .exceptions import ConfigurationError
+
+#: Names of the attack scenarios shipped with the package, in registry order.
+#: They are listed here (rather than discovered by importing the scenario
+#: modules) so that :class:`AttackParams` can validate its ``scenario`` field
+#: eagerly without pulling the whole :mod:`repro.attacks` package into every
+#: import of this bottom-layer module.
+BUILTIN_SCENARIO_NAMES: Tuple[str, ...] = ("selfish-forks", "sm-actions")
+
+_KNOWN_SCENARIO_NAMES = set(BUILTIN_SCENARIO_NAMES)
+
+
+def _register_scenario_name(name: str) -> None:
+    """Teach :class:`AttackParams` about a scenario registered at runtime.
+
+    Called by :func:`repro.attacks.registry.register_attack`; not part of the
+    public API -- register scenarios through the registry, never directly here.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(f"scenario name must be a non-empty string, got {name!r}")
+    _KNOWN_SCENARIO_NAMES.add(name)
+
+
+def known_scenario_names() -> Tuple[str, ...]:
+    """Every scenario name :class:`AttackParams` currently accepts.
+
+    Built-in scenarios first (in registry order), then runtime registrations in
+    sorted order.
+    """
+    extras = sorted(_KNOWN_SCENARIO_NAMES - set(BUILTIN_SCENARIO_NAMES))
+    return BUILTIN_SCENARIO_NAMES + tuple(extras)
 
 
 @dataclass(frozen=True)
@@ -61,7 +92,13 @@ class ProtocolParams:
 
 @dataclass(frozen=True)
 class AttackParams:
-    """Parameters of the multi-fork selfish mining attack.
+    """Parameters of one attack-scenario instance.
+
+    The integer parameters are interpreted by the scenario named in
+    ``scenario`` (see :mod:`repro.attacks.registry`).  For the default
+    ``"selfish-forks"`` scenario they are the paper's ``(d, f, l)``; the
+    ``"sm-actions"`` scenario uses only ``max_fork_length`` as its race
+    truncation bound and keeps ``depth = forks = 1``.
 
     Attributes:
         depth: Attack depth ``d`` -- the adversary forks on the last ``d`` blocks
@@ -69,16 +106,31 @@ class AttackParams:
         forks: Forking number ``f`` -- number of private forks grown per block.
         max_fork_length: Maximal fork length ``l`` -- private forks longer than
             this are truncated, keeping the MDP finite.
+        scenario: Name of the registered attack scenario these parameters belong
+            to.  Unknown names are rejected at construction time.
+        variant: Scenario-specific reward-regime selector (e.g. ``"overpaying"``
+            for ``sm-actions``); the empty string selects the scenario default.
+            Validated by the scenario when its model is built.
     """
 
     depth: int = 2
     forks: int = 1
     max_fork_length: int = 4
+    scenario: str = "selfish-forks"
+    variant: str = ""
 
     def __post_init__(self) -> None:
         check_positive_int(self.depth, "depth")
         check_positive_int(self.forks, "forks")
         check_positive_int(self.max_fork_length, "max_fork_length")
+        if self.scenario not in _KNOWN_SCENARIO_NAMES:
+            raise ConfigurationError(
+                f"scenario must be one of {known_scenario_names()}, got "
+                f"{self.scenario!r} (register new scenarios with "
+                f"repro.attacks.registry.register_attack)"
+            )
+        if not isinstance(self.variant, str):
+            raise ConfigurationError(f"variant must be a string, got {self.variant!r}")
 
     @property
     def d(self) -> int:
@@ -99,12 +151,14 @@ class AttackParams:
         """Upper bound on the number of blocks the adversary mines on at once."""
         return self.depth * self.forks
 
-    def to_dict(self) -> Dict[str, int]:
-        """Serialise to a plain dictionary (for CSV / JSON reporting)."""
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dictionary (for CSV / JSON / wire reporting)."""
         return {
             "depth": self.depth,
             "forks": self.forks,
             "max_fork_length": self.max_fork_length,
+            "scenario": self.scenario,
+            "variant": self.variant,
         }
 
 

@@ -18,15 +18,20 @@ import time
 from typing import Optional
 
 from ..analysis import evaluate_strategy_errev, formal_analysis
-from ..attacks import SelfishForksModel, build_selfish_forks_mdp, honest_errev
-from ..attacks.policies import SelfishForksPolicy
-from ..chain.simulator import SelfishMiningSimulator
+from ..attacks import honest_errev
+from ..attacks.registry import get_attack
 from ..config import AnalysisConfig, AttackParams, ProtocolParams
 from .results import AnalysisResult
 
 
 class SelfishMiningAnalyzer:
-    """Runs the full pipeline for one ``(p, gamma, d, f, l)`` parameter point."""
+    """Runs the full pipeline for one ``(p, gamma, d, f, l)`` parameter point.
+
+    The analyzer is scenario-generic: the attack family named by
+    ``attack.scenario`` is resolved through the attack registry
+    (:mod:`repro.attacks.registry`), so model construction, strategy replay
+    and the honest baseline all dispatch to the registered scenario's hooks.
+    """
 
     def __init__(
         self,
@@ -37,14 +42,15 @@ class SelfishMiningAnalyzer:
         self.protocol = protocol or ProtocolParams()
         self.attack = attack or AttackParams()
         self.config = config or AnalysisConfig()
-        self._model: Optional[SelfishForksModel] = None
+        self._entry = get_attack(self.attack.scenario)
+        self._model: Optional[object] = None
 
     # ------------------------------------------------------------------ pipeline
 
-    def build_model(self, force: bool = False) -> SelfishForksModel:
-        """Build (or return the cached) selfish-mining MDP."""
+    def build_model(self, force: bool = False) -> object:
+        """Build (or return the cached) scenario MDP model."""
         if self._model is None or force:
-            self._model = build_selfish_forks_mdp(self.protocol, self.attack)
+            self._model = self._entry.build_model(self.protocol, self.attack)
         return self._model
 
     def run(self) -> AnalysisResult:
@@ -75,15 +81,13 @@ class SelfishMiningAnalyzer:
     def evaluate_honest_baseline(self) -> float:
         """Exact ERRev of the honest-emulating strategy inside the constructed MDP.
 
-        The immediate-release strategy publishes every block the moment it is
-        mined; for ``d = f = 1`` it reproduces honest mining exactly (value
-        ``p``), which users can employ to sanity-check the model on their
-        parameter point.
+        The scenario's protocol-following strategy (for selfish forks, the
+        immediate-release strategy) yields value ``p`` whenever the model is
+        not truncated against the honest miner, which users can employ to
+        sanity-check the model on their parameter point.
         """
-        from ..attacks.honest import immediate_release_strategy
-
         model = self.build_model()
-        return evaluate_strategy_errev(model.mdp, immediate_release_strategy(model.mdp))
+        return evaluate_strategy_errev(model.mdp, self._entry.honest_strategy(model.mdp))
 
     def validate_by_simulation(
         self,
@@ -98,8 +102,9 @@ class SelfishMiningAnalyzer:
         whose revenue accounting is independent of the MDP's reward bookkeeping.
         The estimate is stored in ``result.simulated_errev`` and also returned.
         """
-        policy = SelfishForksPolicy(result.formal.strategy)
-        simulator = SelfishMiningSimulator(self.protocol, self.attack, policy, seed=seed)
-        simulation = simulator.run(num_steps)
+        policy = self._entry.make_policy(result.formal.strategy)
+        simulation = self._entry.simulate(
+            self.protocol, self.attack, policy, num_steps=num_steps, seed=seed
+        )
         result.simulated_errev = simulation.relative_revenue
         return result

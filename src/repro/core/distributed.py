@@ -13,8 +13,9 @@ hosts:
   ``warm_start_across_points`` is enabled a whole p series travels as one unit,
   so chained certified bounds and warm starts never cross a host boundary and
   the monotone bound reuse stays sound across the wire.
-* **Workers** (``repro worker --connect HOST:PORT``) connect, receive every
-  parent-built :class:`~repro.attacks.structure.SelfishForksStructure` as one
+* **Workers** (``repro worker --connect HOST:PORT``) connect, advertise the
+  versioned attack scenarios they implement, receive every parent-built
+  :class:`~repro.attacks.registry.ScenarioStructure` as one
   flat-buffer payload (:func:`~repro.core.shared_structures.pack_structures`,
   the exact byte layout of the shared-memory segment), install the
   reconstructed skeletons into their structure cache and therefore perform
@@ -73,6 +74,7 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
+from ..attacks.registry import list_attacks, resolve_scenario, scenario_id_for
 from ..attacks.structure import install_structure, structure_cache_stats
 from ..config import AnalysisConfig, AttackParams
 from ..exceptions import ModelError
@@ -179,16 +181,31 @@ def parse_address(value: str, *, default_host: str = "127.0.0.1") -> Tuple[str, 
 
 
 def task_to_wire(task: AttackTask) -> Dict[str, object]:
-    """Serialise an :class:`AttackTask` into a JSON-safe dictionary."""
+    """Serialise an :class:`AttackTask` into a JSON-safe dictionary.
+
+    The frame carries the versioned ``scenario_id`` of the task's attack
+    scenario alongside the parameters, so a receiver that implements a
+    different version of the scenario refuses the unit instead of silently
+    computing it against different semantics.
+    """
     wire = asdict(task)
     wire["attack"] = task.attack.to_dict()
     wire["analysis"] = task.analysis.to_dict()
+    wire["scenario_id"] = scenario_id_for(task.attack.scenario)
     return wire
 
 
 def task_from_wire(wire: Dict[str, object]) -> AttackTask:
-    """Reconstruct an :class:`AttackTask` from :func:`task_to_wire` output."""
+    """Reconstruct an :class:`AttackTask` from :func:`task_to_wire` output.
+
+    Raises:
+        ModelError: If the frame's ``scenario_id`` names a scenario this
+            process does not implement (or implements at another version).
+    """
     data = dict(wire)
+    scenario_id = data.pop("scenario_id", None)
+    if scenario_id is not None:
+        resolve_scenario(str(scenario_id))  # raises ModelError on mismatch
     data["attack"] = AttackParams(**data["attack"])
     data["analysis"] = AnalysisConfig(**data["analysis"])
     data["p_values"] = tuple(data["p_values"])
@@ -206,7 +223,10 @@ def outcome_from_wire(wire: Dict[str, object]) -> PointOutcome:
     return PointOutcome(**wire)
 
 
-def _validate_hello(header: Dict[str, object]) -> Tuple[int, float]:
+def _validate_hello(
+    header: Dict[str, object],
+    required_scenarios: Tuple[str, ...] = (),
+) -> Tuple[int, float]:
     """Validate a worker hello frame; return ``(capacity, heartbeat_seconds)``.
 
     Hello fields cross a trust boundary: a mismatched or buggy worker can send
@@ -215,6 +235,11 @@ def _validate_hello(header: Dict[str, object]) -> Tuple[int, float]:
     (``capacity <= 0`` starves the scheduler; a zero, negative, NaN or infinite
     heartbeat either divides the monitor by nonsense or declares the worker
     immortal).
+
+    ``required_scenarios`` are the versioned scenario ids the sweep's grid
+    needs; a worker whose advertised ``scenarios`` list (absent = none) does
+    not cover them is refused up front, instead of failing -- or, worse,
+    *mis-computing* -- every unit it is handed.
 
     Raises:
         ProtocolError: Describing the offending field.
@@ -241,6 +266,18 @@ def _validate_hello(header: Dict[str, object]) -> Tuple[int, float]:
     heartbeat = float(heartbeat)
     if not math.isfinite(heartbeat) or heartbeat <= 0.0:
         raise ProtocolError(f"heartbeat_seconds must be finite and > 0, got {heartbeat}")
+    if required_scenarios:
+        advertised = header.get("scenarios", [])
+        if not isinstance(advertised, list) or not all(
+            isinstance(entry, str) for entry in advertised
+        ):
+            raise ProtocolError(f"scenarios must be a list of strings, got {advertised!r}")
+        missing = [entry for entry in required_scenarios if entry not in advertised]
+        if missing:
+            raise ProtocolError(
+                f"worker does not implement required attack scenario(s) {missing} "
+                f"(advertised {advertised})"
+            )
     return capacity, heartbeat
 
 
@@ -282,6 +319,10 @@ class _Coordinator:
     ) -> None:
         self.tasks = tasks
         self.structures_blob = structures_blob
+        #: Versioned scenario ids the grid needs; hello frames must cover them.
+        self.required_scenarios: Tuple[str, ...] = tuple(
+            sorted({scenario_id_for(task.attack.scenario) for task in tasks})
+        )
         self.min_workers = min_workers
         self.heartbeat_seconds = heartbeat_seconds
         self.straggler_seconds = straggler_seconds
@@ -428,7 +469,7 @@ class _Coordinator:
         try:
             header, _ = await asyncio.wait_for(read_frame(reader), timeout=30.0)
             try:
-                capacity, advertised_heartbeat = _validate_hello(header)
+                capacity, advertised_heartbeat = _validate_hello(header, self.required_scenarios)
             except ProtocolError as exc:
                 # A garbage hello (wrong type/protocol, non-numeric or
                 # non-positive capacity/heartbeat) must refuse *this* worker
@@ -819,6 +860,7 @@ def run_worker(
                 "capacity": capacity,
                 "heartbeat_seconds": heartbeat_seconds,
                 "name": f"{socket.gethostname()}:{os.getpid()}",
+                "scenarios": [entry.scenario_id for entry in list_attacks()],
             }
         )
         heartbeats = asyncio.ensure_future(heartbeat())

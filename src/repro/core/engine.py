@@ -81,12 +81,12 @@ import numpy as np
 from ..analysis import formal_analysis
 from ..attacks import (
     SupportSignature,
-    build_selfish_forks_mdp,
     get_model_structure,
     honest_errev,
     single_tree_errev,
 )
-from ..attacks.structure import SelfishForksStructure, clear_structure_cache
+from ..attacks.registry import ScenarioStructure, get_attack
+from ..attacks.structure import clear_structure_cache
 from ..config import AnalysisConfig, AttackParams, ProtocolParams
 from ..exceptions import ModelError
 from .results import SweepFailure, SweepPoint, SweepResult
@@ -104,8 +104,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
 
 
 def attack_series_name(attack: AttackParams) -> str:
-    """Series label of an attack configuration (matches the paper's legend)."""
-    return f"ours(d={attack.depth},f={attack.forks})"
+    """Series label of an attack configuration (matches the paper's legend).
+
+    Delegates to the registered scenario, so every attack family labels its own
+    series (``ours(d=..,f=..)`` for ``selfish-forks``, ``sm-actions(l=..)`` for
+    ``sm-actions``, ...).
+    """
+    return get_attack(attack.scenario).series_name(attack)
 
 
 def describe_outcome(outcome: "PointOutcome") -> str:
@@ -150,7 +155,9 @@ class PointOutcome:
     ``portfolio_races`` / ``portfolio_launches_avoided`` are the point's slice
     of the worker's :class:`~repro.mdp.portfolio.PortfolioHistory` activity
     (``None`` outside portfolio runs); :func:`assemble_sweep_result` sums them
-    into ``SweepResult.metadata["portfolio"]``.
+    into ``SweepResult.metadata["portfolio"]``.  ``scenario`` is the versioned
+    ``name@version`` id of the attack scenario that computed the point (see
+    :mod:`repro.attacks.registry`).
     """
 
     gamma_index: int
@@ -170,6 +177,7 @@ class PointOutcome:
     cancelled_iterations: Optional[int] = None
     portfolio_races: Optional[int] = None
     portfolio_launches_avoided: Optional[int] = None
+    scenario: Optional[str] = None
 
 
 #: Fallback race history of a *pool worker* process, shared by every task it
@@ -228,8 +236,9 @@ def _run_attack_task(
             portfolio_history.thread_stats() if portfolio_history is not None else {}
         )
         try:
+            entry = get_attack(task.attack.scenario)
             protocol = ProtocolParams(p=p, gamma=task.gamma)
-            model = build_selfish_forks_mdp(
+            model = entry.build_model(
                 protocol, task.attack, use_structure_cache=task.use_structure_cache
             )
             initial_beta_low = 0.0
@@ -289,6 +298,7 @@ def _run_attack_task(
                     if portfolio_history is not None
                     else None
                 ),
+                scenario=entry.scenario_id,
             )
         except Exception as exc:  # noqa: BLE001 - failure isolation is the point
             outcome = PointOutcome(
@@ -344,7 +354,7 @@ def _build_tasks(config: "SweepConfig") -> List[AttackTask]:
     return tasks
 
 
-def _prewarm_structure_cache(config: "SweepConfig") -> List[SelfishForksStructure]:
+def _prewarm_structure_cache(config: "SweepConfig") -> List[ScenarioStructure]:
     """Build every ``(attack, support)`` skeleton the grid needs, once, in-parent.
 
     Parameter points that are invalid (and will be reported as failures by
@@ -354,7 +364,7 @@ def _prewarm_structure_cache(config: "SweepConfig") -> List[SelfishForksStructur
         The distinct structures of the grid, ready to be published on the
         shared-memory model plane.
     """
-    structures: List[SelfishForksStructure] = []
+    structures: List[ScenarioStructure] = []
     seen = set()
     for gamma in config.gammas:
         for p in config.p_values:
@@ -764,6 +774,7 @@ def assemble_sweep_result(
                         beta_up=outcome.beta_up,
                         solver_backend=outcome.solver_backend,
                         cancelled_iterations=outcome.cancelled_iterations,
+                        scenario=outcome.scenario,
                     )
                 )
     result = SweepResult(points=points, description=description, failures=failures)

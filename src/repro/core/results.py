@@ -100,6 +100,9 @@ class SweepPoint:
             losing backends were cooperatively cancelled out of across the
             point's races -- solver work the PR 2 portfolio would have burned
             to completion (``None`` outside portfolio runs).
+        scenario: Versioned ``name@version`` id of the attack scenario that
+            computed the point (see :mod:`repro.attacks.registry`); ``None``
+            for closed-form baseline points.
     """
 
     p: float
@@ -112,6 +115,7 @@ class SweepPoint:
     beta_up: Optional[float] = None
     solver_backend: Optional[str] = None
     cancelled_iterations: Optional[int] = None
+    scenario: Optional[str] = None
 
     def to_row(self) -> Dict[str, object]:
         """Flatten into a dictionary suitable for CSV reporting."""
@@ -133,6 +137,8 @@ class SweepPoint:
             row["solver_backend"] = self.solver_backend
         if self.cancelled_iterations is not None:
             row["cancelled_iterations"] = self.cancelled_iterations
+        if self.scenario is not None:
+            row["scenario"] = self.scenario
         return row
 
 

@@ -68,8 +68,11 @@ from .shared_structures import attach_segment_untracked
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .engine import PointOutcome
 
-#: Magic value identifying a results-plane segment (helps reject foreign segments).
-PLANE_MAGIC = 0x5245_5355_4C54_5331  # b"RESULTS1"
+#: Magic value identifying a results-plane segment (helps reject foreign
+#: segments).  The trailing digit is the layout generation: bumped to 2 when
+#: the per-record ``scenario`` id was added, so a stale worker from a previous
+#: layout fails to attach loudly instead of decoding shifted fields.
+PLANE_MAGIC = 0x5245_5355_4C54_5332  # b"RESULTS2"
 
 #: Fixed header: ``[magic][num_slots][n_p][n_attacks]`` as uint64, padded to 64.
 _HEADER_DTYPE = np.dtype(np.uint64)
@@ -79,6 +82,7 @@ _HEADER_BYTES = 64
 SERIES_BYTES = 96
 ERROR_BYTES = 512
 BACKEND_BYTES = 48
+SCENARIO_BYTES = 64
 
 #: Bit flags marking which optional fields of a record are present.
 _HAS_ERREV = 1 << 0
@@ -88,6 +92,7 @@ _HAS_BETA_UP = 1 << 3
 _HAS_BACKEND = 1 << 4
 _HAS_CANCELLED = 1 << 5
 _HAS_PORTFOLIO = 1 << 6
+_HAS_SCENARIO = 1 << 7
 
 #: Packed per-slot record: seqlock word, grid key, payload, flagged optionals.
 OUTCOME_DTYPE = np.dtype(
@@ -111,6 +116,7 @@ OUTCOME_DTYPE = np.dtype(
         ("series", f"S{SERIES_BYTES}"),
         ("error", f"S{ERROR_BYTES}"),
         ("solver_backend", f"S{BACKEND_BYTES}"),
+        ("scenario", f"S{SCENARIO_BYTES}"),
     ]
 )
 
@@ -181,12 +187,18 @@ class ResultsPlane:
         series = outcome.series.encode("utf-8")
         error = (outcome.error or "").encode("utf-8")
         backend = (outcome.solver_backend or "").encode("utf-8")
-        if len(series) > SERIES_BYTES or len(error) > ERROR_BYTES or len(backend) > BACKEND_BYTES:
+        scenario = (outcome.scenario or "").encode("utf-8")
+        if (
+            len(series) > SERIES_BYTES
+            or len(error) > ERROR_BYTES
+            or len(backend) > BACKEND_BYTES
+            or len(scenario) > SCENARIO_BYTES
+        ):
             return False
         # Fixed-size numpy bytes fields strip trailing NULs on read, so a
         # string that *ends* in one cannot round-trip byte-exactly -- refuse
         # it (pathological, but correctness beats coverage here).
-        if any(text.endswith(b"\x00") for text in (series, error, backend)):
+        if any(text.endswith(b"\x00") for text in (series, error, backend, scenario)):
             return False
         records = self._records
         flags = 0
@@ -227,6 +239,9 @@ class ResultsPlane:
             records["portfolio_launches_avoided"][slot] = (
                 outcome.portfolio_launches_avoided or 0
             )
+        if outcome.scenario is not None:
+            flags |= _HAS_SCENARIO
+        records["scenario"][slot] = scenario
         records["flags"][slot] = flags
         records["seq"][slot] = 2
         return True
@@ -265,6 +280,9 @@ class ResultsPlane:
             ),
             portfolio_launches_avoided=(
                 int(record["portfolio_launches_avoided"]) if flags & _HAS_PORTFOLIO else None
+            ),
+            scenario=(
+                bytes(record["scenario"]).decode("utf-8") if flags & _HAS_SCENARIO else None
             ),
         )
 
@@ -455,6 +473,7 @@ __all__: Tuple[str, ...] = (
     "ERROR_BYTES",
     "OUTCOME_DTYPE",
     "PLANE_MAGIC",
+    "SCENARIO_BYTES",
     "SERIES_BYTES",
     "ResultsPlane",
     "active_results_plane_names",

@@ -1,7 +1,7 @@
 """Zero-copy shared-memory model plane for cached MDP structures.
 
-The sweep engine's unit of reuse is the :class:`~repro.attacks.structure.
-SelfishForksStructure`: the ``(p, gamma)``-independent skeleton of one attack
+The sweep engine's unit of reuse is the :class:`~repro.attacks.registry.
+ScenarioStructure`: the ``(p, gamma)``-independent skeleton of one attack
 configuration, a pure-Python breadth-first exploration that dominates model
 construction cost.  Before this module existed, spawn-started workers re-ran
 that exploration once per worker (the PR 2 prewarm initializer), so a 16-worker
@@ -10,7 +10,7 @@ sweep paid the exploration 16 times.
 The model plane removes every redundant exploration:
 
 1. The parent builds each structure once and serialises it into flat numpy
-   buffers (:meth:`SelfishForksStructure.to_buffers`).
+   buffers (:meth:`ScenarioStructure.to_buffers`).
 2. :func:`publish_structures` packs all buffers of all structures into a single
    ``multiprocessing.shared_memory`` segment -- a small pickled directory of
    ``(key, dtype, shape, offset)`` entries followed by the raw array bytes.
@@ -59,7 +59,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from ..attacks.structure import SelfishForksStructure, install_structure
+from ..attacks.registry import ScenarioStructure, resolve_scenario
+from ..attacks.structure import install_structure
 from ..exceptions import ModelError
 
 #: Alignment (bytes) of every array inside the segment; numpy is happy with 8,
@@ -120,7 +121,7 @@ class SharedStructurePlane:
     def __init__(
         self,
         segment: shared_memory.SharedMemory,
-        structures: List[SelfishForksStructure],
+        structures: List[ScenarioStructure],
         *,
         creator: bool,
     ) -> None:
@@ -202,22 +203,29 @@ class _PackedLayout:
     / :func:`attach_structures`) and the wire payload of the distributed fabric
     (:func:`pack_structures` / :func:`unpack_structures`): a 16-byte prefix
     ``[directory_length: uint64][data_start: uint64]``, a pickled directory
-    listing every array of every structure as ``(structure_index, buffer_key,
-    dtype, shape, offset)``, then the 64-byte-aligned raw array bytes.  Offsets
-    are relative to ``data_start``, so the directory can be built before the
-    prefix is known.
+    listing every array of every structure as ``(structure_index, scenario_id,
+    buffer_key, dtype, shape, offset)``, then the 64-byte-aligned raw array
+    bytes.  Offsets are relative to ``data_start``, so the directory can be
+    built before the prefix is known.  The versioned ``scenario_id`` stamped on
+    every entry selects the :class:`~repro.attacks.registry.ScenarioStructure`
+    subclass that decodes the buffers; a reader that does not implement the
+    scenario (or implements another version of it) fails loudly at attach time
+    instead of silently misinterpreting the arrays.
     """
 
-    def __init__(self, structures: List[SelfishForksStructure]) -> None:
+    def __init__(self, structures: List[ScenarioStructure]) -> None:
         self.buffer_sets = [structure.to_buffers() for structure in structures]
-        self.directory: List[Tuple[int, str, str, Tuple[int, ...], int]] = []
+        self.directory: List[Tuple[int, str, str, str, Tuple[int, ...], int]] = []
         offset = 0
-        for index, buffers in enumerate(self.buffer_sets):
-            for key in SelfishForksStructure.BUFFER_KEYS:
+        for index, (structure, buffers) in enumerate(zip(structures, self.buffer_sets)):
+            scenario_id = structure.scenario_id
+            for key in type(structure).BUFFER_KEYS:
                 array = np.ascontiguousarray(buffers[key])
                 buffers[key] = array
                 offset = _align(offset)
-                self.directory.append((index, key, array.dtype.str, array.shape, offset))
+                self.directory.append(
+                    (index, scenario_id, key, array.dtype.str, array.shape, offset)
+                )
                 offset += array.nbytes
         self.directory_bytes = pickle.dumps(self.directory, protocol=pickle.HIGHEST_PROTOCOL)
         self.data_start = _align(_HEADER_BYTES + len(self.directory_bytes))
@@ -229,37 +237,44 @@ class _PackedLayout:
         header[0] = len(self.directory_bytes)
         header[1] = self.data_start
         buf[_HEADER_BYTES : _HEADER_BYTES + len(self.directory_bytes)] = self.directory_bytes
-        for index, key, dtype, shape, rel_offset in self.directory:
+        for index, _scenario_id, key, dtype, shape, rel_offset in self.directory:
             target = np.ndarray(
                 shape, dtype=np.dtype(dtype), buffer=buf, offset=self.data_start + rel_offset
             )
             target[...] = self.buffer_sets[index][key]
 
 
-def _read_structures(buf) -> List[SelfishForksStructure]:
+def _read_structures(buf) -> List[ScenarioStructure]:
     """Reconstruct every structure from a buffer written by :class:`_PackedLayout`.
 
     Every numeric array of every reconstructed structure is a *read-only* numpy
     view into ``buf`` -- nothing is copied, so structures decoded from a
     shared-memory segment (or from a received wire payload kept alive by the
-    structure itself) stay zero-copy.
+    structure itself) stay zero-copy.  Each structure is decoded by the
+    :class:`~repro.attacks.registry.ScenarioStructure` subclass its directory
+    entries name; an unknown scenario or a version mismatch raises
+    :class:`~repro.exceptions.ModelError` (see
+    :func:`repro.attacks.registry.resolve_scenario`).
     """
     header = np.ndarray((2,), dtype=np.uint64, buffer=buf)
     directory_length = int(header[0])
     data_start = int(header[1])
     directory = pickle.loads(bytes(buf[_HEADER_BYTES : _HEADER_BYTES + directory_length]))
     buffer_sets: Dict[int, Dict[str, np.ndarray]] = {}
-    for index, key, dtype, shape, rel_offset in directory:
+    scenario_ids: Dict[int, str] = {}
+    for index, scenario_id, key, dtype, shape, rel_offset in directory:
         view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf, offset=data_start + rel_offset)
         if view.flags.writeable:
             view.flags.writeable = False
+        scenario_ids[index] = scenario_id
         buffer_sets.setdefault(index, {})[key] = view
     return [
-        SelfishForksStructure.from_buffers(buffer_sets[index]) for index in sorted(buffer_sets)
+        resolve_scenario(scenario_ids[index]).structure_cls.from_buffers(buffer_sets[index])
+        for index in sorted(buffer_sets)
     ]
 
 
-def pack_structures(structures: Iterable[SelfishForksStructure]) -> bytes:
+def pack_structures(structures: Iterable[ScenarioStructure]) -> bytes:
     """Serialise structures into one self-contained flat byte string.
 
     The byte layout is identical to the shared-memory segment layout of
@@ -280,7 +295,7 @@ def pack_structures(structures: Iterable[SelfishForksStructure]) -> bytes:
     return bytes(out)
 
 
-def unpack_structures(data: bytes) -> List[SelfishForksStructure]:
+def unpack_structures(data: bytes) -> List[ScenarioStructure]:
     """Reconstruct the structures serialised by :func:`pack_structures`.
 
     The numeric arrays of the returned structures are read-only views into
@@ -299,7 +314,7 @@ def unpack_structures(data: bytes) -> List[SelfishForksStructure]:
 
 
 def publish_structures(
-    structures: Iterable[SelfishForksStructure],
+    structures: Iterable[ScenarioStructure],
 ) -> SharedStructurePlane:
     """Pack structures into one shared-memory segment and return the owner plane.
 

@@ -60,7 +60,21 @@ class TestAttackParams:
 
     def test_to_dict(self):
         params = AttackParams(depth=2, forks=2, max_fork_length=3)
-        assert params.to_dict() == {"depth": 2, "forks": 2, "max_fork_length": 3}
+        assert params.to_dict() == {
+            "depth": 2,
+            "forks": 2,
+            "max_fork_length": 3,
+            "scenario": "selfish-forks",
+            "variant": "",
+        }
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="scenario"):
+            AttackParams(scenario="no-such-scenario")
+
+    def test_variant_must_be_string(self):
+        with pytest.raises(ConfigurationError, match="variant"):
+            AttackParams(variant=3)
 
     def test_paper_configurations(self):
         assert len(PAPER_ATTACK_CONFIGS) == 5

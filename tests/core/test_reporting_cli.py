@@ -291,6 +291,67 @@ class TestCli:
         assert exit_code == 0
         assert "ERRev lower bound" in captured.out
 
+    def test_attacks_command_lists_scenarios(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "selfish-forks@1" in out
+        assert "sm-actions@1" in out
+        assert "default grid" in out
+
+    def test_analyze_accepts_attack_scenario(self, capsys):
+        exit_code = main(
+            ["analyze", "--attack", "sm-actions", "-l", "6", "--epsilon", "0.01"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "ERRev lower bound" in captured.out
+
+    def test_sweep_attack_scenario_writes_scenario_column(self, tmp_path, capsys):
+        out_csv = tmp_path / "scenario.csv"
+        exit_code = main(
+            [
+                "sweep",
+                "--attack",
+                "sm-actions",
+                "--grid",
+                "l4",
+                "--p-max",
+                "0.2",
+                "--p-step",
+                "0.1",
+                "--epsilon",
+                "0.02",
+                "--csv",
+                str(out_csv),
+            ]
+        )
+        capsys.readouterr()
+        assert exit_code == 0
+        with out_csv.open() as handle:
+            rows = list(csv.DictReader(handle))
+        attack_rows = [row for row in rows if row["series"] == "sm-actions(l=4)"]
+        assert attack_rows
+        assert all(row["scenario"] == "sm-actions@1" for row in attack_rows)
+
+    def test_max_depth_shim_warns_once_and_matches_grid_spec(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(cli_module, "_MAX_DEPTH_DEPRECATION_WARNED", False)
+        argv = ["sweep", "--p-max", "0.1", "--p-step", "0.1", "--epsilon", "0.02"]
+        assert main([*argv, "--max-depth", "1"]) == 0
+        first = capsys.readouterr().err
+        assert first.count("--max-depth is deprecated") == 1
+        assert main([*argv, "--max-depth", "1"]) == 0
+        assert "--max-depth is deprecated" not in capsys.readouterr().err
+
+    def test_max_depth_conflicts_with_grid(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["sweep", "--max-depth", "1", "--grid", "default"])
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--attack", "no-such-attack"])
+
     def test_help_documents_auto_batch_probes(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["sweep", "--help"])
