@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -430,10 +430,13 @@ class AttackScenario:
 
 _REGISTRY: Dict[str, AttackScenario] = {}
 _REGISTRY_LOCK = threading.Lock()
+#: Guards the lazy built-in import; distinct from ``_REGISTRY_LOCK`` because
+#: the imports re-enter ``register_attack`` (which takes the registry lock).
+_BUILTINS_LOCK = threading.Lock()
 _BUILTINS_LOADED = False
 
 
-def register_attack(name: str):
+def register_attack(name: str) -> Callable[[type], type]:
     """Class decorator registering a :class:`ScenarioStructure` under ``name``.
 
     Registration is idempotent for the same class (module re-import), but a
@@ -468,9 +471,15 @@ def _ensure_builtin_scenarios() -> None:
     global _BUILTINS_LOADED
     if _BUILTINS_LOADED:
         return
-    from . import sm_actions, structure  # noqa: F401  (registration side effect)
+    # Double-checked under a *dedicated* lock: the guarded imports run
+    # ``register_attack``, which takes ``_REGISTRY_LOCK`` -- reusing it here
+    # would deadlock (threading.Lock is not reentrant).
+    with _BUILTINS_LOCK:
+        if _BUILTINS_LOADED:
+            return
+        from . import sm_actions, structure  # noqa: F401  (registration side effect)
 
-    _BUILTINS_LOADED = True
+        _BUILTINS_LOADED = True
 
 
 def get_attack(name: str) -> AttackScenario:

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -122,7 +122,7 @@ class SmActionsStructure(ScenarioStructure):
         *,
         settle_trans: Optional[np.ndarray] = None,
         settle_ah: Optional[np.ndarray] = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         super().__init__(**kwargs)
         self.settle_trans = (
@@ -221,7 +221,7 @@ class SmActionsStructure(ScenarioStructure):
                     )
             return index
 
-        def actions_of(a: int, h: int, fork: int):
+        def actions_of(a: int, h: int, fork: int) -> Iterator[Tuple[Hashable, List[tuple]]]:
             """Yield ``(label, transitions)`` with symbolic probability tags.
 
             Each transition is ``(successor, kind, sigma, (r_A, r_H))``; the

@@ -34,9 +34,12 @@ from __future__ import annotations
 import re
 import threading
 from collections import deque
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mdp import MDP
 
 from ..config import AttackParams, ProtocolParams
 from ..exceptions import ConfigurationError
@@ -70,6 +73,9 @@ class SelfishForksStructure(ScenarioStructure):
     """
 
     SCENARIO_VERSION = 1
+    #: The base plane layout, declared explicitly: the shm buffer schema is
+    #: part of the worker/wire contract, not an inheritance accident (RL005).
+    BUFFER_KEYS = ScenarioStructure.BUFFER_KEYS
     #: ``(p, k)``-mining: d*f concurrent targets need ``k >= d*f``, which PoS
     #: (k = inf) and PoSpaceTime (configurable k) provide; PoW/VDF cover d=f=1.
     PROOF_SYSTEMS = ("pow", "pos", "pospacetime", "vdf")
@@ -185,7 +191,7 @@ class SelfishForksStructure(ScenarioStructure):
         return simulator.run(num_steps)
 
     @classmethod
-    def honest_strategy(cls, mdp) -> object:
+    def honest_strategy(cls, mdp: "MDP") -> object:
         """Immediate-release baseline (honest mining for ``d = f = 1``)."""
         from .honest import immediate_release_strategy
 

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands mirror the library's main entry points (installed as both
+Six subcommands mirror the library's main entry points (installed as both
 ``repro`` and the legacy ``repro-selfish-mining``)::
 
     repro analyze  --p 0.3 --gamma 0.5 --depth 2 --forks 1
@@ -8,11 +8,13 @@ Five subcommands mirror the library's main entry points (installed as both
     repro simulate --p 0.3 --gamma 0.5 --depth 2 --forks 1 --steps 100000
     repro worker   --connect HOST:PORT
     repro attacks
+    repro lint
 
 ``analyze`` runs Algorithm 1 for one parameter point, ``sweep`` regenerates a
 Figure 2 panel, ``simulate`` Monte-Carlo-validates the computed strategy,
-``worker`` serves a remote distributed-sweep coordinator (see below), and
-``attacks`` lists the registered attack scenarios.
+``worker`` serves a remote distributed-sweep coordinator (see below),
+``attacks`` lists the registered attack scenarios, and ``lint`` runs the
+AST-based invariant checker (:mod:`repro.lint`) over the package source.
 
 Every model-facing subcommand accepts ``--attack NAME`` to select a registered
 attack scenario (:mod:`repro.attacks.registry`): the paper's ``selfish-forks``
@@ -77,6 +79,7 @@ from .config import AnalysisConfig, AttackParams, ProtocolParams, known_scenario
 from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
 from .core.distributed import parse_address, run_worker
 from .core.sweep import SweepConfig, run_sweep
+from .lint.engine import add_lint_arguments
 
 #: Short aliases accepted by ``--solver`` alongside the full backend names.
 SOLVER_ALIASES = {
@@ -333,6 +336,12 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0, help="random seed")
 
     subparsers.add_parser("attacks", help="list the registered attack scenarios")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant checker over the package source",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -487,6 +496,17 @@ def _command_attacks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .lint.engine import run
+
+    return run(
+        args.paths,
+        output_format=args.format,
+        select=args.select,
+        list_rules=args.list_rules,
+    )
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     analyzer = SelfishMiningAnalyzer(
         ProtocolParams(p=args.p, gamma=args.gamma),
@@ -520,6 +540,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "attacks":
         return _command_attacks(args)
+    if args.command == "lint":
+        return _command_lint(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -71,6 +71,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import sys
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
@@ -184,6 +185,7 @@ class PointOutcome:
 #: computes (lazily created; dies with the worker at pool shutdown).  Serial
 #: sweeps and distributed workers pass an explicitly owned history instead.
 _WORKER_PORTFOLIO_HISTORY: Optional["PortfolioHistory"] = None
+_WORKER_PORTFOLIO_HISTORY_LOCK = threading.Lock()
 
 
 def _portfolio_history_for(analysis: AnalysisConfig) -> Optional["PortfolioHistory"]:
@@ -191,11 +193,15 @@ def _portfolio_history_for(analysis: AnalysisConfig) -> Optional["PortfolioHisto
     global _WORKER_PORTFOLIO_HISTORY
     if analysis.solver != "portfolio":
         return None
-    if _WORKER_PORTFOLIO_HISTORY is None:
-        from ..mdp.portfolio import PortfolioHistory
+    # Pool workers are single-threaded today, but the history is also reachable
+    # from in-process threaded callers (e.g. the distributed worker's executor),
+    # so the lazy init is guarded.
+    with _WORKER_PORTFOLIO_HISTORY_LOCK:
+        if _WORKER_PORTFOLIO_HISTORY is None:
+            from ..mdp.portfolio import PortfolioHistory
 
-        _WORKER_PORTFOLIO_HISTORY = PortfolioHistory()
-    return _WORKER_PORTFOLIO_HISTORY
+            _WORKER_PORTFOLIO_HISTORY = PortfolioHistory()
+        return _WORKER_PORTFOLIO_HISTORY
 
 
 def _run_attack_task(

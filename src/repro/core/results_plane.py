@@ -435,7 +435,8 @@ def install_results_plane(name: str) -> ResultsPlane:
     """
     global _INSTALLED_PLANE
     plane = attach_results_plane(name)
-    _INSTALLED_PLANE = plane
+    with _REGISTRY_LOCK:
+        _INSTALLED_PLANE = plane
     return plane
 
 
@@ -457,8 +458,8 @@ def forget_inherited_results_planes() -> None:
     their own untracked mapping.
     """
     global _INSTALLED_PLANE
-    _INSTALLED_PLANE = None
     with _REGISTRY_LOCK:
+        _INSTALLED_PLANE = None
         _ACTIVE_RESULTS_PLANES.clear()
 
 

@@ -231,7 +231,7 @@ class _PackedLayout:
         self.data_start = _align(_HEADER_BYTES + len(self.directory_bytes))
         self.total_size = max(1, self.data_start + offset)
 
-    def write_into(self, buf) -> None:
+    def write_into(self, buf: memoryview) -> None:
         """Serialise the prefix, directory and every array into ``buf``."""
         header = np.ndarray((2,), dtype=np.uint64, buffer=buf)
         header[0] = len(self.directory_bytes)
@@ -244,7 +244,7 @@ class _PackedLayout:
             target[...] = self.buffer_sets[index][key]
 
 
-def _read_structures(buf) -> List[ScenarioStructure]:
+def _read_structures(buf: memoryview) -> List[ScenarioStructure]:
     """Reconstruct every structure from a buffer written by :class:`_PackedLayout`.
 
     Every numeric array of every reconstructed structure is a *read-only* numpy

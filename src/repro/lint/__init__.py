@@ -1,0 +1,57 @@
+"""repro-lint: AST-based invariant checker for the package's own source.
+
+The engine's correctness rests on cross-cutting invariants that no single
+test file owns -- shared-memory segments must be lifecycle-paired with their
+release backstops, workers must never rebuild skeletons, certified-bound
+kernels must stay bit-for-bit deterministic, the coordinator and the workers
+must agree on the wire schema, and every registered attack scenario must
+honour the structure contract.  ``repro lint`` codifies those invariants as
+static rules over the package's abstract syntax trees, so they are enforced
+by a tool instead of reviewer memory:
+
+========  ==============================================================
+RL001     shm-lifecycle: ``SharedMemory`` stays inside the substrate
+          modules, and every segment creation is paired with try/atexit
+          release machinery.
+RL002     fork/async safety: no blocking calls inside coroutines, no
+          unguarded module-global mutation on worker call paths, no bare
+          ``lock.acquire()`` statements.
+RL003     determinism: no unseeded RNGs, wall-clock reads or set-order
+          iteration in the certified solver paths (``attacks/``,
+          ``mdp/``, ``analysis/``).
+RL004     wire-schema agreement: every frame-header key and frame type
+          consumed in ``core/distributed.py`` is produced there too (and
+          vice versa for frame types), and ``PROTOCOL_VERSION`` guards
+          both sides.
+RL005     scenario contract: every ``@register_attack`` class declares
+          ``BUFFER_KEYS`` and overrides the required engine hooks.
+========  ==============================================================
+
+Run it as ``repro lint [PATHS]`` or ``python -m repro.lint [PATHS]``; with no
+paths it lints the installed ``repro`` package itself.  A violation can be
+waived on one line with ``# repro-lint: disable=RL002`` (comma-separated ids,
+or ``all``) and for a whole file with ``# repro-lint: disable-file=RL004``.
+The exit status is 0 iff no violations were reported.
+"""
+
+from .engine import (
+    LintViolation,
+    ModuleInfo,
+    Rule,
+    lint_paths,
+    main,
+    render_json,
+    render_text,
+)
+from .rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "LintViolation",
+    "ModuleInfo",
+    "Rule",
+    "lint_paths",
+    "main",
+    "render_json",
+    "render_text",
+]

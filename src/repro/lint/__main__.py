@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` -- run the invariant checker."""
+
+from .engine import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Built-in ruleset of ``repro lint``: one module per invariant family.
+
+``ALL_RULES`` is the canonical registry consumed by the engine, the CLI and
+the tests; rules run in id order.
+"""
+
+from typing import Tuple
+
+from ..engine import Rule
+from .async_safety import ForkAsyncSafetyRule
+from .determinism import CertifiedPathDeterminismRule
+from .scenario_contract import ScenarioContractRule
+from .shm_lifecycle import SharedMemoryLifecycleRule
+from .wire_schema import WireSchemaAgreementRule
+
+#: Every built-in rule, in id order.
+ALL_RULES: Tuple[Rule, ...] = (
+    SharedMemoryLifecycleRule(),
+    ForkAsyncSafetyRule(),
+    CertifiedPathDeterminismRule(),
+    WireSchemaAgreementRule(),
+    ScenarioContractRule(),
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CertifiedPathDeterminismRule",
+    "ForkAsyncSafetyRule",
+    "ScenarioContractRule",
+    "SharedMemoryLifecycleRule",
+    "WireSchemaAgreementRule",
+]

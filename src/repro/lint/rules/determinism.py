@@ -1,0 +1,147 @@
+"""RL003: the certified solver paths stay bit-for-bit deterministic.
+
+The paper's claims are *certified* bounds: the value-iteration residuals and
+the exact-chain stationary analysis must reproduce exactly across runs and
+machines, or the certificates mean nothing.  Three classic leaks break that:
+
+* **Unseeded / global-state RNGs** -- stdlib :mod:`random` and the legacy
+  ``numpy.random.*`` module functions draw from hidden global state; only
+  explicitly seeded ``numpy.random.default_rng(seed)`` generators are
+  reproducible by construction.
+* **Wall-clock reads** -- ``time.time()`` / ``datetime.now()`` smuggle the
+  current time into results.  (Monotonic timers for *measuring* durations,
+  ``time.perf_counter`` / ``time.monotonic``, are fine: they never feed model
+  construction.)
+* **Set-order iteration** -- iterating a ``set`` directly hands model
+  construction a hash-seed-dependent order; sort first.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..engine import LintViolation, ModuleInfo, Rule, dotted_name
+
+#: Wall-clock reads (non-deterministic across runs).  Monotonic timers used
+#: for duration measurement are deliberately absent.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "date.today",
+        "datetime.date.today",
+    }
+)
+
+#: Legacy ``numpy.random`` attributes that are allowed (explicitly seeded
+#: generator constructors, not global-state draws).
+_NUMPY_RANDOM_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+def _is_legacy_numpy_random(name: str) -> bool:
+    """Whether ``name`` is a global-state ``numpy.random`` draw (``np.random.rand``...)."""
+    for prefix in ("np.random.", "numpy.random."):
+        if name.startswith(prefix):
+            return name[len(prefix):].split(".")[0] not in _NUMPY_RANDOM_ALLOWED
+    return False
+
+
+def _set_iteration_target(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if iterating it leaks hash order (else ``None``)."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return f"{name}(...)"
+    return None
+
+
+class CertifiedPathDeterminismRule(Rule):
+    """No hidden RNG state, wall clocks or hash order in certified paths."""
+
+    rule_id = "RL003"
+    title = "determinism: certified solver paths must reproduce bit-for-bit"
+    invariant = (
+        "attacks/, mdp/ and analysis/ use only seeded generators, no wall-clock "
+        "reads, and never iterate raw sets"
+    )
+    fix_hint = "see the per-violation hint"
+    scopes = ("attacks/", "mdp/", "analysis/")
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        """Yield RNG, wall-clock and set-order violations in ``module``."""
+        for node in ast.walk(module.tree):
+            yield from self._check_imports(module, node)
+            yield from self._check_calls(module, node)
+            yield from self._check_set_iteration(module, node)
+
+    def _check_imports(self, module: ModuleInfo, node: ast.AST) -> Iterator[LintViolation]:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield self._rng_violation(module, node, "import random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield self._rng_violation(module, node, "from random import ...")
+
+    def _check_calls(self, module: ModuleInfo, node: ast.AST) -> Iterator[LintViolation]:
+        if not isinstance(node, ast.Call):
+            return
+        name = dotted_name(node.func)
+        if not name:
+            return
+        if name.startswith("random."):
+            yield self._rng_violation(module, node, f"{name}()")
+        elif _is_legacy_numpy_random(name):
+            yield self._rng_violation(module, node, f"{name}()")
+        elif name in WALL_CLOCK_CALLS:
+            yield self.violation(
+                module,
+                node,
+                f"wall-clock read {name}() in a certified path; results would "
+                "depend on when they were computed",
+                fix_hint=(
+                    "pass timestamps in from the caller; use time.perf_counter() "
+                    "only for duration measurement"
+                ),
+            )
+
+    def _rng_violation(self, module: ModuleInfo, node: ast.AST, what: str) -> LintViolation:
+        return self.violation(
+            module,
+            node,
+            f"{what} draws from hidden global RNG state in a certified path",
+            fix_hint="thread an explicitly seeded numpy.random.default_rng(seed) through",
+        )
+
+    def _check_set_iteration(
+        self, module: ModuleInfo, node: ast.AST
+    ) -> Iterator[LintViolation]:
+        iters = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for target in iters:
+            described = _set_iteration_target(target)
+            if described:
+                yield self.violation(
+                    module,
+                    target,
+                    f"iterating {described} feeds hash-seed-dependent order into a "
+                    "certified path",
+                    fix_hint="iterate sorted(...) of the set so the order is canonical",
+                )
+
+
+__all__ = ["WALL_CLOCK_CALLS", "CertifiedPathDeterminismRule"]

@@ -1,0 +1,208 @@
+"""RL001: shared-memory segments live in the substrate and are release-paired.
+
+Shared-memory segments are kernel objects that outlive processes; leaking one
+is the failure mode the whole plane design engineers against (see
+:mod:`repro.core.shared_structures`).  Two invariants keep that manageable:
+
+* **Containment** -- only the substrate modules (``core/shared_structures.py``
+  and ``core/results_plane.py``, plus a future ``core/shm.py``) may touch
+  ``multiprocessing.shared_memory`` at all.  Everything else goes through
+  their published plane APIs, which carry the refcounts, the creator-unlink
+  discipline and the fork-inheritance hygiene.
+* **Release pairing** -- inside the substrate, every ``SharedMemory(...,
+  create=True)`` must be wrapped in a ``try`` (allocation and first-write
+  failures must clean up), its enclosing function must reference the release
+  machinery (``close``/``unlink``/``release`` or a ``*register*`` call that
+  hands the segment to the atexit-backstopped registry), and the module must
+  install an ``atexit`` backstop for segments still open at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from ..engine import LintViolation, ModuleInfo, Rule, dotted_name
+
+#: Modules allowed to construct / attach SharedMemory segments directly.
+ALLOWED_MODULES = (
+    "core/shared_structures.py",
+    "core/results_plane.py",
+    "core/shm.py",
+)
+
+#: Call / attribute names whose presence counts as release machinery.
+_RELEASE_NAMES = ("close", "unlink", "release")
+
+
+def _is_shared_memory_import(node: ast.AST) -> bool:
+    """Whether ``node`` imports ``multiprocessing.shared_memory`` (any form)."""
+    if isinstance(node, ast.Import):
+        return any(alias.name.startswith("multiprocessing.shared_memory") for alias in node.names)
+    if isinstance(node, ast.ImportFrom):
+        if node.module == "multiprocessing":
+            return any(alias.name == "shared_memory" for alias in node.names)
+        return bool(node.module and node.module.startswith("multiprocessing.shared_memory"))
+    return False
+
+
+def _is_shared_memory_call(node: ast.Call) -> bool:
+    """Whether ``node`` constructs a ``SharedMemory`` object."""
+    name = dotted_name(node.func)
+    return bool(name) and name.split(".")[-1] == "SharedMemory"
+
+
+def _creates_segment(node: ast.Call) -> bool:
+    """Whether the ``SharedMemory`` call allocates (``create=True``)."""
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _module_has_atexit_backstop(tree: ast.Module) -> bool:
+    """Whether the module references ``atexit.register`` anywhere (incl. decorators)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr == "register":
+            if dotted_name(node) == "atexit.register":
+                return True
+    return False
+
+
+def _function_has_release_machinery(function: ast.AST) -> bool:
+    """Whether ``function`` references close/unlink/release or a ``*register*`` call."""
+    for node in ast.walk(function):
+        if isinstance(node, ast.Attribute) and node.attr in _RELEASE_NAMES:
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name and "register" in name.split(".")[-1].lower():
+                return True
+    return False
+
+
+class SharedMemoryLifecycleRule(Rule):
+    """``SharedMemory`` stays in the substrate; every create is release-paired."""
+
+    rule_id = "RL001"
+    title = "shm-lifecycle: SharedMemory containment and release pairing"
+    invariant = (
+        "shared-memory segments are created only inside the substrate modules "
+        "and every creation is paired with try/atexit release machinery"
+    )
+    fix_hint = (
+        "go through the plane APIs of core/shared_structures.py / "
+        "core/results_plane.py instead of touching SharedMemory directly"
+    )
+    scopes = None  # containment is checked everywhere
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        """Yield containment violations (everywhere) and pairing violations (substrate)."""
+        allowed = module.relpath in ALLOWED_MODULES
+        if not allowed:
+            yield from self._check_containment(module)
+            return
+        yield from self._check_release_pairing(module)
+
+    def _check_containment(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if _is_shared_memory_import(node):
+                yield self.violation(
+                    module,
+                    node,
+                    "multiprocessing.shared_memory imported outside the shm substrate "
+                    f"(allowed: {', '.join(ALLOWED_MODULES)})",
+                )
+            elif isinstance(node, ast.Call) and _is_shared_memory_call(node):
+                yield self.violation(
+                    module,
+                    node,
+                    "SharedMemory constructed outside the shm substrate "
+                    f"(allowed: {', '.join(ALLOWED_MODULES)})",
+                )
+
+    def _check_release_pairing(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        has_backstop = _module_has_atexit_backstop(module.tree)
+        for function, try_depth, call in _iter_create_calls(module.tree):
+            if function is None:
+                yield self.violation(
+                    module,
+                    call,
+                    "SharedMemory(create=True) at module level; segment creation must "
+                    "happen inside a function that owns its release",
+                    fix_hint="move the allocation into a function paired with release/unlink",
+                )
+                continue
+            if try_depth == 0:
+                yield self.violation(
+                    module,
+                    call,
+                    "SharedMemory(create=True) is not wrapped in a try statement; an "
+                    "allocation or first-write failure would leak the segment",
+                    fix_hint="wrap the create and first write in try, unlinking on failure",
+                )
+            if not _function_has_release_machinery(function):
+                yield self.violation(
+                    module,
+                    call,
+                    f"function {function.name!r} creates a segment but never references "
+                    "the release machinery (close/unlink/release or a registry call)",
+                    fix_hint=(
+                        "pair the create with close()/unlink() in a finally/except, or "
+                        "register the plane with the atexit-backstopped registry"
+                    ),
+                )
+            if not has_backstop:
+                yield self.violation(
+                    module,
+                    call,
+                    "module creates shared-memory segments but installs no "
+                    "atexit.register backstop for interpreter shutdown",
+                    fix_hint="add an atexit.register hook releasing still-open segments",
+                )
+
+
+def _iter_create_calls(
+    tree: ast.Module,
+) -> List[Tuple[Optional[ast.AST], int, ast.Call]]:
+    """Every ``SharedMemory(create=True)`` call with its enclosing function and try depth."""
+    found: List[Tuple[Optional[ast.AST], int, ast.Call]] = []
+
+    def walk(node: ast.AST, function: Optional[ast.AST], try_depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_function = function
+            child_depth = try_depth
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                child_function = child
+                child_depth = 0
+            elif isinstance(child, ast.Try):
+                # The body is protected; handlers/orelse/finally run outside
+                # the protection of *this* try.
+                for stmt in child.body:
+                    walk_one(stmt, child_function, child_depth + 1)
+                for stmt in child.handlers + child.orelse + child.finalbody:
+                    walk_one(stmt, child_function, child_depth)
+                continue
+            if (
+                isinstance(child, ast.Call)
+                and _is_shared_memory_call(child)
+                and _creates_segment(child)
+            ):
+                found.append((function, try_depth, child))
+            walk(child, child_function, child_depth)
+
+    def walk_one(node: ast.AST, function: Optional[ast.AST], try_depth: int) -> None:
+        if (
+            isinstance(node, ast.Call)
+            and _is_shared_memory_call(node)
+            and _creates_segment(node)
+        ):
+            found.append((function, try_depth, node))
+        walk(node, function, try_depth)
+
+    walk(tree, None, 0)
+    return found
+
+
+__all__ = ["ALLOWED_MODULES", "SharedMemoryLifecycleRule"]

@@ -1,0 +1,206 @@
+"""RL004: coordinator and workers agree on the frame wire schema.
+
+:mod:`repro.core.distributed` speaks a length-prefixed JSON frame protocol
+between one coordinator and many workers.  Both directions live in the same
+file, so schema drift -- a consumer reading a header key no producer writes,
+or a frame ``type`` nobody dispatches on -- is statically visible:
+
+* every header key *consumed* (``header.get("K")`` / ``header["K"]``) must be
+  *produced* by some frame dict literal;
+* the set of frame *types* produced (``{"type": "hello", ...}``) must equal
+  the set dispatched on (``kind == "hello"``) -- an unproduced dispatch arm is
+  dead protocol, an undispatched frame is silently dropped;
+* ``PROTOCOL_VERSION`` must appear on both sides: embedded in a produced
+  frame and compared against on receipt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from ..engine import LintViolation, ModuleInfo, Rule, dotted_name
+
+#: Names whose ``.get("K")`` / ``["K"]`` accesses count as header consumption.
+_HEADER_NAMES = ("header", "frame", "message")
+
+#: Names whose string comparisons count as frame-type dispatch.
+_KIND_NAMES = ("kind", "frame_type", "msg_type")
+
+
+def _is_header_expr(node: ast.expr) -> bool:
+    """Whether ``node`` names a received frame header."""
+    name = dotted_name(node)
+    return bool(name) and name.split(".")[-1] in _HEADER_NAMES
+
+
+def _produced_frames(tree: ast.Module) -> Tuple[Set[str], Set[str], List[ast.Dict]]:
+    """Constant keys and ``type`` values of every frame dict literal produced."""
+    keys: Set[str] = set()
+    types: Set[str] = set()
+    frames: List[ast.Dict] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        constant_keys = {
+            key.value
+            for key in node.keys
+            if isinstance(key, ast.Constant) and isinstance(key.value, str)
+        }
+        if "type" not in constant_keys:
+            continue
+        frames.append(node)
+        keys |= constant_keys
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "type"
+                and isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+            ):
+                types.add(value.value)
+    return keys, types, frames
+
+
+def _consumed_accesses(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """Every header key consumed, with the consuming node."""
+    consumed: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and _is_header_expr(func.value)
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                consumed.append((node.args[0].value, node))
+        elif isinstance(node, ast.Subscript):
+            if (
+                _is_header_expr(node.value)
+                and isinstance(node.slice, ast.Constant)
+                and isinstance(node.slice.value, str)
+            ):
+                consumed.append((node.slice.value, node))
+    return consumed
+
+
+def _dispatched_types(tree: ast.Module) -> List[Tuple[str, ast.AST]]:
+    """Every frame ``type`` string dispatched on, with the comparing node."""
+    dispatched: List[Tuple[str, ast.AST]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left, *node.comparators]
+        names_kind = any(
+            (dotted_name(side) or "").split(".")[-1] in _KIND_NAMES
+            or (
+                isinstance(side, ast.Call)
+                and isinstance(side.func, ast.Attribute)
+                and side.func.attr == "get"
+                and _is_header_expr(side.func.value)
+                and side.args
+                and isinstance(side.args[0], ast.Constant)
+                and side.args[0].value == "type"
+            )
+            for side in sides
+        )
+        if not names_kind:
+            continue
+        for side in sides:
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                dispatched.append((side.value, node))
+            elif isinstance(side, (ast.Tuple, ast.List, ast.Set)):
+                for elt in side.elts:
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                        dispatched.append((elt.value, node))
+    return dispatched
+
+
+def _protocol_version_sides(tree: ast.Module) -> Tuple[bool, bool]:
+    """Whether ``PROTOCOL_VERSION`` is (produced in a frame, compared on receipt)."""
+    produced = False
+    compared = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None and "PROTOCOL_VERSION" in [
+                    part
+                    for sub in ast.walk(value)
+                    if isinstance(sub, ast.Name)
+                    for part in [sub.id]
+                ]:
+                    produced = True
+        elif isinstance(node, ast.Compare):
+            for side in [node.left, *node.comparators]:
+                name = dotted_name(side)
+                if name and name.split(".")[-1] == "PROTOCOL_VERSION":
+                    compared = True
+    return produced, compared
+
+
+class WireSchemaAgreementRule(Rule):
+    """Consumed header keys / dispatched types match produced frames."""
+
+    rule_id = "RL004"
+    title = "wire-schema agreement between coordinator and workers"
+    invariant = (
+        "every consumed frame-header key is produced, produced and dispatched "
+        "frame types coincide, and PROTOCOL_VERSION guards both sides"
+    )
+    fix_hint = "keep producer dict literals and consumer header accesses in sync"
+    scopes = ("core/distributed.py",)
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        """Yield schema-drift violations between producers and consumers."""
+        produced_keys, produced_types, frames = _produced_frames(module.tree)
+        if not frames:
+            # Not a protocol module (e.g. a minimal fixture): nothing to match.
+            return
+        for key, node in _consumed_accesses(module.tree):
+            if key not in produced_keys:
+                yield self.violation(
+                    module,
+                    node,
+                    f"header key {key!r} is consumed but no produced frame "
+                    "carries it",
+                    fix_hint="add the key to the producing frame or drop the read",
+                )
+        dispatched = _dispatched_types(module.tree)
+        dispatched_types = {value for value, _ in dispatched}
+        for value, node in dispatched:
+            if value not in produced_types:
+                yield self.violation(
+                    module,
+                    node,
+                    f"frame type {value!r} is dispatched on but never produced",
+                    fix_hint="produce the frame or delete the dead dispatch arm",
+                )
+        for value in sorted(produced_types - dispatched_types):
+            yield self.violation(
+                module,
+                module.tree,
+                f"frame type {value!r} is produced but never dispatched on; "
+                "receivers drop it silently",
+                fix_hint="add a dispatch arm (or an explicit ignore) for the type",
+            )
+        produced_pv, compared_pv = _protocol_version_sides(module.tree)
+        if produced_pv and not compared_pv:
+            yield self.violation(
+                module,
+                module.tree,
+                "PROTOCOL_VERSION is sent but never checked on receipt",
+                fix_hint="reject frames whose protocol differs from PROTOCOL_VERSION",
+            )
+        elif compared_pv and not produced_pv:
+            yield self.violation(
+                module,
+                module.tree,
+                "PROTOCOL_VERSION is checked on receipt but never sent",
+                fix_hint="embed PROTOCOL_VERSION in the handshake frame",
+            )
+
+
+__all__ = ["WireSchemaAgreementRule"]

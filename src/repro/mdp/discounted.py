@@ -70,7 +70,7 @@ def discounted_value_iteration(
     best_rows = mdp.uniform_random_row_choice()
     converged = False
     iterations = 0
-    for iterations in range(1, max_iterations + 1):
+    for iterations in range(1, max_iterations + 1):  # noqa: B007 - read after the loop
         continuation = mdp.trans_prob * values[mdp.trans_succ]
         row_values = row_rewards + discount * np.add.reduceat(
             continuation, mdp.row_trans_offsets[:-1]

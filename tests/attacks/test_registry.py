@@ -114,3 +114,42 @@ class TestAttackParamsIntegration:
         row = attack.to_dict()
         assert row["scenario"] == "sm-actions"
         assert row["variant"] == "overpaying"
+
+
+class TestConcurrency:
+    def test_concurrent_builtin_loading_is_safe(self):
+        """Racing threads through the lazy built-in import must not error.
+
+        Regression for the unguarded ``_BUILTINS_LOADED`` rebinding (RL002):
+        the flag is now double-checked under a dedicated lock.
+        """
+        import threading
+
+        from repro.attacks import registry as registry_mod
+
+        registry_mod._BUILTINS_LOADED = False
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def hit():
+            barrier.wait()
+            try:
+                get_attack("selfish-forks")
+            except Exception as exc:  # pragma: no cover - the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert registry_mod._BUILTINS_LOADED
+
+    def test_builtin_scenarios_declare_buffer_keys_explicitly(self):
+        """The plane layout is contract, not inheritance accident (RL005)."""
+        for entry in list_attacks():
+            assert "BUFFER_KEYS" in entry.structure_cls.__dict__, entry.name
+            assert entry.structure_cls.BUFFER_KEYS[: len(ScenarioStructure.BUFFER_KEYS)] == (
+                ScenarioStructure.BUFFER_KEYS
+            )

@@ -83,7 +83,7 @@ class TestModelConstruction:
 
     def test_release_labels_reference_valid_forks(self, model_d2f1):
         attack = model_d2f1.attack
-        for row, action in enumerate(model_d2f1.mdp.row_actions):
+        for action in model_d2f1.mdp.row_actions:
             if action[0] != "release":
                 continue
             _, depth, fork, blocks = action

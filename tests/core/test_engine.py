@@ -444,3 +444,43 @@ class TestWarmStartedAlgorithm1:
             record.solver_iterations for record in result.iterations
         )
         assert result.final_bias is not None
+
+
+class TestWorkerPortfolioHistory:
+    def test_concurrent_lazy_init_yields_one_history(self):
+        """Racing threads must share one history (regression: unguarded global).
+
+        The lazy ``_WORKER_PORTFOLIO_HISTORY`` init is now lock-guarded
+        (RL002); without the lock, two threads could each construct a history
+        and record races into an instance the other never consults.
+        """
+        import threading
+
+        from repro.core import engine as engine_mod
+        from repro.core.engine import _portfolio_history_for
+
+        engine_mod._WORKER_PORTFOLIO_HISTORY = None
+        try:
+            config = AnalysisConfig(epsilon=1e-2, solver="portfolio")
+            barrier = threading.Barrier(8)
+            histories = []
+
+            def hit():
+                barrier.wait()
+                histories.append(_portfolio_history_for(config))
+
+            threads = [threading.Thread(target=hit) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(histories) == 8
+            assert len({id(history) for history in histories}) == 1
+            assert histories[0] is not None
+        finally:
+            engine_mod._WORKER_PORTFOLIO_HISTORY = None
+
+    def test_non_portfolio_solver_gets_no_history(self):
+        from repro.core.engine import _portfolio_history_for
+
+        assert _portfolio_history_for(AnalysisConfig(epsilon=1e-2)) is None

@@ -9,6 +9,7 @@ import pytest
 from repro.cli import main
 from repro.core.reporting import ascii_plot, render_table, write_csv
 from repro.core.results import SweepPoint, SweepResult
+from repro.exceptions import ConfigurationError
 
 
 @pytest.fixture()
@@ -214,7 +215,7 @@ class TestCli:
             main([])
 
     def test_invalid_parameter_propagates(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ConfigurationError):
             main(["analyze", "--p", "1.5", "--epsilon", "0.01"])
 
     def test_analyze_with_solver_alias_and_batched_probes(self, capsys):

@@ -302,3 +302,42 @@ class TestEngineIntegration:
         assert all(marker in failure.message for failure in sweep.failures)
         assert sweep.metadata["results_plane"]["via_pickle"] == 4
         assert sweep.metadata["results_plane"]["via_plane"] == 0
+
+
+class TestInstallConcurrency:
+    def test_concurrent_install_leaves_consistent_sink(self):
+        """Racing installs must end with one coherent installed plane.
+
+        Regression for the unguarded ``_INSTALLED_PLANE`` rebinding (RL002):
+        install/forget now update the global under the registry lock.
+        """
+        import threading
+
+        plane = create_results_plane(1, 1, 1)
+        handles = []
+        errors = []
+        try:
+            forget_inherited_results_planes()
+            barrier = threading.Barrier(4)
+
+            def hit():
+                barrier.wait()
+                try:
+                    handles.append(install_results_plane(plane.name))
+                except Exception as exc:  # pragma: no cover - the regression
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hit) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            installed = installed_results_plane()
+            assert installed in handles
+            assert not installed.closed
+        finally:
+            for handle in handles:
+                handle.release()
+            forget_inherited_results_planes()
+            plane.release()

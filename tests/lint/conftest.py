@@ -1,0 +1,56 @@
+"""Shared fixture machinery of the lint-rule tests.
+
+Every rule test writes a small fixture snippet into a temp tree whose layout
+mirrors the package (``core/...``, ``attacks/...``) -- the engine normalises
+fixture paths relative to the linted directory, so a fixture at
+``<case>/core/bad.py`` is scoped exactly like the real ``core/`` modules.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import pytest
+
+from repro.lint.engine import LintViolation, Rule, lint_paths
+
+
+class LintHarness:
+    """Write fixture files under per-case temp trees and lint them."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._case = 0
+
+    def write(self, relpath: str, source: str) -> Path:
+        """Write a dedented fixture snippet at ``relpath`` in a fresh case tree."""
+        self._case += 1
+        path = self.root / f"case{self._case}" / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return path
+
+    def lint(
+        self,
+        relpath: str,
+        source: str,
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> List[LintViolation]:
+        """Write one fixture and return the violations reported on its tree.
+
+        The *directory* of the case is linted (not the bare file) so the
+        engine sees the package-relative layout and applies path scoping.
+        """
+        path = self.write(relpath, source)
+        case_dir = self.root / f"case{self._case}"
+        violations, files_checked = lint_paths([case_dir], rules)
+        assert files_checked == 1, (path, files_checked)
+        return violations
+
+
+@pytest.fixture
+def harness(tmp_path: Path) -> LintHarness:
+    """A fresh fixture tree per test."""
+    return LintHarness(tmp_path)
