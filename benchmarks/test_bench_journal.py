@@ -1,0 +1,126 @@
+"""Ablation: durable sweep journal overhead (off vs on vs fsync-per-record).
+
+The crash-safe journal (``repro sweep --journal``) appends one checksummed
+JSONL record per computed point, flushed per record.  Its cost is bounded by
+construction -- one canonical-JSON encode + CRC-32 + ``write()`` per point,
+plus an ``fsync`` per record under the paranoid ``--journal-fsync always``
+policy -- but "bounded by construction" is not a number, so this benchmark
+measures the same pooled sweep three ways:
+
+* ``no-journal``      -- the baseline engine path;
+* ``journal``         -- journaling with the default ``close`` fsync policy;
+* ``journal-fsync-always`` -- durability against power loss, one fsync per
+  record.
+
+All three variants must produce bit-for-bit identical points (the journal is
+an observer, never a participant, of the computation), and the journaled
+variants must have recorded every attack point.  Timings land in
+``benchmarks/results/journal_overhead.csv``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import AnalysisConfig, AttackParams, SweepConfig, run_sweep
+from repro.core.reporting import render_table, write_csv
+
+from conftest import smoke_mode
+
+WORKERS = 4
+EPSILON = 1e-3
+if smoke_mode():
+    P_VALUES = (0.1, 0.3)
+    GAMMAS = (0.5,)
+else:
+    P_VALUES = tuple(round(0.05 * i, 2) for i in range(0, 7))
+    GAMMAS = (0.0, 0.5)
+ATTACKS = (
+    AttackParams(depth=1, forks=1, max_fork_length=4),
+    AttackParams(depth=2, forks=1, max_fork_length=4),
+)
+
+COLUMNS = [
+    "variant",
+    "workers",
+    "wall_seconds",
+    "points",
+    "journaled_points",
+    "journal_bytes",
+    "errev_checksum",
+]
+
+#: (label, journal enabled, fsync policy) sweep variants of the ablation.
+SWEEP_VARIANTS = [
+    ("no-journal", False, "close"),
+    ("journal", True, "close"),
+    ("journal-fsync-always", True, "always"),
+]
+
+_ROWS: list = []
+_SWEEPS: dict = {}
+
+
+def _run_variant(label: str, journaled: bool, fsync: str, results_dir) -> dict:
+    journal_path = results_dir / f"bench_journal_{label}.jsonl"
+    config = SweepConfig(
+        p_values=P_VALUES,
+        gammas=GAMMAS,
+        attack_configs=ATTACKS,
+        analysis=AnalysisConfig(epsilon=EPSILON),
+        workers=WORKERS,
+        journal_path=str(journal_path) if journaled else None,
+        journal_fsync=fsync,
+    )
+    start = time.perf_counter()
+    sweep = run_sweep(config)
+    seconds = time.perf_counter() - start
+    assert not sweep.failures, [f.message for f in sweep.failures]
+    journaled_points = 0
+    journal_bytes = 0
+    if journaled:
+        meta = sweep.metadata["journal"]
+        journaled_points = meta["recorded"]
+        journal_bytes = journal_path.stat().st_size
+        expected = len(P_VALUES) * len(GAMMAS) * len(ATTACKS)
+        assert journaled_points == expected, (journaled_points, expected)
+        journal_path.unlink()  # the measurement artifact, not a result
+    _SWEEPS[label] = sweep
+    return {
+        "variant": label,
+        "workers": WORKERS,
+        "wall_seconds": seconds,
+        "points": len(sweep.points),
+        "journaled_points": journaled_points,
+        "journal_bytes": journal_bytes,
+        "errev_checksum": round(sum(point.errev for point in sweep.points), 9),
+    }
+
+
+@pytest.mark.parametrize("label,journaled,fsync", SWEEP_VARIANTS)
+def test_sweep_variant(benchmark, results_dir, label, journaled, fsync):
+    """Time one pooled sweep per journal-policy variant."""
+    row = benchmark.pedantic(
+        _run_variant, args=(label, journaled, fsync, results_dir), rounds=1, iterations=1
+    )
+    _ROWS.append(row)
+
+
+def test_variants_agree_and_persist(results_dir):
+    """The journal must never change computed values; persist the ablation."""
+    done = {row["variant"] for row in _ROWS}
+    for label, journaled, fsync in SWEEP_VARIANTS:
+        if label not in done:
+            _ROWS.append(_run_variant(label, journaled, fsync, results_dir))
+    baseline = _SWEEPS["no-journal"]
+    for label in ("journal", "journal-fsync-always"):
+        assert [(p.p, p.gamma, p.series, p.errev) for p in baseline.points] == [
+            (p.p, p.gamma, p.series, p.errev) for p in _SWEEPS[label].points
+        ], label
+    rows = sorted(_ROWS, key=lambda row: row["variant"])
+    path = write_csv(rows, results_dir / "journal_overhead.csv", columns=COLUMNS)
+    print()
+    print(render_table(rows))
+    print(f"ablation written to {path}")

@@ -65,6 +65,18 @@ p axis, ``--reuse-p-bounds`` additionally starts each point's binary search
 from the previous p point's certified lower bound (sound because ERRev* is
 monotone in p), and ``--no-results-plane`` returns worker outcomes by pickling
 instead of the shared-memory results plane (ablation).
+
+Crash safety
+------------
+
+``repro sweep --journal PATH`` appends every computed point to a durable,
+checksummed journal (:mod:`repro.core.journal`); ``--resume`` replays an
+existing journal and recomputes only the missing delta, bit-for-bit identical
+to an uninterrupted run.  ``--journal-fsync {never,close,always}`` tunes
+durability.  ``repro worker --reconnect-seconds S`` keeps a worker dialling a
+restarted coordinator for S seconds instead of exiting when the connection
+drops.  ``--inject-faults SPEC`` (both subcommands) installs a deterministic
+fault plan (:mod:`repro.core.faults`) for chaos testing.
 """
 
 from __future__ import annotations
@@ -114,6 +126,43 @@ def _positive_float(value: str) -> float:
     if not number > 0.0:
         raise argparse.ArgumentTypeError(f"must be a positive number, got {value}")
     return number
+
+
+def _nonnegative_float(value: str) -> float:
+    number = float(value)
+    if number < 0.0:
+        raise argparse.ArgumentTypeError(f"must be a non-negative number, got {value}")
+    return number
+
+
+def _fault_plan_spec(value: str) -> str:
+    """Validate an ``--inject-faults`` plan early; return the spec unchanged."""
+    from .core.faults import parse_fault_plan
+    from .exceptions import ConfigurationError
+
+    try:
+        parse_fault_plan(value)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return value
+
+
+def _install_faults(args: argparse.Namespace) -> None:
+    """Install the ``--inject-faults`` plan process-wide (and for children).
+
+    The spec is exported through ``REPRO_FAULTS`` so forked/spawned pool
+    workers and ``repro worker`` subprocesses self-install the same plan, and
+    installed in-process so the current command sees it immediately.
+    """
+    spec = getattr(args, "inject_faults", None)
+    if spec is None:
+        return
+    import os
+
+    from .core.faults import FAULTS_ENV_VAR, install_fault_plan
+
+    os.environ[FAULTS_ENV_VAR] = spec
+    install_fault_plan(spec)
 
 
 def _address(value: str) -> str:
@@ -292,6 +341,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="age after which an outstanding unit is speculatively duplicated onto an "
         "idle worker (default 30, or REPRO_STRAGGLER_SECONDS)",
     )
+    sweep.add_argument(
+        "--journal",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="append every computed point to a durable, checksummed journal at PATH "
+        "(crash-safe; see --resume)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the intact points of the --journal file and recompute only the "
+        "missing delta (bit-for-bit identical to an uninterrupted run)",
+    )
+    sweep.add_argument(
+        "--journal-fsync",
+        choices=("never", "close", "always"),
+        default="close",
+        help="journal durability: fsync never, once on close (default), or per record",
+    )
+    sweep.add_argument(
+        "--inject-faults",
+        type=_fault_plan_spec,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan for chaos testing, e.g. "
+        "'engine.point_transient:2,distributed.result_drop:1:*' "
+        "(also read from REPRO_FAULTS)",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="serve a distributed-sweep coordinator as a remote worker"
@@ -323,6 +401,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default=10.0,
         metavar="S",
         help="how long to keep retrying the initial connection (workers may start first)",
+    )
+    worker.add_argument(
+        "--reconnect-seconds",
+        type=_nonnegative_float,
+        default=60.0,
+        metavar="S",
+        help="after losing the coordinator, keep redialling for S seconds before "
+        "giving up (0 = exit on first disconnect; default 60)",
+    )
+    worker.add_argument(
+        "--inject-faults",
+        type=_fault_plan_spec,
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault plan for chaos testing (also read from REPRO_FAULTS)",
     )
     worker.add_argument(
         "--quiet",
@@ -412,6 +505,9 @@ def _sweep_attack_configs(args: argparse.Namespace):
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    if args.resume and args.journal is None:
+        raise SystemExit("repro sweep: --resume requires --journal PATH")
+    _install_faults(args)
     num_points = int(round(args.p_max / args.p_step)) + 1
     p_values = tuple(round(index * args.p_step, 4) for index in range(num_points))
     config = SweepConfig(
@@ -431,6 +527,9 @@ def _command_sweep(args: argparse.Namespace) -> int:
         reuse_p_axis_bounds=args.reuse_p_bounds,
         coordinator=args.listen if args.distributed else None,
         distributed_workers=args.min_workers if args.distributed else 0,
+        journal_path=args.journal,
+        journal_resume=args.resume,
+        journal_fsync=args.journal_fsync,
     )
     progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
     if args.distributed:
@@ -452,6 +551,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
         )
     else:
         sweep = run_sweep(config, progress=progress)
+    journal_meta = sweep.metadata.get("journal")
+    if journal_meta:
+        print(
+            f"journal: {journal_meta['path']} "
+            f"(replayed {journal_meta['replayed']} point(s), "
+            f"recorded {journal_meta['recorded']}, "
+            f"skipped {journal_meta['skipped_units']} unit(s))",
+            file=sys.stderr,
+        )
     print(ascii_plot(sweep, args.gamma))
     for failure in sweep.failures:
         print(
@@ -465,17 +573,20 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 
 def _command_worker(args: argparse.Namespace) -> int:
+    _install_faults(args)
     progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
     summary = run_worker(
         args.connect,
         capacity=args.capacity,
         heartbeat_seconds=args.heartbeat_seconds,
         connect_retry_seconds=args.connect_retry_seconds,
+        reconnect_seconds=args.reconnect_seconds,
         progress=progress,
     )
     print(
         f"worker done: {summary.units} unit(s), {summary.outcomes} point(s), "
         f"builds={summary.builds}, attaches={summary.attaches}, "
+        f"reconnects={summary.reconnects}, "
         f"{'clean shutdown' if summary.clean_shutdown else 'connection lost'}"
     )
     return 0 if summary.clean_shutdown else 1

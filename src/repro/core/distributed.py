@@ -87,10 +87,13 @@ from .engine import (
     assemble_sweep_result,
     describe_outcome,
 )
+from .faults import backoff_delays, maybe_fail
 from .results import SweepResult
 from .shared_structures import pack_structures, unpack_structures
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from ..mdp.portfolio import PortfolioHistory
+    from .journal import SweepJournal
     from .sweep import SweepConfig
 
 #: Protocol version spoken by this module; a mismatch refuses the worker.
@@ -316,6 +319,7 @@ class _Coordinator:
         heartbeat_seconds: float,
         straggler_seconds: float,
         report: Callable[[str], None],
+        journal: Optional["SweepJournal"] = None,
     ) -> None:
         self.tasks = tasks
         self.structures_blob = structures_blob
@@ -327,6 +331,10 @@ class _Coordinator:
         self.heartbeat_seconds = heartbeat_seconds
         self.straggler_seconds = straggler_seconds
         self.report = report
+        #: Durable journal of computed outcomes (``None`` = journaling off).
+        #: Written here, in the coordinator, so each outcome is journaled
+        #: exactly once no matter how many workers duplicated its unit.
+        self.journal = journal
         self.pending: deque[int] = deque(range(len(tasks)))
         self.unit_holders: Dict[int, Set[int]] = {}
         self.completed: Dict[int, List[PointOutcome]] = {}
@@ -334,10 +342,12 @@ class _Coordinator:
         self.workers_ever = 0
         self.reassigned_units = 0
         self.duplicated_units = 0
+        self.rejoined_workers = 0
         self.worker_stats: Dict[str, Dict[str, object]] = {}
         self.done = asyncio.Event()
         self.handler_tasks: Set[asyncio.Task] = set()
         self._next_ident = 0
+        self._names_seen: Set[str] = set()
 
     # -- scheduling
 
@@ -393,8 +403,12 @@ class _Coordinator:
     def _drop_worker(self, worker: _RemoteWorker, reason: str) -> None:
         if self.workers.pop(worker.ident, None) is None:
             return
-        requeue = [unit for unit in worker.assigned if unit not in self.completed]
-        for unit_id in requeue:
+        requeue = sorted(unit for unit in worker.assigned if unit not in self.completed)
+        # Iterate highest-first so repeated appendleft leaves the queue front
+        # in ascending unit order: units are numbered in series order, and
+        # front-of-queue, in-order reassignment lets a p-axis warm-start chain
+        # resume on the next worker with minimal cold restarts.
+        for unit_id in reversed(requeue):
             self.unit_holders.get(unit_id, set()).discard(worker.ident)
             if not self.unit_holders.get(unit_id):
                 # No other worker is computing this unit: back to the queue,
@@ -429,6 +443,7 @@ class _Coordinator:
             new_errors = sum(1 for o in outcomes if o.error is not None)
             if previous_errors and new_errors < previous_errors:
                 self.completed[unit_id] = outcomes
+                self._journal(outcomes)
                 self.report(
                     f"unit {unit_id}: recompute on worker {worker.name} replaced "
                     f"{previous_errors} errored point(s)"
@@ -439,6 +454,7 @@ class _Coordinator:
             self._dispatch()
             return
         self.completed[unit_id] = outcomes
+        self._journal(outcomes)
         worker.completed_units += 1
         if isinstance(header.get("stats"), dict):
             worker.stats = header["stats"]
@@ -449,6 +465,16 @@ class _Coordinator:
             self._finish()
         else:
             self._dispatch()
+
+    def _journal(self, outcomes: List[PointOutcome]) -> None:
+        """Append accepted outcomes to the durable journal (if enabled).
+
+        ``record`` is a no-op for grid keys replayed on resume, so a
+        recomputed tail of a partially journaled series is not re-appended.
+        """
+        if self.journal is not None:
+            for outcome in outcomes:
+                self.journal.record(outcome)
 
     def _finish(self) -> None:
         for worker in self.workers.values():
@@ -483,6 +509,11 @@ class _Coordinator:
             self._next_ident += 1
             ident = self._next_ident
             name = str(header.get("name") or f"worker-{ident}")
+            if name in self._names_seen:
+                # A worker process we already served is back on a fresh
+                # connection (self-healing reconnect after a drop).
+                self.rejoined_workers += 1
+            self._names_seen.add(name)
             worker = _RemoteWorker(
                 ident=ident,
                 name=f"{name}#{ident}",
@@ -617,6 +648,24 @@ def run_distributed_sweep(
                     f"disable use_structure_cache"
                 )
 
+    # Durable journal: previously journaled grid points pre-complete their
+    # units before the fabric even listens, so a resumed sweep streams only
+    # the delta to workers.  A *partially* journaled unit (a chained series
+    # interrupted mid-block) is recomputed whole -- see the engine's resume
+    # rule -- which is safe because recomputed values are bit-for-bit
+    # identical and re-journaling replayed keys is a no-op.
+    journal: Optional["SweepJournal"] = None
+    journal_path = getattr(config, "journal_path", None)
+    if journal_path is not None:
+        from .journal import SweepJournal
+
+        journal = SweepJournal.open(
+            journal_path,
+            config,
+            resume=config.journal_resume,
+            fsync=config.journal_fsync,
+        )
+
     coordinator = _Coordinator(
         tasks,
         structures_blob,
@@ -624,7 +673,27 @@ def run_distributed_sweep(
         heartbeat_seconds=heartbeat_seconds,
         straggler_seconds=straggler_seconds,
         report=report,
+        journal=journal,
     )
+
+    skipped_units = 0
+    if journal is not None and journal.replayed:
+        replayed = journal.replayed_outcomes()
+        for unit_id, task in enumerate(tasks):
+            keys = [
+                (task.gamma_index, p_index, task.attack_index)
+                for p_index in task.p_indices
+            ]
+            if all(key in replayed for key in keys):
+                coordinator.completed[unit_id] = [replayed[key] for key in keys]
+        skipped_units = len(coordinator.completed)
+        coordinator.pending = deque(
+            unit_id for unit_id in range(len(tasks)) if unit_id not in coordinator.completed
+        )
+        report(
+            f"journal resume: {skipped_units} of {len(tasks)} unit(s) replayed "
+            f"from {journal.path}"
+        )
 
     async def _run() -> None:
         if not tasks:
@@ -658,7 +727,14 @@ def run_distributed_sweep(
             if coordinator.handler_tasks:
                 await asyncio.wait(list(coordinator.handler_tasks), timeout=5.0)
 
-    asyncio.run(_run())
+    try:
+        if len(coordinator.completed) < len(tasks):
+            asyncio.run(_run())
+        elif tasks:
+            report("journal resume: every unit already journaled; skipping the fabric")
+    finally:
+        if journal is not None:
+            journal.close()
 
     outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
     for unit_outcomes in coordinator.completed.values():
@@ -679,8 +755,17 @@ def run_distributed_sweep(
         "workers": coordinator.worker_stats,
         "reassigned_units": coordinator.reassigned_units,
         "duplicated_units": coordinator.duplicated_units,
+        "rejoined_workers": coordinator.rejoined_workers,
         "units": len(tasks),
     }
+    if journal is not None:
+        result.metadata["journal"] = {
+            "path": str(journal.path),
+            "fsync": journal.fsync,
+            "replayed": journal.replayed,
+            "recorded": journal.recorded,
+            "skipped_units": skipped_units,
+        }
     return result
 
 
@@ -689,16 +774,20 @@ def run_distributed_sweep(
 
 @dataclass
 class WorkerSummary:
-    """What one worker process did over the lifetime of its connection.
+    """What one worker process did over the lifetime of its connection(s).
 
     Attributes:
-        units: Work units this worker computed (and successfully reported).
+        units: Work units this worker computed (and successfully reported),
+            summed over every connection it served.
         outcomes: Individual grid points inside those units.
         builds: Breadth-first explorations the worker performed -- 0 whenever
             the coordinator shipped structures over the wire.
         attaches: Structures installed from the coordinator's flat buffers.
-        clean_shutdown: True when the coordinator said ``shutdown``; False when
-            the connection dropped unexpectedly.
+        clean_shutdown: True when the coordinator said ``shutdown`` (or the
+            worker drained gracefully on SIGTERM/SIGINT); False when the
+            connection dropped and could not be re-established.
+        reconnects: Connections re-established after a drop (self-healing).
+        signalled: True when SIGTERM/SIGINT triggered a graceful drain.
     """
 
     units: int = 0
@@ -706,6 +795,8 @@ class WorkerSummary:
     builds: int = 0
     attaches: int = 0
     clean_shutdown: bool = False
+    reconnects: int = 0
+    signalled: bool = False
 
 
 def run_worker(
@@ -714,17 +805,27 @@ def run_worker(
     capacity: int = 1,
     heartbeat_seconds: Optional[float] = None,
     connect_retry_seconds: float = 10.0,
+    reconnect_seconds: float = 60.0,
     progress: Optional[Callable[[str], None]] = None,
 ) -> WorkerSummary:
     """Serve a remote coordinator: compute streamed sweep units until shutdown.
 
-    The worker connects to ``connect`` (retrying for ``connect_retry_seconds``
-    so it can be started before the coordinator), installs the structures
-    received in the ``welcome`` frame into its process-local cache (zero
-    explorations, exactly like a shared-memory pool worker), and computes up to
-    ``capacity`` units concurrently on a thread pool -- the solvers release the
-    GIL inside their numpy kernels, so thread-level capacity scales on numeric
-    workloads while keeping the structure cache shared.
+    The worker connects to ``connect`` (with capped exponential backoff for up
+    to ``connect_retry_seconds``, so it can be started before the
+    coordinator), installs the structures received in the ``welcome`` frame
+    into its process-local cache (zero explorations, exactly like a
+    shared-memory pool worker), and computes up to ``capacity`` units
+    concurrently on a thread pool -- the solvers release the GIL inside their
+    numpy kernels, so thread-level capacity scales on numeric workloads while
+    keeping the structure cache shared.
+
+    The worker is *self-healing*: a dropped connection (coordinator crash or
+    restart) does not kill it -- it re-dials with the same capped exponential
+    backoff for up to ``reconnect_seconds`` and re-handshakes, so a
+    coordinator restarted with ``--journal PATH --resume`` finds its fleet
+    waiting.  SIGTERM/SIGINT trigger a graceful drain: in-flight units finish
+    and report their results, a ``goodbye`` frame is sent, and the worker
+    exits cleanly.
 
     Args:
         connect: ``HOST:PORT`` of the coordinator (also accepts a
@@ -733,11 +834,15 @@ def run_worker(
         heartbeat_seconds: Interval between heartbeat frames.  Defaults to
             ``REPRO_HEARTBEAT_SECONDS`` or :data:`DEFAULT_HEARTBEAT_SECONDS`.
         connect_retry_seconds: How long to retry the initial connection.
+        reconnect_seconds: How long to retry re-establishing a *dropped*
+            connection before giving up; ``0`` restores the legacy
+            exit-on-drop behaviour.
         progress: Optional callback for per-unit log lines.
 
     Returns:
         A :class:`WorkerSummary`; ``clean_shutdown`` distinguishes a
-        coordinator-initiated shutdown from a dropped connection.
+        coordinator-initiated shutdown (or graceful signal drain) from a
+        dropped connection that could not be healed.
 
     Raises:
         ModelError: If the coordinator cannot be reached within
@@ -752,6 +857,8 @@ def run_worker(
     host, port = parse_address(str(connect))
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
+    if reconnect_seconds < 0:
+        raise ValueError(f"reconnect_seconds must be >= 0, got {reconnect_seconds}")
 
     def report(message: str) -> None:
         if progress is not None:
@@ -759,27 +866,102 @@ def run_worker(
 
     summary = WorkerSummary()
 
-    async def _serve() -> None:
-        deadline = time.monotonic() + connect_retry_seconds
-        while True:
+    async def _dial(
+        draining: asyncio.Event, budget: float, *, initial: bool
+    ) -> Optional[Tuple[asyncio.StreamReader, asyncio.StreamWriter]]:
+        """Connect with capped exponential backoff; ``None`` = gave up/draining.
+
+        Raises:
+            ModelError: When the *initial* connection budget is exhausted (a
+                worker that never reached its coordinator is a setup error; a
+                worker that lost an established one merely reports and exits).
+        """
+        deadline = time.monotonic() + budget
+        delays = backoff_delays(initial=0.2, cap=2.0)
+        while not draining.is_set():
             try:
-                reader, writer = await asyncio.open_connection(host, port)
-                break
+                return await asyncio.open_connection(host, port)
             except OSError as exc:
-                if time.monotonic() >= deadline:
-                    raise ModelError(
-                        f"cannot connect to coordinator at {host}:{port}: {exc}"
-                    ) from exc
-                await asyncio.sleep(0.2)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    if initial:
+                        raise ModelError(
+                            f"cannot connect to coordinator at {host}:{port}: {exc}"
+                        ) from exc
+                    report(f"cannot reconnect to coordinator at {host}:{port}: {exc}")
+                    return None
+                try:
+                    # Sleeping on the drain event keeps signal response
+                    # instant even mid-backoff.
+                    await asyncio.wait_for(
+                        draining.wait(), timeout=min(next(delays), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    pass
+        return None
+
+    async def _serve() -> None:
         loop = asyncio.get_running_loop()
-        write_lock = asyncio.Lock()
-        stop = asyncio.Event()
-        # One race history per connection: every unit this worker computes
-        # seeds the next one's portfolio scheduling (thread-safe, since
-        # capacity > 1 runs units concurrently against it).
+        draining = asyncio.Event()
+
+        def request_drain(signum: int) -> None:
+            if not draining.is_set():
+                summary.signalled = True
+                report(
+                    f"signal {signum}: draining (finishing in-flight unit(s), "
+                    f"then goodbye)"
+                )
+                draining.set()
+
+        import signal as signal_module
+
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(sig, request_drain, int(sig))
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Platforms/threads without signal-handler support keep the
+                # default behaviour (hard exit).
+                pass
+
+        # One race history per worker *process*: every unit computed on any
+        # connection seeds later units' portfolio scheduling (thread-safe,
+        # since capacity > 1 runs units concurrently against it), and
+        # reconnects keep the learned window warm.
         from ..mdp.portfolio import PortfolioHistory
 
         portfolio_history = PortfolioHistory()
+
+        first_connection = True
+        while True:
+            budget = connect_retry_seconds if first_connection else reconnect_seconds
+            connection = await _dial(draining, budget, initial=first_connection)
+            if connection is None:
+                break
+            reader, writer = connection
+            if not first_connection:
+                summary.reconnects += 1
+                report(f"reconnected to coordinator at {host}:{port}")
+            first_connection = False
+            clean = await _serve_connection(
+                loop, draining, reader, writer, portfolio_history
+            )
+            if clean or draining.is_set() or reconnect_seconds <= 0:
+                break
+            report("connection to coordinator lost; reconnecting")
+        stats = structure_cache_stats()
+        summary.builds = stats["builds"]
+        summary.attaches = stats["attaches"]
+
+    async def _serve_connection(
+        loop: asyncio.AbstractEventLoop,
+        draining: asyncio.Event,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        portfolio_history: "PortfolioHistory",
+    ) -> bool:
+        """Serve one established connection; return True on clean shutdown."""
+        write_lock = asyncio.Lock()
+        stop = asyncio.Event()
 
         def compute_in_daemon_thread(task: AttackTask) -> "asyncio.Future":
             """Run one unit on a dedicated *daemon* thread.
@@ -824,6 +1006,10 @@ def run_worker(
         async def heartbeat() -> None:
             while not stop.is_set():
                 await asyncio.sleep(heartbeat_seconds)
+                if maybe_fail("distributed.heartbeat_stall"):
+                    # Chaos site: skip this beacon.  Enough consecutive stalls
+                    # make the coordinator presume us dead and requeue.
+                    continue
                 try:
                     await send({"type": "heartbeat"})
                 except (ConnectionError, RuntimeError):
@@ -832,19 +1018,36 @@ def run_worker(
         async def run_unit(unit_id: int, task: AttackTask) -> None:
             outcomes = await compute_in_daemon_thread(task)
             stats = structure_cache_stats()
+            frame = {
+                "type": "result",
+                "unit_id": unit_id,
+                "outcomes": [outcome_to_wire(outcome) for outcome in outcomes],
+                "stats": {
+                    "builds": stats["builds"],
+                    "attaches": stats["attaches"],
+                    "entries": stats["entries"],
+                },
+            }
             try:
-                await send(
-                    {
-                        "type": "result",
-                        "unit_id": unit_id,
-                        "outcomes": [outcome_to_wire(outcome) for outcome in outcomes],
-                        "stats": {
-                            "builds": stats["builds"],
-                            "attaches": stats["attaches"],
-                            "entries": stats["entries"],
-                        },
-                    }
-                )
+                if maybe_fail("distributed.result_drop"):
+                    # Chaos site: silently swallow the result frame.  Recovery
+                    # is the coordinator's job (heartbeat requeue after we are
+                    # presumed dead, or straggler duplication).
+                    report(f"unit {unit_id}: result frame dropped (injected fault)")
+                    return
+                if maybe_fail("distributed.result_corrupt"):
+                    # Chaos site: garble the frame's header bytes.  The
+                    # coordinator must reject it as a ProtocolError and drop
+                    # this worker, which then self-heals by reconnecting.
+                    report(f"unit {unit_id}: result frame corrupted (injected fault)")
+                    corrupted = bytearray(encode_frame(frame))
+                    for index in range(8, min(len(corrupted), 24)):
+                        corrupted[index] ^= 0xFF
+                    async with write_lock:
+                        writer.write(bytes(corrupted))
+                        await writer.drain()
+                    return
+                await send(frame)
             except (ConnectionError, RuntimeError):
                 # The reader loop observes the dropped connection; the
                 # coordinator will reassign this unit elsewhere.
@@ -865,9 +1068,25 @@ def run_worker(
         )
         heartbeats = asyncio.ensure_future(heartbeat())
         units_in_flight: Set[asyncio.Task] = set()
+        clean = False
         try:
             while True:
-                header, payload = await read_frame(reader)
+                frame_future: asyncio.Task = asyncio.ensure_future(read_frame(reader))
+                drain_future: asyncio.Task = asyncio.ensure_future(draining.wait())
+                done, _ = await asyncio.wait(
+                    {frame_future, drain_future}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if frame_future not in done:
+                    # Graceful signal drain: stop taking frames, let every
+                    # in-flight unit finish and report its result, then say
+                    # goodbye below (clean counts as a proper shutdown).
+                    frame_future.cancel()
+                    if units_in_flight:
+                        await asyncio.wait(list(units_in_flight))
+                    clean = True
+                    break
+                drain_future.cancel()
+                header, payload = frame_future.result()
                 kind = header.get("type")
                 if kind == "welcome":
                     if header.get("structures") and payload:
@@ -880,7 +1099,7 @@ def run_worker(
                     units_in_flight.add(unit)
                     unit.add_done_callback(units_in_flight.discard)
                 elif kind == "shutdown":
-                    summary.clean_shutdown = True
+                    clean = True
                     # Units still in flight were duplicated or completed
                     # elsewhere; the coordinator no longer wants them.
                     break
@@ -896,14 +1115,13 @@ def run_worker(
             for unit in units_in_flight:
                 unit.cancel()
             try:
-                if summary.clean_shutdown:
+                if clean:
+                    summary.clean_shutdown = True
                     await send({"type": "goodbye"})
             except (ConnectionError, RuntimeError):
                 pass
             writer.close()
-        stats = structure_cache_stats()
-        summary.builds = stats["builds"]
-        summary.attaches = stats["attaches"]
+        return clean
 
     asyncio.run(_serve())
     return summary

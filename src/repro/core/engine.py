@@ -90,6 +90,7 @@ from ..attacks.registry import ScenarioStructure, get_attack
 from ..attacks.structure import clear_structure_cache
 from ..config import AnalysisConfig, AttackParams, ProtocolParams
 from ..exceptions import ModelError
+from .faults import InjectedFault, is_transient_error, maybe_fail, point_retry_limit
 from .results import SweepFailure, SweepPoint, SweepResult
 from .shared_structures import (
     SharedStructurePlane,
@@ -100,6 +101,7 @@ from .shared_structures import (
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..mdp.portfolio import PortfolioHistory
+    from .journal import SweepJournal
     from .results_plane import ResultsPlane
     from .sweep import SweepConfig
 
@@ -158,7 +160,10 @@ class PointOutcome:
     (``None`` outside portfolio runs); :func:`assemble_sweep_result` sums them
     into ``SweepResult.metadata["portfolio"]``.  ``scenario`` is the versioned
     ``name@version`` id of the attack scenario that computed the point (see
-    :mod:`repro.attacks.registry`).
+    :mod:`repro.attacks.registry`).  ``recovery_retries`` counts the transient
+    failures this point survived through the bounded per-point retry loop
+    (``None`` when it succeeded first try); :func:`assemble_sweep_result` sums
+    them into ``SweepResult.metadata["recovery"]``.
     """
 
     gamma_index: int
@@ -179,6 +184,7 @@ class PointOutcome:
     portfolio_races: Optional[int] = None
     portfolio_launches_avoided: Optional[int] = None
     scenario: Optional[str] = None
+    recovery_retries: Optional[int] = None
 
 
 #: Fallback race history of a *pool worker* process, shared by every task it
@@ -235,98 +241,121 @@ def _run_attack_task(
     prev_p: Optional[float] = None
     for p, p_index in zip(task.p_values, task.p_indices):
         start = time.perf_counter()
-        # Per-point deltas come from the *calling thread's* counters: the
-        # history may be shared with concurrently racing threads (distributed
-        # capacity > 1), whose races must not leak into this point's stats.
-        history_before = (
-            portfolio_history.thread_stats() if portfolio_history is not None else {}
-        )
-        try:
-            entry = get_attack(task.attack.scenario)
-            protocol = ProtocolParams(p=p, gamma=task.gamma)
-            model = entry.build_model(
-                protocol, task.attack, use_structure_cache=task.use_structure_cache
+        retries = 0
+        while True:
+            # Per-point deltas come from the *calling thread's* counters: the
+            # history may be shared with concurrently racing threads
+            # (distributed capacity > 1), whose races must not leak into this
+            # point's stats.  Recaptured per attempt so an abandoned attempt's
+            # races don't count against the one that succeeds.
+            history_before = (
+                portfolio_history.thread_stats() if portfolio_history is not None else {}
             )
-            initial_beta_low = 0.0
-            if (
-                task.reuse_p_axis_bounds
-                and prev_beta_low is not None
-                and prev_p is not None
-                and p >= prev_p
-            ):
-                # ERRev* is monotone in p, so the previous point's certified
-                # lower bound is a valid initial lower bound here.
-                initial_beta_low = min(max(prev_beta_low, 0.0), 1.0)
-            result = formal_analysis(
-                model.mdp,
-                task.analysis,
-                beta_low=initial_beta_low,
-                initial_strategy_rows=warm_rows,
-                initial_bias=warm_bias,
-                portfolio_history=portfolio_history,
-            )
-            if task.warm_start_across_points:
-                warm_rows = result.strategy.rows
-                warm_bias = result.final_bias
-            if task.reuse_p_axis_bounds:
-                prev_beta_low = result.beta_low
-                prev_p = p
-            errev = (
-                result.strategy_errev
-                if result.strategy_errev is not None
-                else result.errev_lower_bound
-            )
-            outcome = PointOutcome(
-                gamma_index=task.gamma_index,
-                p_index=p_index,
-                attack_index=task.attack_index,
-                p=p,
-                gamma=task.gamma,
-                series=task.series,
-                errev=errev,
-                seconds=time.perf_counter() - start,
-                solver_iterations=result.total_solver_iterations,
-                num_states=model.mdp.num_states,
-                beta_low=result.beta_low,
-                beta_up=result.beta_up,
-                solver_backend=result.winning_solver,
-                cancelled_iterations=(
-                    result.cancelled_solver_iterations if result.backend_wins else None
-                ),
-                portfolio_races=(
-                    portfolio_history.thread_stats()["races"] - history_before["races"]
-                    if portfolio_history is not None
-                    else None
-                ),
-                portfolio_launches_avoided=(
-                    portfolio_history.thread_stats()["launches_avoided"]
-                    - history_before["launches_avoided"]
-                    if portfolio_history is not None
-                    else None
-                ),
-                scenario=entry.scenario_id,
-            )
-        except Exception as exc:  # noqa: BLE001 - failure isolation is the point
-            outcome = PointOutcome(
-                gamma_index=task.gamma_index,
-                p_index=p_index,
-                attack_index=task.attack_index,
-                p=p,
-                gamma=task.gamma,
-                series=task.series,
-                errev=None,
-                seconds=time.perf_counter() - start,
-                solver_iterations=0,
-                num_states=0,
-                error=f"{type(exc).__name__}: {exc}",
-            )
-            # A failed point cannot seed the next one.
-            warm_rows = None
-            warm_bias = None
-            prev_beta_low = None
-            prev_p = None
+            try:
+                if maybe_fail("engine.point_transient"):
+                    raise InjectedFault("engine.point_transient")
+                entry = get_attack(task.attack.scenario)
+                protocol = ProtocolParams(p=p, gamma=task.gamma)
+                model = entry.build_model(
+                    protocol, task.attack, use_structure_cache=task.use_structure_cache
+                )
+                initial_beta_low = 0.0
+                if (
+                    task.reuse_p_axis_bounds
+                    and prev_beta_low is not None
+                    and prev_p is not None
+                    and p >= prev_p
+                ):
+                    # ERRev* is monotone in p, so the previous point's certified
+                    # lower bound is a valid initial lower bound here.
+                    initial_beta_low = min(max(prev_beta_low, 0.0), 1.0)
+                result = formal_analysis(
+                    model.mdp,
+                    task.analysis,
+                    beta_low=initial_beta_low,
+                    initial_strategy_rows=warm_rows,
+                    initial_bias=warm_bias,
+                    portfolio_history=portfolio_history,
+                )
+                if task.warm_start_across_points:
+                    warm_rows = result.strategy.rows
+                    warm_bias = result.final_bias
+                if task.reuse_p_axis_bounds:
+                    prev_beta_low = result.beta_low
+                    prev_p = p
+                errev = (
+                    result.strategy_errev
+                    if result.strategy_errev is not None
+                    else result.errev_lower_bound
+                )
+                outcome = PointOutcome(
+                    gamma_index=task.gamma_index,
+                    p_index=p_index,
+                    attack_index=task.attack_index,
+                    p=p,
+                    gamma=task.gamma,
+                    series=task.series,
+                    errev=errev,
+                    seconds=time.perf_counter() - start,
+                    solver_iterations=result.total_solver_iterations,
+                    num_states=model.mdp.num_states,
+                    beta_low=result.beta_low,
+                    beta_up=result.beta_up,
+                    solver_backend=result.winning_solver,
+                    cancelled_iterations=(
+                        result.cancelled_solver_iterations if result.backend_wins else None
+                    ),
+                    portfolio_races=(
+                        portfolio_history.thread_stats()["races"] - history_before["races"]
+                        if portfolio_history is not None
+                        else None
+                    ),
+                    portfolio_launches_avoided=(
+                        portfolio_history.thread_stats()["launches_avoided"]
+                        - history_before["launches_avoided"]
+                        if portfolio_history is not None
+                        else None
+                    ),
+                    scenario=entry.scenario_id,
+                    recovery_retries=retries or None,
+                )
+            except Exception as exc:  # noqa: BLE001 - failure isolation is the point
+                if is_transient_error(exc) and retries < point_retry_limit():
+                    # Bounded retry: the warm-chain state is untouched, so the
+                    # retried attempt runs from exactly the state the failed
+                    # one saw and the computed values stay deterministic.
+                    retries += 1
+                    continue
+                outcome = PointOutcome(
+                    gamma_index=task.gamma_index,
+                    p_index=p_index,
+                    attack_index=task.attack_index,
+                    p=p,
+                    gamma=task.gamma,
+                    series=task.series,
+                    errev=None,
+                    seconds=time.perf_counter() - start,
+                    solver_iterations=0,
+                    num_states=0,
+                    error=f"{type(exc).__name__}: {exc}",
+                    recovery_retries=retries or None,
+                )
+                # A failed point cannot seed the next one.
+                warm_rows = None
+                warm_bias = None
+                prev_beta_low = None
+                prev_p = None
+            break
+        if maybe_fail("engine.worker_crash_pre_result"):
+            # Simulated hard death before the outcome is recorded anywhere:
+            # resume/requeue must recompute this point.
+            os._exit(17)
         if plane is None or not plane.write(outcome):
             outcomes.append(outcome)
+        if maybe_fail("engine.worker_crash_post_result"):
+            # Simulated hard death after the plane write: the parent's
+            # post-join drain must still surface the published record.
+            os._exit(23)
     return outcomes
 
 
@@ -548,10 +577,43 @@ def execute_sweep(
     outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
     plane_stats = {"via_plane": 0, "via_pickle": 0, "in_process": 0, "synthesized": 0}
 
+    # Durable journal: replay previously computed points and skip every unit
+    # whose grid keys are all journaled.  A *partially* journaled unit (a
+    # chained series interrupted mid-block) is recomputed whole -- the chain
+    # must not cross the crash boundary -- which is safe because recomputed
+    # values are bit-for-bit identical and re-journaling them is a no-op.
+    journal: Optional["SweepJournal"] = None
+    skipped_units = 0
+    journal_path = getattr(config, "journal_path", None)
+    if journal_path is not None:
+        from .journal import SweepJournal
+
+        journal = SweepJournal.open(
+            journal_path,
+            config,
+            resume=config.journal_resume,
+            fsync=config.journal_fsync,
+        )
+        replayed = journal.replayed_outcomes()
+        if replayed:
+            outcomes.update(replayed)
+            remaining = [
+                task
+                for task in tasks
+                if not all(
+                    (task.gamma_index, p_index, task.attack_index) in replayed
+                    for p_index in task.p_indices
+                )
+            ]
+            skipped_units = len(tasks) - len(remaining)
+            tasks = remaining
+
     def collect(task_outcomes: List[PointOutcome], *, channel: str = "via_pickle") -> None:
         for outcome in task_outcomes:
             outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
             plane_stats[channel] += 1
+            if journal is not None:
+                journal.record(outcome)
             report_outcome(outcome)
 
     results_plane: Optional["ResultsPlane"] = None
@@ -691,7 +753,13 @@ def execute_sweep(
                 plane.release()
             if results_plane is not None:
                 results_plane.release()
+            if journal is not None:
+                journal.close()
 
+    # Seal the journal (idempotent; the pool branch already closed on its
+    # error paths) so its durability policy runs before the result exists.
+    if journal is not None:
+        journal.close()
     result = assemble_sweep_result(
         config,
         outcomes,
@@ -708,6 +776,14 @@ def execute_sweep(
             "via_plane": plane_stats["via_plane"],
             "via_pickle": plane_stats["via_pickle"],
             "synthesized": plane_stats["synthesized"],
+        }
+    if journal is not None:
+        result.metadata["journal"] = {
+            "path": str(journal.path),
+            "fsync": journal.fsync,
+            "replayed": journal.replayed,
+            "recorded": journal.recorded,
+            "skipped_units": skipped_units,
         }
     return result
 
@@ -786,4 +862,9 @@ def assemble_sweep_result(
     result = SweepResult(points=points, description=description, failures=failures)
     if portfolio_seen:
         result.metadata["portfolio"] = portfolio
+    point_retries = sum(o.recovery_retries or 0 for o in outcomes.values())
+    if point_retries:
+        # Degradation counter: the sweep completed, but only because the
+        # bounded per-point retry loop absorbed this many transient failures.
+        result.metadata["recovery"] = {"point_retries": point_retries}
     return result

@@ -63,16 +63,18 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import ModelError
+from .faults import InjectedFault, maybe_fail
 from .shared_structures import attach_segment_untracked
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .engine import PointOutcome
 
 #: Magic value identifying a results-plane segment (helps reject foreign
-#: segments).  The trailing digit is the layout generation: bumped to 2 when
-#: the per-record ``scenario`` id was added, so a stale worker from a previous
-#: layout fails to attach loudly instead of decoding shifted fields.
-PLANE_MAGIC = 0x5245_5355_4C54_5332  # b"RESULTS2"
+#: segments).  The trailing digit is the layout generation: bumped to 3 when
+#: the per-record ``recovery_retries`` counter was added (2 added the
+#: ``scenario`` id), so a stale worker from a previous layout fails to attach
+#: loudly instead of decoding shifted fields.
+PLANE_MAGIC = 0x5245_5355_4C54_5333  # b"RESULTS3"
 
 #: Fixed header: ``[magic][num_slots][n_p][n_attacks]`` as uint64, padded to 64.
 _HEADER_DTYPE = np.dtype(np.uint64)
@@ -93,6 +95,7 @@ _HAS_BACKEND = 1 << 4
 _HAS_CANCELLED = 1 << 5
 _HAS_PORTFOLIO = 1 << 6
 _HAS_SCENARIO = 1 << 7
+_HAS_RECOVERY = 1 << 8
 
 #: Packed per-slot record: seqlock word, grid key, payload, flagged optionals.
 OUTCOME_DTYPE = np.dtype(
@@ -107,6 +110,7 @@ OUTCOME_DTYPE = np.dtype(
         ("cancelled_iterations", np.int64),
         ("portfolio_races", np.int64),
         ("portfolio_launches_avoided", np.int64),
+        ("recovery_retries", np.int64),
         ("p", np.float64),
         ("gamma", np.float64),
         ("errev", np.float64),
@@ -242,6 +246,9 @@ class ResultsPlane:
         if outcome.scenario is not None:
             flags |= _HAS_SCENARIO
         records["scenario"][slot] = scenario
+        if outcome.recovery_retries is not None:
+            flags |= _HAS_RECOVERY
+            records["recovery_retries"][slot] = outcome.recovery_retries
         records["flags"][slot] = flags
         records["seq"][slot] = 2
         return True
@@ -283,6 +290,9 @@ class ResultsPlane:
             ),
             scenario=(
                 bytes(record["scenario"]).decode("utf-8") if flags & _HAS_SCENARIO else None
+            ),
+            recovery_retries=(
+                int(record["recovery_retries"]) if flags & _HAS_RECOVERY else None
             ),
         )
 
@@ -405,6 +415,11 @@ def attach_results_plane(name: str) -> ResultsPlane:
         ModelError: If no segment with ``name`` exists or it is not a results
             plane (wrong magic, impossible geometry).
     """
+    if maybe_fail("results_plane.attach_fail"):
+        # Chaos site: a vanished/unmappable segment.  InjectedFault is a
+        # ModelError, so the pool initializer's existing fallback (pickled
+        # return path) absorbs it.
+        raise InjectedFault("results_plane.attach_fail")
     try:
         segment = attach_segment_untracked(name)
     except (FileNotFoundError, OSError) as exc:

@@ -62,6 +62,7 @@ import numpy as np
 from ..attacks.registry import ScenarioStructure, resolve_scenario
 from ..attacks.structure import install_structure
 from ..exceptions import ModelError
+from .faults import InjectedFault, maybe_fail
 
 #: Alignment (bytes) of every array inside the segment; numpy is happy with 8,
 #: 64 keeps rows cache-line aligned for the solver gathers.
@@ -354,6 +355,11 @@ def attach_structures(name: str) -> SharedStructurePlane:
         ModelError: If no segment with ``name`` exists (e.g. the parent already
             unlinked it) or its contents are malformed.
     """
+    if maybe_fail("shm.attach_fail"):
+        # Chaos site: a vanished/unmappable segment.  InjectedFault is a
+        # ModelError, so the worker initializer's existing fallback (local
+        # prewarm, counted by its build counters) absorbs it.
+        raise InjectedFault("shm.attach_fail")
     with _PLANES_LOCK:
         existing = _ACTIVE_PLANES.get(name)
     if existing is not None and not existing.closed:

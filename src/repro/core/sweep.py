@@ -118,6 +118,19 @@ class SweepConfig:
             for before streaming work (0 = start with the first worker to
             connect; late joiners are always welcome either way).  Only
             meaningful together with ``coordinator``.
+        journal_path: Path of the durable sweep journal
+            (:mod:`repro.core.journal`).  When set, every computed
+            :class:`~repro.core.engine.PointOutcome` is appended to this
+            crash-safe JSONL file as it lands.  ``None`` (default) disables
+            journaling.  CLI: ``repro sweep --journal PATH``.
+        journal_resume: Resume from an existing journal at ``journal_path``:
+            intact journaled points are replayed through the normal result
+            assembly and only the missing delta is recomputed, bit-for-bit
+            identical to an uninterrupted run.  Requires ``journal_path``.
+            CLI: ``--resume``.
+        journal_fsync: Journal durability policy -- ``"never"``, ``"close"``
+            (default; one fsync when the journal closes) or ``"always"``
+            (fsync per record).  CLI: ``--journal-fsync``.
     """
 
     p_values: Sequence[float] = tuple(round(0.05 * i, 2) for i in range(0, 7))
@@ -137,6 +150,9 @@ class SweepConfig:
     coordinator: Optional[str] = None
     connect: Optional[str] = None
     distributed_workers: int = 0
+    journal_path: Optional[str] = None
+    journal_resume: bool = False
+    journal_fsync: str = "close"
 
     def __post_init__(self) -> None:
         check_positive_int(self.workers, "workers")
@@ -180,6 +196,17 @@ class SweepConfig:
         if self.distributed_workers > 0 and self.coordinator is None:
             raise ConfigurationError(
                 "distributed_workers requires coordinator (the listen address)"
+            )
+        if self.journal_resume and self.journal_path is None:
+            raise ConfigurationError(
+                "journal_resume requires journal_path (the journal to resume from)"
+            )
+        from .journal import FSYNC_POLICIES  # deferred: import cycle
+
+        if self.journal_fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"journal_fsync must be one of {FSYNC_POLICIES}, "
+                f"got {self.journal_fsync!r}"
             )
         from .distributed import parse_address  # deferred: import cycle
 

@@ -9,6 +9,7 @@ from typing import Tuple
 from ..engine import Rule
 from .async_safety import ForkAsyncSafetyRule
 from .determinism import CertifiedPathDeterminismRule
+from .fault_sites import FaultSiteRegistrationRule
 from .scenario_contract import ScenarioContractRule
 from .shm_lifecycle import SharedMemoryLifecycleRule
 from .wire_schema import WireSchemaAgreementRule
@@ -20,11 +21,13 @@ ALL_RULES: Tuple[Rule, ...] = (
     CertifiedPathDeterminismRule(),
     WireSchemaAgreementRule(),
     ScenarioContractRule(),
+    FaultSiteRegistrationRule(),
 )
 
 __all__ = [
     "ALL_RULES",
     "CertifiedPathDeterminismRule",
+    "FaultSiteRegistrationRule",
     "ForkAsyncSafetyRule",
     "ScenarioContractRule",
     "SharedMemoryLifecycleRule",

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.lint.rules import ALL_RULES
 from repro.lint.rules.async_safety import ForkAsyncSafetyRule
 from repro.lint.rules.determinism import CertifiedPathDeterminismRule
+from repro.lint.rules.fault_sites import FaultSiteRegistrationRule
 from repro.lint.rules.scenario_contract import REQUIRED_HOOKS, ScenarioContractRule
 from repro.lint.rules.shm_lifecycle import SharedMemoryLifecycleRule
 from repro.lint.rules.wire_schema import WireSchemaAgreementRule
@@ -19,6 +20,7 @@ RL002 = [ForkAsyncSafetyRule()]
 RL003 = [CertifiedPathDeterminismRule()]
 RL004 = [WireSchemaAgreementRule()]
 RL005 = [ScenarioContractRule()]
+RL006 = [FaultSiteRegistrationRule()]
 
 
 def ids(violations):
@@ -526,6 +528,74 @@ def test_rl005_ignores_unregistered_classes(harness):
     assert violations == []
 
 
+# --------------------------------------------------------------------- RL006
+
+
+def test_rl006_fires_on_unregistered_site(harness):
+    violations = harness.lint(
+        "core/engine.py",
+        """
+        from repro.core.faults import maybe_fail
+
+        def run():
+            if maybe_fail("engine.totally_new_site"):
+                raise RuntimeError("boom")
+        """,
+        RL006,
+    )
+    assert ids(violations) == ["RL006"]
+    assert "engine.totally_new_site" in violations[0].message
+    assert "FAULT_SITES" in violations[0].message
+
+
+def test_rl006_fires_on_dynamic_site_name(harness):
+    violations = harness.lint(
+        "core/distributed.py",
+        """
+        from repro.core.faults import maybe_fail
+
+        def run(site):
+            return maybe_fail(site)
+        """,
+        RL006,
+    )
+    assert ids(violations) == ["RL006"]
+    assert "string literal" in violations[0].message
+
+
+def test_rl006_quiet_on_registered_literal_sites(harness):
+    violations = harness.lint(
+        "core/engine.py",
+        """
+        from repro.core import faults
+        from repro.core.faults import maybe_fail
+
+        def run():
+            if maybe_fail("engine.point_transient"):
+                raise RuntimeError("boom")
+            if faults.maybe_fail("distributed.result_drop"):
+                return None
+        """,
+        RL006,
+    )
+    assert violations == []
+
+
+def test_rl006_applies_outside_core(harness):
+    # No path scope: a stray maybe_fail anywhere in the package is checked.
+    violations = harness.lint(
+        "attacks/custom.py",
+        """
+        from repro.core.faults import maybe_fail
+
+        def run():
+            return maybe_fail("attacks.unheard_of")
+        """,
+        RL006,
+    )
+    assert ids(violations) == ["RL006"]
+
+
 # ------------------------------------------------------------------ registry
 
 
@@ -535,4 +605,4 @@ def test_all_rules_have_unique_ids_and_metadata():
         assert rule.rule_id.startswith("RL") and rule.rule_id not in seen
         seen.add(rule.rule_id)
         assert rule.title and rule.invariant and rule.fix_hint
-    assert sorted(seen) == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    assert sorted(seen) == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
