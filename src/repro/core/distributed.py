@@ -17,7 +17,9 @@ hosts:
   versioned attack scenarios they implement, receive every parent-built
   :class:`~repro.attacks.registry.ScenarioStructure` as one
   flat-buffer payload (:func:`~repro.core.shared_structures.pack_structures`,
-  the exact byte layout of the shared-memory segment), install the
+  the exact byte layout of the shared-memory segment -- substrate header
+  included, so magic and layout version are validated on the wire exactly as
+  on attach; see :mod:`repro.core.shm`), install the
   reconstructed skeletons into their structure cache and therefore perform
   **zero explorations** -- ``structure_cache_stats()["builds"] == 0`` on a
   remote worker, the same invariant the local shared-memory plane guarantees.

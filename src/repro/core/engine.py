@@ -444,6 +444,12 @@ def _initialize_worker(
     as packed shared-memory records instead of pickled future results; a
     vanished segment degrades to the pickled path.  Must stay importable at
     module top level (pickling).
+
+    Both planes live on the shared substrate (:mod:`repro.core.shm`), so the
+    per-plane forgets below delegate to one registry: fork-started workers
+    drop every inherited creator-flagged handle before attaching their own
+    untracked mappings, and attach failures surface as clean
+    :class:`~repro.exceptions.ModelError`\\ s (magic/version validated).
     """
     from .results_plane import forget_inherited_results_planes, install_results_plane
 

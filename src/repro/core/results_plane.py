@@ -10,11 +10,14 @@ queue copy, no per-outcome allocation on the hot path.
 
 Layout and protocol
 -------------------
-The segment is a 64-byte header (magic, slot count, grid dimensions) followed
-by ``num_slots`` fixed-size records of :data:`OUTCOME_DTYPE`.  Slot ``i`` is
-the flattened grid coordinate ``(gamma_index * n_p + p_index) * n_attacks +
-attack_index``, so writers need no allocator and results are idempotent by
-grid key -- exactly the keying the sweep's merge path already uses.
+The segment is a substrate segment (:mod:`repro.core.shm`: 64-byte magic +
+layout-version header, validated on every attach) whose payload is two named
+typed regions: a ``geometry`` region (slot count, grid dimensions) and a
+``records`` region of ``num_slots`` fixed-size :data:`OUTCOME_DTYPE` records.
+Slot ``i`` is the flattened grid coordinate ``(gamma_index * n_p + p_index) *
+n_attacks + attack_index``, so writers need no allocator and results are
+idempotent by grid key -- exactly the keying the sweep's merge path already
+uses.
 
 Each slot is protected by a per-slot **seqlock** (its ``seq`` field):
 
@@ -45,40 +48,50 @@ truncated: :meth:`ResultsPlane.write` refuses it and the worker falls back to
 returning that one outcome through the pickled future path (counted by the
 engine's plane stats), so drained outcomes are always byte-exact.
 
-Lifecycle mirrors the model plane: the parent creates (and finally unlinks)
-the segment; workers attach untracked
-(:func:`~repro.core.shared_structures.attach_segment_untracked`), never
-unlink, and fork-started workers first forget any creator handle inherited
-from the parent (:func:`forget_inherited_results_planes`).  An ``atexit``
-backstop closes planes still open at interpreter shutdown.
+Lifecycle (refcounted release with creator-unlink, ``atexit`` backstop,
+fork-inheritance forget, untracked worker attaches) is the substrate's,
+implemented once in :mod:`repro.core.shm` and proven by the conformance
+suite (``tests/core/shm_conformance.py``) this plane passes alongside the
+model plane.
 """
 
 from __future__ import annotations
 
-import atexit
 import threading
-from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from ..exceptions import ModelError
 from .faults import InjectedFault, maybe_fail
-from .shared_structures import attach_segment_untracked
+from .shm import (
+    HEADER_BYTES,
+    ManagedSegment,
+    SegmentLayout,
+    SegmentSpec,
+    attach_segment,
+    create_segment,
+    forget_inherited_segments,
+)
+from .shm import (
+    active_segment_names as _active_segment_names,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from .engine import PointOutcome
 
-#: Magic value identifying a results-plane segment (helps reject foreign
-#: segments).  The trailing digit is the layout generation: bumped to 3 when
-#: the per-record ``recovery_retries`` counter was added (2 added the
-#: ``scenario`` id), so a stale worker from a previous layout fails to attach
-#: loudly instead of decoding shifted fields.
-PLANE_MAGIC = 0x5245_5355_4C54_5333  # b"RESULTS3"
+#: Plane magic stamped into the substrate header (b"REPRORES" as an integer).
+PLANE_MAGIC = 0x5245_5052_4F52_4553
 
-#: Fixed header: ``[magic][num_slots][n_p][n_attacks]`` as uint64, padded to 64.
-_HEADER_DTYPE = np.dtype(np.uint64)
-_HEADER_BYTES = 64
+#: Layout generation of the record payload, validated on attach by the
+#: substrate header so a stale worker from a previous layout fails loudly
+#: instead of decoding shifted fields.  Bumped to 4 for the substrate port
+#: (geometry moved into a named payload region behind the substrate header);
+#: 3 added the per-record ``recovery_retries`` counter, 2 the ``scenario`` id.
+RESULTS_PLANE_VERSION = 4
+
+#: Substrate identity of results-plane segments.
+_SPEC = SegmentSpec(kind="results-plane", magic=PLANE_MAGIC, version=RESULTS_PLANE_VERSION)
 
 #: Capacity of the fixed-size string fields of one record.
 SERIES_BYTES = 96
@@ -124,8 +137,19 @@ OUTCOME_DTYPE = np.dtype(
     ]
 )
 
-#: Results planes currently open in this process (for the atexit backstop).
-_ACTIVE_RESULTS_PLANES: Dict[str, "ResultsPlane"] = {}
+
+def _plane_layout(num_slots: int) -> SegmentLayout:
+    """The payload layout of a plane with ``num_slots`` record slots."""
+    return SegmentLayout(
+        [
+            # [num_slots, n_p, n_attacks, reserved]
+            ("geometry", np.uint64, (4,)),
+            ("records", OUTCOME_DTYPE, (num_slots,)),
+        ]
+    )
+
+
+#: Guards the worker-installed sink below (RL002: rebinding under a lock).
 _REGISTRY_LOCK = threading.Lock()
 
 #: The plane the sweep pool initializer installed in *this worker process*.
@@ -141,35 +165,38 @@ class ResultsPlane:
 
     def __init__(
         self,
-        segment: shared_memory.SharedMemory,
+        handle: ManagedSegment,
         *,
-        creator: bool,
         num_slots: int,
         n_p: int,
         n_attacks: int,
+        writeable: bool,
     ) -> None:
-        self._segment = segment
-        self._creator = creator
-        self._closed = False
-        self._lock = threading.Lock()
+        """Wrap a substrate handle; use the module factories, not this."""
+        self._handle = handle
         self.num_slots = num_slots
         self.n_p = n_p
         self.n_attacks = n_attacks
-        self._records = np.ndarray(
-            (num_slots,), dtype=OUTCOME_DTYPE, buffer=segment.buf, offset=_HEADER_BYTES
-        )
+        regions = _plane_layout(num_slots).map(handle, writeable=writeable)
+        self._records: Optional[np.ndarray] = regions["records"]
         #: Parent-side drain cursor: the ``seq`` value last observed per slot.
         self._seen = np.zeros(num_slots, dtype=np.uint32)
+        handle.owner = self
+        handle.drop_views = self._drop_views
+
+    def _drop_views(self) -> None:
+        """Drop the record view before the mapping closes (BufferError hygiene)."""
+        self._records = None
 
     @property
     def name(self) -> str:
         """System-wide name of the shared-memory segment."""
-        return self._segment.name
+        return self._handle.name
 
     @property
     def closed(self) -> bool:
         """Whether this process has dropped its mapping of the segment."""
-        return self._closed
+        return self._handle.closed
 
     # ----------------------------------------------------------------- writing
 
@@ -205,6 +232,7 @@ class ResultsPlane:
         if any(text.endswith(b"\x00") for text in (series, error, backend, scenario)):
             return False
         records = self._records
+        assert records is not None  # a closed plane is never handed to writers
         flags = 0
         # Seqlock write protocol: odd while the payload is in flux, even once
         # published.  The single writer of this slot is us; the odd value only
@@ -258,6 +286,7 @@ class ResultsPlane:
     def _decode(self, slot: int) -> "PointOutcome":
         from .engine import PointOutcome  # deferred: engine imports this module
 
+        assert self._records is not None
         record = self._records[slot]
         flags = int(record["flags"])
         return PointOutcome(
@@ -309,6 +338,7 @@ class ResultsPlane:
         """
         if not 0 <= slot < self.num_slots:
             raise ModelError(f"slot {slot} outside results plane of {self.num_slots} slots")
+        assert self._records is not None
         seq_before = int(self._records["seq"][slot])
         if seq_before == 0 or seq_before % 2 == 1:
             return None
@@ -324,6 +354,7 @@ class ResultsPlane:
         "what was already seen" is process-local state.
         """
         outcome = self.read(slot)
+        assert self._records is not None
         if outcome is None or self._seen[slot] == self._records["seq"][slot]:
             return None
         self._seen[slot] = self._records["seq"][slot]
@@ -335,6 +366,7 @@ class ResultsPlane:
         Safe only once all writers have synchronized with this process (pool
         joined / workers exited) -- see :meth:`read`.
         """
+        assert self._records is not None
         published = self._records["seq"]
         candidates = np.flatnonzero((published != self._seen) & (published % 2 == 0))
         fresh = (self.take_new(int(slot)) for slot in candidates)
@@ -343,44 +375,12 @@ class ResultsPlane:
     # --------------------------------------------------------------- lifecycle
 
     def release(self) -> None:
-        """Close this process's mapping; the creator additionally unlinks.
+        """Drop one reference; close (creator: unlink) on the last one.
 
-        Idempotent -- the engine's ``finally`` and the ``atexit`` backstop may
-        both call it.
+        Idempotent -- the engine's ``finally`` and the substrate's ``atexit``
+        backstop may both call it.
         """
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-        with _REGISTRY_LOCK:
-            _ACTIVE_RESULTS_PLANES.pop(self.name, None)
-        # The record view holds an exported pointer into the segment buffer;
-        # drop it before close() so mmap teardown cannot raise BufferError.
-        self._records = None
-        try:
-            self._segment.close()
-        except BufferError:  # pragma: no cover - a caller still holds a view
-            return
-        if self._creator:
-            try:
-                self._segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
-
-
-def _register(plane: ResultsPlane) -> ResultsPlane:
-    with _REGISTRY_LOCK:
-        _ACTIVE_RESULTS_PLANES[plane.name] = plane
-    return plane
-
-
-@atexit.register
-def _release_active_results_planes() -> None:  # pragma: no cover - shutdown path
-    """Backstop: close every results plane still open at interpreter exit."""
-    with _REGISTRY_LOCK:
-        planes = list(_ACTIVE_RESULTS_PLANES.values())
-    for plane in planes:
-        plane.release()
+        self._handle.release()
 
 
 def create_results_plane(n_gammas: int, n_p: int, n_attacks: int) -> ResultsPlane:
@@ -392,54 +392,56 @@ def create_results_plane(n_gammas: int, n_p: int, n_attacks: int) -> ResultsPlan
     num_slots = n_gammas * n_p * n_attacks
     if num_slots < 1:
         raise ModelError("cannot create a results plane for an empty grid")
-    size = _HEADER_BYTES + num_slots * OUTCOME_DTYPE.itemsize
+    layout = _plane_layout(num_slots)
+    # seq == 0 must read as "never written", so the payload is zero-filled.
+    handle = create_segment(_SPEC, layout.payload_size, zero_payload=True)
     try:
-        segment = shared_memory.SharedMemory(create=True, size=size)
-    except OSError as exc:
-        raise ModelError(f"cannot allocate shared memory for the results plane: {exc}") from exc
-    segment.buf[:size] = b"\x00" * size  # some platforms hand out dirty pages
-    header = np.ndarray((4,), dtype=_HEADER_DTYPE, buffer=segment.buf)
-    header[0] = PLANE_MAGIC
-    header[1] = num_slots
-    header[2] = n_p
-    header[3] = n_attacks
-    return _register(
-        ResultsPlane(segment, creator=True, num_slots=num_slots, n_p=n_p, n_attacks=n_attacks)
-    )
+        geometry = layout.map(handle)["geometry"]
+        geometry[0] = num_slots
+        geometry[1] = n_p
+        geometry[2] = n_attacks
+    except Exception:
+        handle.release()
+        raise
+    return ResultsPlane(handle, num_slots=num_slots, n_p=n_p, n_attacks=n_attacks, writeable=True)
 
 
 def attach_results_plane(name: str) -> ResultsPlane:
     """Attach an existing results plane by segment name (worker side).
 
     Raises:
-        ModelError: If no segment with ``name`` exists or it is not a results
-            plane (wrong magic, impossible geometry).
+        ModelError: If no segment with ``name`` exists, it is not a results
+            plane (wrong magic), it uses another layout generation, or its
+            geometry is impossible.
     """
     if maybe_fail("results_plane.attach_fail"):
         # Chaos site: a vanished/unmappable segment.  InjectedFault is a
         # ModelError, so the pool initializer's existing fallback (pickled
         # return path) absorbs it.
         raise InjectedFault("results_plane.attach_fail")
+    handle = attach_segment(_SPEC, name)
+    owner = handle.owner
+    if isinstance(owner, ResultsPlane):
+        # In-process dedup: attach_segment returned the open handle (refcount
+        # bumped); hand back the plane already wrapping it.
+        return owner
     try:
-        segment = attach_segment_untracked(name)
-    except (FileNotFoundError, OSError) as exc:
-        raise ModelError(f"results plane {name!r} is not available: {exc}") from exc
-    try:
-        header = np.ndarray((4,), dtype=_HEADER_DTYPE, buffer=segment.buf)
-        magic, num_slots, n_p, n_attacks = (int(value) for value in header)
-        if magic != PLANE_MAGIC:
-            raise ModelError(f"segment {name!r} is not a results plane")
-        expected = _HEADER_BYTES + num_slots * OUTCOME_DTYPE.itemsize
-        if num_slots < 1 or n_p < 1 or n_attacks < 1 or segment.size < expected:
+        if len(handle.buf) < HEADER_BYTES + _plane_layout(0).payload_size:
             raise ModelError(f"results plane {name!r} has an impossible geometry")
-        return _register(
-            ResultsPlane(
-                segment, creator=False, num_slots=num_slots, n_p=n_p, n_attacks=n_attacks
-            )
-        )
+        geometry = _plane_layout(0).map(handle, writeable=False)["geometry"]
+        num_slots, n_p, n_attacks = int(geometry[0]), int(geometry[1]), int(geometry[2])
+        del geometry  # drop the view before any failure path closes the mapping
+        layout = _plane_layout(max(num_slots, 0))
+        if num_slots < 1 or n_p < 1 or n_attacks < 1 or (
+            len(handle.buf) < HEADER_BYTES + layout.payload_size
+        ):
+            raise ModelError(f"results plane {name!r} has an impossible geometry")
     except ModelError:
-        segment.close()
+        handle.release()
         raise
+    return ResultsPlane(
+        handle, num_slots=num_slots, n_p=n_p, n_attacks=n_attacks, writeable=True
+    )
 
 
 def install_results_plane(name: str) -> ResultsPlane:
@@ -462,26 +464,28 @@ def installed_results_plane() -> Optional[ResultsPlane]:
     return _INSTALLED_PLANE
 
 
-def forget_inherited_results_planes() -> None:
-    """Drop results-plane handles inherited through ``fork`` without closing.
-
-    The same hazard as the model plane's
-    :func:`~repro.core.shared_structures.forget_inherited_planes`: a
-    fork-started worker inherits the parent's creator-flagged handle (whose
-    release would unlink the segment under the parent) and any installed sink
-    from a previous life.  Workers must start from a clean registry and attach
-    their own untracked mapping.
-    """
+def forget_installed_sink() -> None:
+    """Drop the worker-installed outcome sink without closing its mapping."""
     global _INSTALLED_PLANE
     with _REGISTRY_LOCK:
         _INSTALLED_PLANE = None
-        _ACTIVE_RESULTS_PLANES.clear()
+
+
+def forget_inherited_results_planes() -> None:
+    """Drop results-plane handles inherited through ``fork`` without closing.
+
+    The same hazard as every plane's fork inheritance (see
+    :func:`repro.core.shm.forget_inherited_segments`), plus the
+    worker-installed sink from a previous life: workers must start from a
+    clean registry and attach their own untracked mapping.
+    """
+    forget_installed_sink()
+    forget_inherited_segments(kind=_SPEC.kind)
 
 
 def active_results_plane_names() -> List[str]:
     """Names of the results planes this process holds open (for tests)."""
-    with _REGISTRY_LOCK:
-        return [name for name, plane in _ACTIVE_RESULTS_PLANES.items() if not plane.closed]
+    return _active_segment_names(kind=_SPEC.kind)
 
 
 __all__: Tuple[str, ...] = (
@@ -489,6 +493,7 @@ __all__: Tuple[str, ...] = (
     "ERROR_BYTES",
     "OUTCOME_DTYPE",
     "PLANE_MAGIC",
+    "RESULTS_PLANE_VERSION",
     "SCENARIO_BYTES",
     "SERIES_BYTES",
     "ResultsPlane",
@@ -496,6 +501,7 @@ __all__: Tuple[str, ...] = (
     "attach_results_plane",
     "create_results_plane",
     "forget_inherited_results_planes",
+    "forget_installed_sink",
     "install_results_plane",
     "installed_results_plane",
 )

@@ -12,8 +12,8 @@ The model plane removes every redundant exploration:
 1. The parent builds each structure once and serialises it into flat numpy
    buffers (:meth:`ScenarioStructure.to_buffers`).
 2. :func:`publish_structures` packs all buffers of all structures into a single
-   ``multiprocessing.shared_memory`` segment -- a small pickled directory of
-   ``(key, dtype, shape, offset)`` entries followed by the raw array bytes.
+   shared-memory segment -- a small pickled directory of ``(key, dtype, shape,
+   offset)`` entries followed by the raw array bytes.
 3. Each pool worker (fork- and spawn-started alike) calls
    :func:`attach_structures` in its initializer: the segment is mapped into the
    worker, every array becomes a read-only numpy view *backed by the shared
@@ -32,29 +32,23 @@ they live in a local segment or crossed a socket.
 
 Lifecycle and cleanup
 ---------------------
-Shared-memory segments are kernel objects that outlive processes, so leaking
-them is the failure mode to engineer against.  Ownership is reference-counted
-within each process via :class:`SharedStructurePlane`: the parent (creator)
-holds one reference and every in-process attach adds one; :meth:`release`
-drops a reference, and the segment is closed when the count reaches zero --
-the *creator* additionally unlinks it.  The engine releases its reference in a
-``finally`` block after the pool exits, so the segment is unlinked even when a
-worker crashed or the sweep raised; an ``atexit`` hook in the creator process
-backstops planes still open when the interpreter shuts down mid-sweep.
-Workers never unlink: fork-started workers call
-:func:`forget_inherited_planes` before attaching, which drops any
-creator-flagged handle inherited through the fork, and a worker's mapping
-simply dies with its process (worker exit paths skip ``atexit``, which is
-fine -- the parent's unlink is what removes the segment from the system).
+Segment lifecycle -- refcounted release with creator-unlink, the ``atexit``
+backstop, fork-inheritance forget, the resource-tracker workaround, and the
+magic + layout-version header every attach validates -- is implemented once
+by the substrate (:mod:`repro.core.shm`) and merely *used* here: the plane
+wraps a :class:`~repro.core.shm.ManagedSegment` whose header carries
+:data:`MODEL_PLANE_MAGIC` and :data:`MODEL_PLANE_VERSION`.  The engine
+releases its creator reference in a ``finally`` block after the pool exits,
+so the segment is unlinked even when a worker crashed or the sweep raised;
+workers attach untracked, never unlink, and fork-started workers first call
+:func:`forget_inherited_planes`.  The lifecycle contract is proven by the
+substrate conformance suite (``tests/core/shm_conformance.py``), which this
+plane passes alongside every other plane.
 """
 
 from __future__ import annotations
 
-import atexit
 import pickle
-import sys
-import threading
-from multiprocessing import resource_tracker, shared_memory
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -63,49 +57,56 @@ from ..attacks.registry import ScenarioStructure, resolve_scenario
 from ..attacks.structure import install_structure
 from ..exceptions import ModelError
 from .faults import InjectedFault, maybe_fail
+from .shm import (
+    HEADER_BYTES as _SHM_HEADER_BYTES,
+)
+from .shm import (
+    ManagedSegment,
+    SegmentSpec,
+    align,
+    attach_segment,
+    attach_segment_untracked,
+    create_segment,
+    forget_inherited_segments,
+    segment_refcount,
+    validate_header,
+    write_header,
+)
+from .shm import (
+    active_segment_names as _active_segment_names,
+)
 
-#: Alignment (bytes) of every array inside the segment; numpy is happy with 8,
-#: 64 keeps rows cache-line aligned for the solver gathers.
-_ALIGNMENT = 64
+__all__ = [
+    "MODEL_PLANE_MAGIC",
+    "MODEL_PLANE_VERSION",
+    "SharedStructurePlane",
+    "active_plane_names",
+    "attach_and_install",
+    "attach_segment_untracked",
+    "attach_structures",
+    "forget_inherited_planes",
+    "pack_structures",
+    "plane_refcount",
+    "publish_structures",
+    "unpack_structures",
+]
 
-#: Fixed segment prefix: ``[directory_length: uint64][data_start: uint64]``.
-_HEADER_BYTES = 16
+#: Plane magic stamped into the substrate header (b"REPROMDL" as an integer).
+MODEL_PLANE_MAGIC = 0x5245_5052_4F4D_444C
 
-#: Planes currently held open by this process, keyed by segment name.
-_ACTIVE_PLANES: Dict[str, "SharedStructurePlane"] = {}
-_PLANES_LOCK = threading.Lock()
+#: Layout generation of the packed-directory payload.  Bump whenever the
+#: directory tuple shape or the array packing changes, so a stale peer
+#: (worker, or remote host via :func:`unpack_structures`) refuses to decode
+#: instead of misinterpreting the arrays.  Generation 1 is the substrate
+#: port: the payload gained the 64-byte substrate header in front of it.
+MODEL_PLANE_VERSION = 1
 
+#: Substrate identity of model-plane segments (and wire payloads).
+_SPEC = SegmentSpec(kind="model-plane", magic=MODEL_PLANE_MAGIC, version=MODEL_PLANE_VERSION)
 
-def _align(offset: int) -> int:
-    return (offset + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
-
-
-_ATTACH_LOCK = threading.Lock()
-
-
-def attach_segment_untracked(name: str) -> shared_memory.SharedMemory:
-    """Open an existing segment without handing it to the resource tracker.
-
-    On Python < 3.13 every ``SharedMemory(name=...)`` attach registers the
-    segment with the resource tracker, which would unlink it when the
-    *attaching* process exits -- exactly wrong for worker processes attaching a
-    parent-owned segment (and, since spawn workers share the parent's tracker
-    process, unregistering afterwards would corrupt the parent's bookkeeping).
-    Python 3.13 grew ``track=False`` for this; on older interpreters the
-    registration call is suppressed for the duration of the attach instead.
-    Shared by the model plane here and the results plane
-    (:mod:`repro.core.results_plane`), which attach worker-side segments under
-    the same ownership rules.
-    """
-    if sys.version_info >= (3, 13):  # pragma: no cover - interpreter dependent
-        return shared_memory.SharedMemory(name=name, track=False)
-    with _ATTACH_LOCK:
-        original_register = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original_register  # type: ignore[assignment]
+#: Fixed payload prefix: ``[directory_length: uint64][data_start: uint64]``
+#: (offsets relative to the start of the payload, after the substrate header).
+_PREFIX_BYTES = 16
 
 
 class SharedStructurePlane:
@@ -113,88 +114,45 @@ class SharedStructurePlane:
 
     Instances are created by :func:`publish_structures` (creator side, owns the
     segment) or :func:`attach_structures` (worker side, maps it read-only).
-    The plane keeps the :class:`~multiprocessing.shared_memory.SharedMemory`
-    object alive for as long as any reconstructed structure may reference its
-    pages; dropping the last in-process reference via :meth:`release` closes
-    the mapping, and the creator's release also unlinks the segment.
+    The plane keeps the underlying :class:`~repro.core.shm.ManagedSegment`
+    alive for as long as any reconstructed structure may reference its pages;
+    dropping the last in-process reference via :meth:`release` closes the
+    mapping, and the creator's release also unlinks the segment.
     """
 
     def __init__(
         self,
-        segment: shared_memory.SharedMemory,
+        handle: ManagedSegment,
         structures: List[ScenarioStructure],
-        *,
-        creator: bool,
     ) -> None:
-        self._segment = segment
-        self._creator = creator
-        self._refcount = 1
-        self._lock = threading.Lock()
-        self._closed = False
+        """Wrap a substrate handle; use the module factories, not this."""
+        self._handle = handle
         self.structures = structures
+        handle.owner = self
+        handle.drop_views = self._drop_views
+
+    def _drop_views(self) -> None:
+        """Drop the reconstructed structures' views before the mapping closes."""
+        self.structures = []
 
     @property
     def name(self) -> str:
         """System-wide name of the shared-memory segment."""
-        return self._segment.name
+        return self._handle.name
 
     @property
     def closed(self) -> bool:
         """Whether this process has dropped its mapping of the segment."""
-        return self._closed
-
-    def acquire(self) -> "SharedStructurePlane":
-        """Add one in-process reference (e.g. a second attach of the same plane)."""
-        with self._lock:
-            if self._closed:
-                raise ModelError(f"shared structure plane {self.name!r} is already closed")
-            self._refcount += 1
-        return self
+        return self._handle.closed
 
     def release(self) -> None:
         """Drop one reference; close (and, as creator, unlink) on the last one.
 
         Idempotent once the count reaches zero -- double releases and the
-        ``atexit`` backstop must never raise during interpreter shutdown.
+        substrate's ``atexit`` backstop must never raise during interpreter
+        shutdown.
         """
-        with self._lock:
-            if self._closed:
-                return
-            self._refcount -= 1
-            if self._refcount > 0:
-                return
-            self._closed = True
-        with _PLANES_LOCK:
-            _ACTIVE_PLANES.pop(self.name, None)
-        # Reconstructed structures hold views into the segment; drop them first
-        # so close() does not fail with exported-pointer BufferErrors.
-        self.structures = []
-        try:
-            self._segment.close()
-        except BufferError:  # pragma: no cover - a caller still holds a view
-            return
-        if self._creator:
-            try:
-                self._segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already unlinked
-                pass
-
-
-def _register(plane: SharedStructurePlane) -> SharedStructurePlane:
-    with _PLANES_LOCK:
-        _ACTIVE_PLANES[plane.name] = plane
-    return plane
-
-
-@atexit.register
-def _release_active_planes() -> None:  # pragma: no cover - interpreter shutdown
-    """Backstop: force-release every plane still open at interpreter exit."""
-    with _PLANES_LOCK:
-        planes = list(_ACTIVE_PLANES.values())
-    for plane in planes:
-        with plane._lock:
-            plane._refcount = min(plane._refcount, 1)
-        plane.release()
+        self._handle.release()
 
 
 class _PackedLayout:
@@ -223,13 +181,13 @@ class _PackedLayout:
             for key in type(structure).BUFFER_KEYS:
                 array = np.ascontiguousarray(buffers[key])
                 buffers[key] = array
-                offset = _align(offset)
+                offset = align(offset)
                 self.directory.append(
                     (index, scenario_id, key, array.dtype.str, array.shape, offset)
                 )
                 offset += array.nbytes
         self.directory_bytes = pickle.dumps(self.directory, protocol=pickle.HIGHEST_PROTOCOL)
-        self.data_start = _align(_HEADER_BYTES + len(self.directory_bytes))
+        self.data_start = align(_PREFIX_BYTES + len(self.directory_bytes))
         self.total_size = max(1, self.data_start + offset)
 
     def write_into(self, buf: memoryview) -> None:
@@ -237,7 +195,7 @@ class _PackedLayout:
         header = np.ndarray((2,), dtype=np.uint64, buffer=buf)
         header[0] = len(self.directory_bytes)
         header[1] = self.data_start
-        buf[_HEADER_BYTES : _HEADER_BYTES + len(self.directory_bytes)] = self.directory_bytes
+        buf[_PREFIX_BYTES : _PREFIX_BYTES + len(self.directory_bytes)] = self.directory_bytes
         for index, _scenario_id, key, dtype, shape, rel_offset in self.directory:
             target = np.ndarray(
                 shape, dtype=np.dtype(dtype), buffer=buf, offset=self.data_start + rel_offset
@@ -246,10 +204,11 @@ class _PackedLayout:
 
 
 def _read_structures(buf: memoryview) -> List[ScenarioStructure]:
-    """Reconstruct every structure from a buffer written by :class:`_PackedLayout`.
+    """Reconstruct every structure from a payload written by :class:`_PackedLayout`.
 
-    Every numeric array of every reconstructed structure is a *read-only* numpy
-    view into ``buf`` -- nothing is copied, so structures decoded from a
+    ``buf`` is the plane payload (the bytes *after* the substrate header).
+    Every numeric array of every reconstructed structure is a *read-only*
+    numpy view into ``buf`` -- nothing is copied, so structures decoded from a
     shared-memory segment (or from a received wire payload kept alive by the
     structure itself) stay zero-copy.  Each structure is decoded by the
     :class:`~repro.attacks.registry.ScenarioStructure` subclass its directory
@@ -260,7 +219,7 @@ def _read_structures(buf: memoryview) -> List[ScenarioStructure]:
     header = np.ndarray((2,), dtype=np.uint64, buffer=buf)
     directory_length = int(header[0])
     data_start = int(header[1])
-    directory = pickle.loads(bytes(buf[_HEADER_BYTES : _HEADER_BYTES + directory_length]))
+    directory = pickle.loads(bytes(buf[_PREFIX_BYTES : _PREFIX_BYTES + directory_length]))
     buffer_sets: Dict[int, Dict[str, np.ndarray]] = {}
     scenario_ids: Dict[int, str] = {}
     for index, scenario_id, key, dtype, shape, rel_offset in directory:
@@ -279,9 +238,12 @@ def pack_structures(structures: Iterable[ScenarioStructure]) -> bytes:
     """Serialise structures into one self-contained flat byte string.
 
     The byte layout is identical to the shared-memory segment layout of
-    :func:`publish_structures`; the distributed sweep fabric
-    (:mod:`repro.core.distributed`) ships these bytes over a socket so remote
-    workers can reconstruct every skeleton without exploring.
+    :func:`publish_structures` -- substrate header included -- so "the model
+    plane" means the same bytes whether they live in a segment or crossed a
+    socket; the distributed sweep fabric (:mod:`repro.core.distributed`) ships
+    these bytes so remote workers can reconstruct every skeleton without
+    exploring, and a remote peer built for another layout generation refuses
+    the payload exactly like a stale local worker refuses the segment.
 
     Raises:
         ModelError: If ``structures`` is empty (packing nothing is always a
@@ -291,8 +253,10 @@ def pack_structures(structures: Iterable[ScenarioStructure]) -> bytes:
     if not structure_list:
         raise ModelError("cannot pack an empty set of structures")
     layout = _PackedLayout(structure_list)
-    out = bytearray(layout.total_size)
-    layout.write_into(memoryview(out))
+    out = bytearray(_SHM_HEADER_BYTES + layout.total_size)
+    buf = memoryview(out)
+    write_header(_SPEC, buf, layout.total_size)
+    layout.write_into(buf[_SHM_HEADER_BYTES:])
     return bytes(out)
 
 
@@ -304,10 +268,13 @@ def unpack_structures(data: bytes) -> List[ScenarioStructure]:
     views for as long as any structure is.
 
     Raises:
-        ModelError: If ``data`` is not a :func:`pack_structures` payload.
+        ModelError: If ``data`` is not a :func:`pack_structures` payload of
+            this build's layout generation.
     """
+    buf = memoryview(data)
+    validate_header(_SPEC, buf, source="structure payload")
     try:
-        return _read_structures(memoryview(data))
+        return _read_structures(buf[_SHM_HEADER_BYTES:])
     except ModelError:
         raise
     except Exception as exc:
@@ -319,8 +286,9 @@ def publish_structures(
 ) -> SharedStructurePlane:
     """Pack structures into one shared-memory segment and return the owner plane.
 
-    The segment holds the flat :class:`_PackedLayout` byte layout (prefix,
-    pickled directory, 64-byte-aligned raw array bytes).
+    The segment holds the substrate header followed by the flat
+    :class:`_PackedLayout` byte layout (prefix, pickled directory,
+    64-byte-aligned raw array bytes).
 
     Raises:
         ModelError: If ``structures`` is empty (publishing nothing is always a
@@ -330,17 +298,13 @@ def publish_structures(
     if not structure_list:
         raise ModelError("cannot publish an empty set of structures")
     layout = _PackedLayout(structure_list)
+    handle = create_segment(_SPEC, layout.total_size)
     try:
-        segment = shared_memory.SharedMemory(create=True, size=layout.total_size)
-    except OSError as exc:
-        raise ModelError(f"cannot allocate shared memory for the model plane: {exc}") from exc
-    try:
-        layout.write_into(segment.buf)
+        layout.write_into(handle.buf[_SHM_HEADER_BYTES:])
     except Exception:
-        segment.close()
-        segment.unlink()
+        handle.release()
         raise
-    return _register(SharedStructurePlane(segment, structure_list, creator=True))
+    return SharedStructurePlane(handle, structure_list)
 
 
 def attach_structures(name: str) -> SharedStructurePlane:
@@ -352,31 +316,32 @@ def attach_structures(name: str) -> SharedStructurePlane:
     returns the already-open plane with its reference count bumped.
 
     Raises:
-        ModelError: If no segment with ``name`` exists (e.g. the parent already
-            unlinked it) or its contents are malformed.
+        ModelError: If no segment with ``name`` exists (e.g. the parent
+            already unlinked it -- an attacher racing the creator-unlink gets
+            this clean error, never a raw ``FileNotFoundError``), its header
+            is not this build's model-plane layout, or its payload is
+            malformed.
     """
     if maybe_fail("shm.attach_fail"):
         # Chaos site: a vanished/unmappable segment.  InjectedFault is a
         # ModelError, so the worker initializer's existing fallback (local
         # prewarm, counted by its build counters) absorbs it.
         raise InjectedFault("shm.attach_fail")
-    with _PLANES_LOCK:
-        existing = _ACTIVE_PLANES.get(name)
-    if existing is not None and not existing.closed:
-        return existing.acquire()
+    handle = attach_segment(_SPEC, name)
+    owner = handle.owner
+    if isinstance(owner, SharedStructurePlane):
+        # In-process dedup: attach_segment returned the open handle (refcount
+        # bumped); hand back the plane already wrapping it.
+        return owner
     try:
-        segment = attach_segment_untracked(name)
-    except (FileNotFoundError, OSError) as exc:
-        raise ModelError(f"shared structure plane {name!r} is not available: {exc}") from exc
-    try:
-        structures = _read_structures(segment.buf)
+        structures = _read_structures(handle.buf[_SHM_HEADER_BYTES:])
     except ModelError:
-        segment.close()
+        handle.release()
         raise
     except Exception as exc:
-        segment.close()
+        handle.release()
         raise ModelError(f"shared structure plane {name!r} is malformed: {exc}") from exc
-    return _register(SharedStructurePlane(segment, structures, creator=False))
+    return SharedStructurePlane(handle, structures)
 
 
 def attach_and_install(name: str) -> SharedStructurePlane:
@@ -384,7 +349,8 @@ def attach_and_install(name: str) -> SharedStructurePlane:
 
     This is the worker-side entry point used by the sweep pool initializer; the
     plane is kept open for the lifetime of the worker (released by the
-    ``atexit`` backstop) because the installed structures reference its pages.
+    substrate's ``atexit`` backstop) because the installed structures reference
+    its pages.
     """
     plane = attach_structures(name)
     for structure in plane.structures:
@@ -393,33 +359,20 @@ def attach_and_install(name: str) -> SharedStructurePlane:
 
 
 def forget_inherited_planes() -> None:
-    """Drop plane handles inherited through ``fork`` without closing anything.
+    """Drop model-plane handles inherited through ``fork`` without closing.
 
-    A fork-started worker inherits the parent's plane registry, including the
-    *creator*-flagged handle of the published segment.  Left in place, an
-    attach inside the worker would dedup to that inherited handle -- reusing
-    the worker's private copy-on-write arrays instead of mapping the shared
-    segment (CPython refcount updates dirty COW pages, so those copies do
-    materialise) -- and the creator flag would hand the worker an unlink it
-    must never perform.  Workers therefore forget the inherited registry
-    before attaching; the parent process keeps sole ownership of the unlink.
-    No-op in spawn-started workers, whose registry starts empty.
+    Delegates to :func:`repro.core.shm.forget_inherited_segments` for this
+    plane's segments; see there for why fork-started workers must start from
+    a clean registry (COW dedup hazard, inherited creator unlink).
     """
-    with _PLANES_LOCK:
-        _ACTIVE_PLANES.clear()
+    forget_inherited_segments(kind=_SPEC.kind)
 
 
 def active_plane_names() -> List[str]:
-    """Names of the planes this process currently holds open (for tests)."""
-    with _PLANES_LOCK:
-        return [name for name, plane in _ACTIVE_PLANES.items() if not plane.closed]
+    """Names of the model planes this process currently holds open (for tests)."""
+    return _active_segment_names(kind=_SPEC.kind)
 
 
 def plane_refcount(name: str) -> Optional[int]:
     """Current in-process reference count of a plane (``None`` if unknown)."""
-    with _PLANES_LOCK:
-        plane = _ACTIVE_PLANES.get(name)
-    if plane is None:
-        return None
-    with plane._lock:
-        return plane._refcount
+    return segment_refcount(name)

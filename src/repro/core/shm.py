@@ -1,0 +1,518 @@
+"""One shared-memory substrate: typed, versioned, refcounted segments.
+
+Before this module existed, :mod:`repro.core.shared_structures` (the model
+plane) and :mod:`repro.core.results_plane` each carried their own copy of the
+same segment-lifecycle machinery: a process-local registry of open segments,
+reference counting with creator-unlink, an ``atexit`` backstop for interpreter
+shutdown, fork-inheritance hygiene, and the resource-tracker workaround for
+worker-side attaches.  Each copy was proven safe by its own hand-rolled test
+suite, and every future plane (the certified-bound store, CSR model buffers,
+warm-start snapshots) would have needed a third and fourth copy.
+
+This module is the single substrate all planes are built on.  The lifecycle
+invariants are implemented once, here, and proven once by the reusable
+conformance suite (``tests/core/shm_conformance.py``) that every plane runs
+through; lint rule RL001 pins ``multiprocessing.shared_memory`` to this module
+alone, so no other copy of the machinery can grow back.
+
+Segment format
+--------------
+Every substrate segment starts with a fixed 64-byte header of little-endian
+``uint64`` words::
+
+    [0] SHM_MAGIC        -- identifies any repro substrate segment
+    [1] plane magic      -- identifies the plane kind (model plane, results
+                            plane, ...); foreign segments are refused loudly
+    [2] layout version   -- the plane's layout generation; a reader built for
+                            another generation refuses to attach instead of
+                            decoding shifted fields
+    [3] payload size     -- bytes of plane payload following the header
+    [4..7] reserved (zero)
+
+The payload that follows belongs to the plane.  Fixed-geometry planes describe
+it as named typed regions via :class:`SegmentLayout` (mapped as numpy views
+over the shared pages); variable-geometry planes (the model plane's pickled
+directory + aligned arrays) write raw bytes into the payload region.
+
+Lifecycle
+---------
+Shared-memory segments are kernel objects that outlive processes, so leaking
+one is the failure mode to engineer against.  Ownership is reference-counted
+within each process via :class:`ManagedSegment`: the creator holds one
+reference and every in-process attach adds one; :meth:`ManagedSegment.release`
+drops a reference, and the mapping is closed when the count reaches zero --
+the *creator* additionally unlinks the segment from the system.  An ``atexit``
+hook backstops segments still open when the interpreter shuts down mid-task.
+Workers never unlink: fork-started workers call
+:func:`forget_inherited_segments` before attaching, which drops every handle
+(including the creator-flagged one) inherited through the fork, and a worker's
+mapping simply dies with its process.
+
+Segment names are always ``repro-<kind>-<random>`` so platform residue is
+attributable: the test suite snapshots ``/dev/shm`` around every test module
+and fails loudly on leaked ``repro-`` segments.
+"""
+
+from __future__ import annotations
+
+import atexit
+import secrets
+import sys
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+#: Substrate magic: the first header word of every repro shm segment
+#: (b"REPROSHM" read as a little-endian integer tag).
+SHM_MAGIC = 0x5245_5052_4F53_484D
+
+#: Fixed size of the substrate header preceding every plane payload.
+HEADER_BYTES = 64
+
+#: Every substrate segment name starts with this, so platform residue
+#: (``/dev/shm`` entries) is attributable to this package and the test
+#: suite's leak check can scan for exactly these.
+SEGMENT_PREFIX = "repro-"
+
+#: Alignment (bytes) of regions inside a payload; 64 keeps rows of numpy
+#: record arrays cache-line aligned for the solver gathers.
+ALIGNMENT = 64
+
+#: Attempts to find an unused random segment name before giving up.
+_CREATE_ATTEMPTS = 8
+
+#: Segments currently held open by this process, keyed by segment name.
+_ACTIVE_SEGMENTS: Dict[str, "ManagedSegment"] = {}
+_SEGMENTS_LOCK = threading.Lock()
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def align(offset: int) -> int:
+    """Round ``offset`` up to the substrate's region alignment."""
+    return (offset + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Identity of one plane kind: registry key, header magic, layout version.
+
+    ``kind`` names the plane in segment names (``repro-<kind>-...``) and in
+    registry queries; ``magic`` and ``version`` are stamped into the header at
+    create time and validated at attach time, so a foreign segment or a peer
+    built for another layout generation is refused with a clean
+    :class:`~repro.exceptions.ModelError` instead of decoding shifted fields.
+    """
+
+    kind: str
+    magic: int
+    version: int
+
+    def __post_init__(self) -> None:
+        """Validate that ``kind`` can appear in a POSIX shared-memory name."""
+        if not self.kind or not all(c.isalnum() or c == "-" for c in self.kind):
+            raise ModelError(
+                f"segment kind {self.kind!r} must be non-empty alphanumeric-or-dash "
+                "(it becomes part of the segment name)"
+            )
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named typed region of a segment payload."""
+
+    name: str
+    dtype: np.dtype
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        """Byte size of the region."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * self.dtype.itemsize
+
+
+class SegmentLayout:
+    """Named typed regions packed (aligned) into one segment payload.
+
+    A plane with fixed geometry declares its payload as an ordered sequence of
+    :class:`Region` entries; the layout computes aligned offsets and total
+    payload size, and :meth:`map` materialises each region as a numpy view
+    over a mapped segment's shared pages (zero-copy).
+    """
+
+    def __init__(self, regions: Sequence[Tuple[str, Any, Tuple[int, ...]]]) -> None:
+        """Build the layout from ``(name, dtype-like, shape)`` triples."""
+        self.regions: List[Region] = []
+        self.offsets: Dict[str, int] = {}
+        offset = 0
+        for name, dtype, shape in regions:
+            region = Region(name=name, dtype=np.dtype(dtype), shape=tuple(shape))
+            if region.name in self.offsets:
+                raise ModelError(f"duplicate region name {region.name!r} in segment layout")
+            offset = align(offset)
+            self.offsets[region.name] = offset
+            self.regions.append(region)
+            offset += region.nbytes
+        #: Total payload bytes the regions occupy (regions are aligned).
+        self.payload_size = offset
+
+    def map(self, handle: "ManagedSegment", *, writeable: bool = True) -> Dict[str, np.ndarray]:
+        """Map every region as a numpy view over the segment's payload.
+
+        The views are backed by the shared pages -- nothing is copied.  With
+        ``writeable=False`` the views are marked read-only (attacher side).
+        The caller owns dropping the views before the handle's last release
+        (see :attr:`ManagedSegment.drop_views`).
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for region in self.regions:
+            view = np.ndarray(
+                region.shape,
+                dtype=region.dtype,
+                buffer=handle.buf,
+                offset=HEADER_BYTES + self.offsets[region.name],
+            )
+            if not writeable and view.flags.writeable:
+                view.flags.writeable = False
+            arrays[region.name] = view
+        return arrays
+
+
+def write_header(spec: SegmentSpec, buf: memoryview, payload_size: int) -> None:
+    """Stamp the substrate header (magic, plane magic, version, payload size)."""
+    header = np.ndarray((HEADER_BYTES // 8,), dtype=np.uint64, buffer=buf)
+    header[:] = 0
+    header[0] = SHM_MAGIC
+    header[1] = spec.magic
+    header[2] = spec.version
+    header[3] = payload_size
+
+
+def read_header(buf: memoryview) -> Tuple[int, int, int]:
+    """Read ``(plane_magic, version, payload_size)`` from a substrate header.
+
+    Raises:
+        ModelError: If the buffer is too small to hold a header or its first
+            word is not :data:`SHM_MAGIC` (a foreign segment).
+    """
+    if len(buf) < HEADER_BYTES:
+        raise ModelError(
+            f"buffer of {len(buf)} bytes is too small to hold a "
+            f"{HEADER_BYTES}-byte substrate header"
+        )
+    header = np.ndarray((HEADER_BYTES // 8,), dtype=np.uint64, buffer=buf)
+    if int(header[0]) != SHM_MAGIC:
+        raise ModelError("not a repro shared-memory segment (substrate magic mismatch)")
+    return int(header[1]), int(header[2]), int(header[3])
+
+
+def validate_header(spec: SegmentSpec, buf: memoryview, *, source: str) -> int:
+    """Check a header against ``spec``; return the recorded payload size.
+
+    Raises:
+        ModelError: On a foreign segment, a plane-kind (magic) mismatch, a
+            layout-version mismatch, or a payload that does not fit the
+            mapped buffer -- each with a distinct, actionable message.
+    """
+    magic, version, payload_size = read_header(buf)
+    if magic != spec.magic:
+        raise ModelError(
+            f"{source} is not a {spec.kind} segment (plane magic mismatch: "
+            f"found 0x{magic:x}, expected 0x{spec.magic:x})"
+        )
+    if version != spec.version:
+        raise ModelError(
+            f"{source} uses {spec.kind} layout version {version}, but this build "
+            f"implements version {spec.version}; refusing to decode shifted fields"
+        )
+    if len(buf) < HEADER_BYTES + payload_size:
+        raise ModelError(
+            f"{source} records a {payload_size}-byte payload but only "
+            f"{len(buf) - HEADER_BYTES} bytes are mapped"
+        )
+    return payload_size
+
+
+def attach_segment_untracked(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without handing it to the resource tracker.
+
+    On Python < 3.13 every ``SharedMemory(name=...)`` attach registers the
+    segment with the resource tracker, which would unlink it when the
+    *attaching* process exits -- exactly wrong for worker processes attaching a
+    parent-owned segment (and, since spawn workers share the parent's tracker
+    process, unregistering afterwards would corrupt the parent's bookkeeping).
+    Python 3.13 grew ``track=False`` for this; on older interpreters the
+    registration call is suppressed for the duration of the attach instead.
+    """
+    if sys.version_info >= (3, 13):  # pragma: no cover - interpreter dependent
+        return shared_memory.SharedMemory(name=name, track=False)
+    with _ATTACH_LOCK:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register  # type: ignore[assignment]
+
+
+class ManagedSegment:
+    """One refcounted handle over a substrate segment in this process.
+
+    Instances are created by :func:`create_segment` (creator side, owns the
+    unlink) or :func:`attach_segment` (attacher side, mapping only).  Planes
+    wrap a handle and set :attr:`owner` (so an in-process re-attach dedups to
+    the wrapping plane) and :attr:`drop_views` (called on the last release,
+    before the mapping closes, so numpy views into the pages are dropped and
+    ``close()`` cannot fail with exported-pointer ``BufferError``).
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        spec: SegmentSpec,
+        *,
+        creator: bool,
+    ) -> None:
+        """Wrap ``segment``; use the module factories instead of calling this."""
+        self._segment = segment
+        self.spec = spec
+        self.creator = creator
+        self._refcount = 1
+        self._lock = threading.Lock()
+        self._closed = False
+        #: The plane object wrapping this handle, if any (attach dedup target).
+        self.owner: Any = None
+        #: Callback dropping numpy views into the pages; run on last release.
+        self.drop_views: Optional[Callable[[], None]] = None
+
+    @property
+    def name(self) -> str:
+        """System-wide name of the shared-memory segment."""
+        return self._segment.name
+
+    @property
+    def closed(self) -> bool:
+        """Whether this process has dropped its mapping of the segment."""
+        return self._closed
+
+    @property
+    def buf(self) -> memoryview:
+        """The full mapped buffer, substrate header included."""
+        return self._segment.buf
+
+    def acquire(self) -> "ManagedSegment":
+        """Add one in-process reference (an additional attach of the segment)."""
+        with self._lock:
+            if self._closed:
+                raise ModelError(f"shared-memory segment {self.name!r} is already closed")
+            self._refcount += 1
+        return self
+
+    def release(self) -> None:
+        """Drop one reference; close (and, as creator, unlink) on the last one.
+
+        Idempotent once the count reaches zero -- double releases and the
+        ``atexit`` backstop must never raise during interpreter shutdown.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._refcount -= 1
+            if self._refcount > 0:
+                return
+            self._closed = True
+        with _SEGMENTS_LOCK:
+            _ACTIVE_SEGMENTS.pop(self.name, None)
+        # Views into the mapping (plane record arrays, reconstructed model
+        # structures) must die before close(), or mmap teardown raises
+        # exported-pointer BufferErrors.
+        if self.drop_views is not None:
+            self.drop_views()
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a caller still holds a view
+            return
+        if self.creator:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    def force_release(self) -> None:
+        """Collapse the refcount and release (the ``atexit`` backstop's path)."""
+        with self._lock:
+            self._refcount = min(self._refcount, 1)
+        self.release()
+
+
+def _register(handle: ManagedSegment) -> ManagedSegment:
+    with _SEGMENTS_LOCK:
+        _ACTIVE_SEGMENTS[handle.name] = handle
+    return handle
+
+
+@atexit.register
+def _release_active_segments() -> None:  # pragma: no cover - interpreter shutdown
+    """Backstop: force-release every segment still open at interpreter exit."""
+    with _SEGMENTS_LOCK:
+        handles = list(_ACTIVE_SEGMENTS.values())
+    for handle in handles:
+        handle.force_release()
+
+
+def create_segment(
+    spec: SegmentSpec, payload_size: int, *, zero_payload: bool = False
+) -> ManagedSegment:
+    """Allocate a new substrate segment with a stamped header (creator side).
+
+    The segment is named ``repro-<kind>-<random>`` and registered with the
+    atexit-backstopped registry; the returned handle owns the unlink.  With
+    ``zero_payload`` the whole payload is zero-filled (planes whose protocol
+    reads "never written" from zeroed words need this; some platforms hand
+    out dirty pages).
+
+    Raises:
+        ModelError: If ``payload_size`` is negative, no free name is found,
+            or the platform cannot allocate shared memory.
+    """
+    if payload_size < 0:
+        raise ModelError(f"cannot create a segment with negative payload size {payload_size}")
+    total = HEADER_BYTES + payload_size
+    segment: Optional[shared_memory.SharedMemory] = None
+    for _ in range(_CREATE_ATTEMPTS):
+        name = f"{SEGMENT_PREFIX}{spec.kind}-{secrets.token_hex(8)}"
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=True, size=total)
+            break
+        except FileExistsError:  # pragma: no cover - 64-bit collision
+            continue
+        except OSError as exc:
+            raise ModelError(f"cannot allocate shared memory for {spec.kind}: {exc}") from exc
+    if segment is None:  # pragma: no cover - eight collisions in a row
+        raise ModelError(f"could not find a free segment name for {spec.kind}")
+    try:
+        if zero_payload:
+            segment.buf[:total] = b"\x00" * total
+        write_header(spec, segment.buf, payload_size)
+    except Exception:
+        segment.close()
+        segment.unlink()
+        raise
+    return _register(ManagedSegment(segment, spec, creator=True))
+
+
+def attach_segment(spec: SegmentSpec, name: str) -> ManagedSegment:
+    """Attach an existing substrate segment by name, validating its header.
+
+    Attaching a segment this process already holds open returns the existing
+    handle with its reference count bumped (so its :attr:`ManagedSegment.owner`
+    plane can be reused).  A fresh attach maps the segment untracked (the
+    parent owns the unlink; see :func:`attach_segment_untracked`) and refuses
+    foreign segments, plane-kind mismatches and layout-version mismatches.
+
+    Raises:
+        ModelError: If no segment with ``name`` exists (e.g. the creator
+            already unlinked it -- attachers racing a creator-unlink get this
+            clean error, never a raw ``FileNotFoundError``), or its header
+            does not validate against ``spec``.
+    """
+    with _SEGMENTS_LOCK:
+        existing = _ACTIVE_SEGMENTS.get(name)
+    if existing is not None and not existing.closed:
+        if existing.spec != spec:
+            raise ModelError(
+                f"segment {name!r} is already open as {existing.spec.kind} "
+                f"v{existing.spec.version}, not {spec.kind} v{spec.version}"
+            )
+        return existing.acquire()
+    try:
+        segment = attach_segment_untracked(name)
+    except (FileNotFoundError, OSError) as exc:
+        raise ModelError(f"{spec.kind} segment {name!r} is not available: {exc}") from exc
+    try:
+        validate_header(spec, segment.buf, source=f"segment {name!r}")
+    except ModelError:
+        segment.close()
+        raise
+    return _register(ManagedSegment(segment, spec, creator=False))
+
+
+def forget_inherited_segments(kind: Optional[str] = None) -> None:
+    """Drop segment handles inherited through ``fork`` without closing anything.
+
+    A fork-started worker inherits the parent's registry, including
+    *creator*-flagged handles.  Left in place, an attach inside the worker
+    would dedup to the inherited handle -- reusing the worker's private
+    copy-on-write pages instead of mapping the shared segment (CPython
+    refcount updates dirty COW pages, so those copies do materialise) -- and
+    the creator flag would hand the worker an unlink it must never perform.
+    Workers therefore forget the whole registry (or one plane ``kind``)
+    before attaching; the parent process keeps sole ownership of every
+    unlink.  No-op in spawn-started workers, whose registry starts empty.
+    """
+    with _SEGMENTS_LOCK:
+        if kind is None:
+            _ACTIVE_SEGMENTS.clear()
+        else:
+            for name in [n for n, h in _ACTIVE_SEGMENTS.items() if h.spec.kind == kind]:
+                del _ACTIVE_SEGMENTS[name]
+
+
+def active_segment(name: str) -> Optional[ManagedSegment]:
+    """The open handle this process holds for ``name``, if any."""
+    with _SEGMENTS_LOCK:
+        handle = _ACTIVE_SEGMENTS.get(name)
+    if handle is None or handle.closed:
+        return None
+    return handle
+
+
+def active_segment_names(kind: Optional[str] = None) -> List[str]:
+    """Names of the segments this process holds open (optionally one kind)."""
+    with _SEGMENTS_LOCK:
+        return [
+            name
+            for name, handle in _ACTIVE_SEGMENTS.items()
+            if not handle.closed and (kind is None or handle.spec.kind == kind)
+        ]
+
+
+def segment_refcount(name: str) -> Optional[int]:
+    """Current in-process reference count of a segment (``None`` if unknown)."""
+    with _SEGMENTS_LOCK:
+        handle = _ACTIVE_SEGMENTS.get(name)
+    if handle is None:
+        return None
+    with handle._lock:
+        return handle._refcount
+
+
+__all__ = [
+    "ALIGNMENT",
+    "HEADER_BYTES",
+    "SEGMENT_PREFIX",
+    "SHM_MAGIC",
+    "ManagedSegment",
+    "Region",
+    "SegmentLayout",
+    "SegmentSpec",
+    "active_segment",
+    "active_segment_names",
+    "align",
+    "attach_segment",
+    "attach_segment_untracked",
+    "create_segment",
+    "forget_inherited_segments",
+    "segment_refcount",
+    "validate_header",
+    "write_header",
+    "read_header",
+]

@@ -2,13 +2,14 @@
 
 Shared-memory segments are kernel objects that outlive processes; leaking one
 is the failure mode the whole plane design engineers against (see
-:mod:`repro.core.shared_structures`).  Two invariants keep that manageable:
+:mod:`repro.core.shm`).  Two invariants keep that manageable:
 
-* **Containment** -- only the substrate modules (``core/shared_structures.py``
-  and ``core/results_plane.py``, plus a future ``core/shm.py``) may touch
-  ``multiprocessing.shared_memory`` at all.  Everything else goes through
-  their published plane APIs, which carry the refcounts, the creator-unlink
-  discipline and the fork-inheritance hygiene.
+* **Containment** -- only the substrate module (``core/shm.py``) may touch
+  ``multiprocessing.shared_memory`` at all.  Every plane -- the model plane
+  (``core/shared_structures.py``), the results plane
+  (``core/results_plane.py``) and any future plane -- goes through the
+  substrate's segment API, which carries the refcounts, the creator-unlink
+  discipline and the fork-inheritance hygiene exactly once.
 * **Release pairing** -- inside the substrate, every ``SharedMemory(...,
   create=True)`` must be wrapped in a ``try`` (allocation and first-write
   failures must clean up), its enclosing function must reference the release
@@ -25,11 +26,10 @@ from typing import Iterator, List, Optional, Tuple
 from ..engine import LintViolation, ModuleInfo, Rule, dotted_name
 
 #: Modules allowed to construct / attach SharedMemory segments directly.
-ALLOWED_MODULES = (
-    "core/shared_structures.py",
-    "core/results_plane.py",
-    "core/shm.py",
-)
+#: Exactly one: the substrate.  The planes built on it (shared_structures,
+#: results_plane) are deliberately *not* exempt -- they must go through the
+#: substrate's create/attach API like everyone else.
+ALLOWED_MODULES = ("core/shm.py",)
 
 #: Call / attribute names whose presence counts as release machinery.
 _RELEASE_NAMES = ("close", "unlink", "release")
@@ -92,8 +92,8 @@ class SharedMemoryLifecycleRule(Rule):
         "and every creation is paired with try/atexit release machinery"
     )
     fix_hint = (
-        "go through the plane APIs of core/shared_structures.py / "
-        "core/results_plane.py instead of touching SharedMemory directly"
+        "go through the segment API of core/shm.py (create_segment / "
+        "attach_segment) instead of touching SharedMemory directly"
     )
     scopes = None  # containment is checked everywhere
 

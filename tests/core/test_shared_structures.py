@@ -27,6 +27,7 @@ from repro.core.engine import _initialize_worker, execute_sweep
 from repro.core.shared_structures import (
     active_plane_names,
     attach_structures,
+    forget_inherited_planes,
     plane_refcount,
     publish_structures,
 )
@@ -97,19 +98,17 @@ class TestBufferRoundTrip:
 
 
 class TestPlaneLifecycle:
-    def test_attached_plane_equals_in_process_structure(self, monkeypatch):
+    def test_attached_plane_equals_in_process_structure(self):
         """A real attach (as a worker performs it) is bit-for-bit and zero-copy.
 
         Attaching within the publishing process normally dedups to the open
-        creator plane, so the plane registry is emptied first to force the
-        worker-side mapping path.
+        creator plane, so the substrate registry is forgotten first (exactly
+        what a fork-started worker does) to force the worker-side mapping path.
         """
-        import repro.core.shared_structures as shared_module
-
         structure = get_model_structure(ATTACK, PROTOCOL)
         plane = publish_structures([structure])
         try:
-            monkeypatch.setattr(shared_module, "_ACTIVE_PLANES", {})
+            forget_inherited_planes()
             attached = attach_structures(plane.name)
             try:
                 (remote,) = attached.structures
@@ -122,17 +121,17 @@ class TestPlaneLifecycle:
         finally:
             plane.release()
 
-    def test_refcounted_release_unlinks_on_last_reference(self):
+    def test_in_process_attach_dedups_to_the_open_plane(self):
+        """Attaching within the publishing process bumps the refcount instead
+        of mapping the segment twice (release/unlink discipline itself is
+        proven by the conformance suite, ``test_shm_conformance.py``)."""
         plane = publish_structures([get_model_structure(ATTACK, PROTOCOL)])
         name = plane.name
-        # Attaching within the same process returns the open plane with its
-        # reference count bumped instead of mapping the segment twice.
         assert attach_structures(name) is plane
         assert plane_refcount(name) == 2
         plane.release()
         assert segment_exists(name), "segment must survive while a reference is held"
         plane.release()
-        assert not segment_exists(name)
         assert name not in active_plane_names()
         assert plane_refcount(name) is None
 
@@ -140,9 +139,40 @@ class TestPlaneLifecycle:
         with pytest.raises(ModelError):
             publish_structures([])
 
-    def test_attach_unknown_name_raises_model_error(self):
-        with pytest.raises(ModelError):
-            attach_structures("repro-test-no-such-segment")
+    def test_attach_racing_creator_unlink_gets_clean_error(self):
+        """An attacher that loses the race against the creator's unlink must
+        get a :class:`ModelError`, never a raw ``FileNotFoundError``."""
+        plane = publish_structures([get_model_structure(ATTACK, PROTOCOL)])
+        name = plane.name
+        forget_inherited_planes()  # the attach must take the real mapping path
+        plane.release()  # creator unlinks before the attacher looks up the name
+        with pytest.raises(ModelError, match="not available") as excinfo:
+            attach_structures(name)
+        assert not isinstance(excinfo.value, FileNotFoundError)
+
+    def test_attach_winning_the_unlink_race_stays_usable(self, monkeypatch):
+        """POSIX keeps a mapping alive after unlink: an attacher that mapped
+        the segment just before the creator unlinked it reads valid data and
+        releases without error."""
+        import repro.core.shm as shm_module
+
+        structure = get_model_structure(ATTACK, PROTOCOL)
+        plane = publish_structures([structure])
+        forget_inherited_planes()
+        real_attach = shm_module.attach_segment_untracked
+
+        def attach_then_creator_unlinks(name):
+            segment = real_attach(name)
+            plane.release()  # the creator unlinks between mmap and validation
+            return segment
+
+        monkeypatch.setattr(shm_module, "attach_segment_untracked", attach_then_creator_unlinks)
+        attached = attach_structures(plane.name)
+        try:
+            assert_structures_identical(structure, attached.structures[0])
+        finally:
+            attached.release()
+        assert not segment_exists(plane.name)
 
 
 def report_attack_array_flags():

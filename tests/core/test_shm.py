@@ -1,0 +1,171 @@
+"""Unit tests of the shared-memory substrate (:mod:`repro.core.shm`).
+
+The cross-process lifecycle invariants live in the conformance suite
+(``test_shm_conformance.py``); this module covers the substrate's own pieces:
+header encode/validate, layout arithmetic, the refcounted registry, and the
+error paths of create/attach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import shm
+from repro.exceptions import ModelError
+
+SPEC = shm.SegmentSpec(kind="unit-test", magic=0xABCD, version=3)
+
+
+class TestSegmentSpec:
+    def test_kind_charset_is_validated(self):
+        with pytest.raises(ModelError, match="segment kind"):
+            shm.SegmentSpec(kind="has space", magic=1, version=1)
+        with pytest.raises(ModelError, match="segment kind"):
+            shm.SegmentSpec(kind="", magic=1, version=1)
+
+    def test_kind_names_the_segment(self):
+        handle = shm.create_segment(SPEC, 16)
+        try:
+            assert handle.name.startswith(f"{shm.SEGMENT_PREFIX}{SPEC.kind}-")
+        finally:
+            handle.release()
+
+
+class TestHeader:
+    def test_write_read_round_trip(self):
+        buf = memoryview(bytearray(shm.HEADER_BYTES + 32))
+        shm.write_header(SPEC, buf, 32)
+        assert shm.read_header(buf) == (SPEC.magic, SPEC.version, 32)
+        assert shm.validate_header(SPEC, buf, source="test buffer") == 32
+
+    def test_short_buffer_refused(self):
+        with pytest.raises(ModelError, match="too small"):
+            shm.read_header(memoryview(bytearray(8)))
+
+    def test_foreign_magic_refused(self):
+        buf = memoryview(bytearray(shm.HEADER_BYTES))
+        with pytest.raises(ModelError, match="not a repro shared-memory segment"):
+            shm.read_header(buf)
+
+    def test_plane_magic_mismatch_refused(self):
+        buf = memoryview(bytearray(shm.HEADER_BYTES))
+        shm.write_header(shm.SegmentSpec(kind="other", magic=0x99, version=3), buf, 0)
+        with pytest.raises(ModelError, match="plane magic mismatch"):
+            shm.validate_header(SPEC, buf, source="test buffer")
+
+    def test_version_mismatch_refused(self):
+        buf = memoryview(bytearray(shm.HEADER_BYTES))
+        shm.write_header(shm.SegmentSpec(kind=SPEC.kind, magic=SPEC.magic, version=2), buf, 0)
+        with pytest.raises(ModelError, match="layout version 2"):
+            shm.validate_header(SPEC, buf, source="test buffer")
+
+    def test_payload_overrun_refused(self):
+        buf = memoryview(bytearray(shm.HEADER_BYTES + 8))
+        shm.write_header(SPEC, buf, 4096)
+        with pytest.raises(ModelError, match="only 8 bytes are mapped"):
+            shm.validate_header(SPEC, buf, source="test buffer")
+
+
+class TestSegmentLayout:
+    def test_regions_are_aligned_and_sized(self):
+        layout = shm.SegmentLayout(
+            [
+                ("a", np.uint8, (3,)),
+                ("b", np.float64, (2, 2)),
+                ("c", np.uint32, (1,)),
+            ]
+        )
+        assert layout.offsets["a"] == 0
+        assert layout.offsets["b"] == shm.ALIGNMENT  # 3 bytes rounds up
+        assert layout.offsets["b"] % shm.ALIGNMENT == 0
+        assert layout.offsets["c"] == shm.align(layout.offsets["b"] + 32)
+        assert layout.payload_size == layout.offsets["c"] + 4
+
+    def test_duplicate_region_name_rejected(self):
+        with pytest.raises(ModelError, match="duplicate region"):
+            shm.SegmentLayout([("a", np.uint8, (1,)), ("a", np.uint8, (1,))])
+
+    def test_map_views_share_the_segment(self):
+        layout = shm.SegmentLayout([("counts", np.int64, (4,))])
+        handle = shm.create_segment(SPEC, layout.payload_size, zero_payload=True)
+        try:
+            writer = layout.map(handle)["counts"]
+            writer[:] = [1, 2, 3, 4]
+            reader = layout.map(handle, writeable=False)["counts"]
+            assert not reader.flags.writeable
+            assert not reader.flags.owndata
+            np.testing.assert_array_equal(reader, [1, 2, 3, 4])
+            del writer, reader
+        finally:
+            handle.release()
+
+
+class TestRegistry:
+    def test_create_registers_and_release_unregisters(self):
+        handle = shm.create_segment(SPEC, 16)
+        name = handle.name
+        assert shm.active_segment(name) is handle
+        assert name in shm.active_segment_names(kind=SPEC.kind)
+        assert shm.segment_refcount(name) == 1
+        handle.release()
+        assert shm.active_segment(name) is None
+        assert shm.segment_refcount(name) is None
+
+    def test_in_process_attach_dedups_and_refcounts(self):
+        handle = shm.create_segment(SPEC, 16)
+        name = handle.name
+        again = shm.attach_segment(SPEC, name)
+        assert again is handle
+        assert shm.segment_refcount(name) == 2
+        handle.release()
+        assert not handle.closed, "one reference is still held"
+        again.release()
+        assert handle.closed
+
+    def test_attach_with_conflicting_spec_refused(self):
+        handle = shm.create_segment(SPEC, 16)
+        try:
+            other = shm.SegmentSpec(kind="unit-test", magic=SPEC.magic, version=99)
+            with pytest.raises(ModelError, match="already open as"):
+                shm.attach_segment(other, handle.name)
+        finally:
+            handle.release()
+
+    def test_forget_is_scoped_by_kind(self):
+        handle = shm.create_segment(SPEC, 16)
+        other = shm.create_segment(shm.SegmentSpec(kind="unit-other", magic=1, version=1), 16)
+        try:
+            shm.forget_inherited_segments(kind="unit-other")
+            assert shm.active_segment(handle.name) is handle
+            assert shm.active_segment(other.name) is None
+        finally:
+            handle.release()
+            # The forgotten handle still owns its mapping and unlink.
+            other.release()
+
+    def test_force_release_collapses_the_refcount(self):
+        handle = shm.create_segment(SPEC, 16)
+        shm.attach_segment(SPEC, handle.name)
+        assert shm.segment_refcount(handle.name) == 2
+        handle.force_release()  # the atexit backstop's path
+        assert handle.closed
+
+    def test_acquire_after_close_refused(self):
+        handle = shm.create_segment(SPEC, 16)
+        handle.release()
+        with pytest.raises(ModelError, match="already closed"):
+            handle.acquire()
+
+
+class TestCreateErrors:
+    def test_negative_payload_refused(self):
+        with pytest.raises(ModelError, match="negative payload"):
+            shm.create_segment(SPEC, -1)
+
+    def test_zero_payload_segment_works(self):
+        handle = shm.create_segment(SPEC, 0)
+        try:
+            assert shm.validate_header(SPEC, handle.buf, source="segment") == 0
+        finally:
+            handle.release()

@@ -1,0 +1,190 @@
+"""The plane-conformance suite: every substrate plane, one set of invariants.
+
+Parametrized over every :data:`shm_conformance.CONTRACTS` entry (the raw
+substrate, the model plane, the results plane) and -- for the cross-process
+invariants -- over the ``fork`` and ``spawn`` start methods.  A future plane
+inherits this entire suite by registering one
+:class:`~shm_conformance.PlaneContract`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from shm_conformance import (
+    CONTRACTS,
+    child_attach_and_sigkill,
+    child_attach_verify_release,
+    corrupt_header_word,
+    shm_residue,
+)
+
+from repro.attacks import clear_structure_cache
+from repro.core import shm
+from repro.exceptions import ModelError
+
+#: Generous bound on child-process work (spawn pays interpreter start-up).
+_JOIN_SECONDS = 90
+
+pytestmark = pytest.mark.parametrize("kind", sorted(CONTRACTS))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_structure_cache()
+    yield
+    clear_structure_cache()
+
+
+def segment_exists(name: str) -> bool:
+    try:
+        segment = shm.attach_segment_untracked(name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _run_child(start_method, target, *args):
+    """Run ``target(*args)`` in a child process; return (process, queue)."""
+    context = multiprocessing.get_context(start_method)
+    queue = context.Queue()
+    process = context.Process(target=target, args=(*args, queue))
+    process.start()
+    return process, queue
+
+
+class TestInProcessLifecycle:
+    def test_round_trip_after_forget_is_bit_for_bit(self, kind):
+        """A real (non-dedup) attach sees exactly the creator's payload."""
+        contract = CONTRACTS[kind]
+        plane = contract.create()
+        expected = contract.fingerprint(plane)
+        try:
+            contract.forget()  # force the worker-side mapping path
+            attached = contract.attach(plane.name)
+            try:
+                assert contract.fingerprint(attached) == expected
+            finally:
+                attached.release()
+        finally:
+            plane.release()
+        assert not segment_exists(plane.name)
+
+    def test_double_release_is_idempotent(self, kind):
+        contract = CONTRACTS[kind]
+        plane = contract.create()
+        name = plane.name
+        plane.release()
+        assert not segment_exists(name)
+        plane.release()  # the atexit backstop and a finally may both fire
+        assert not segment_exists(name)
+
+    def test_attacher_release_never_unlinks(self, kind):
+        contract = CONTRACTS[kind]
+        plane = contract.create()
+        try:
+            contract.forget()
+            attached = contract.attach(plane.name)
+            attached.release()
+            assert segment_exists(plane.name), "only the creator may unlink"
+        finally:
+            plane.release()
+        assert not segment_exists(plane.name)
+
+    def test_attach_unknown_name_raises_model_error(self, kind):
+        contract = CONTRACTS[kind]
+        with pytest.raises(ModelError):
+            contract.attach(f"repro-{contract.spec.kind}-no-such-segment")
+
+    def test_foreign_segment_refused(self, kind):
+        """A segment of any *other* registered plane kind is refused loudly."""
+        contract = CONTRACTS[kind]
+        other = next(CONTRACTS[k] for k in sorted(CONTRACTS) if k != kind)
+        foreign = other.create()
+        try:
+            contract.forget()
+            other.forget()
+            with pytest.raises(ModelError):
+                contract.attach(foreign.name)
+        finally:
+            foreign.release()
+        assert not segment_exists(foreign.name)
+
+    def test_layout_version_mismatch_refused(self, kind):
+        """A peer from another layout generation must refuse, not mis-decode."""
+        contract = CONTRACTS[kind]
+        plane = contract.create()
+        try:
+            contract.forget()
+            corrupt_header_word(plane.name, 2, contract.spec.version + 1)
+            with pytest.raises(ModelError, match="layout version"):
+                contract.attach(plane.name)
+        finally:
+            plane.release()
+        assert not segment_exists(plane.name)
+
+    def test_substrate_magic_mismatch_refused(self, kind):
+        """A segment that is not ours at all (no substrate magic) is refused."""
+        contract = CONTRACTS[kind]
+        plane = contract.create()
+        try:
+            contract.forget()
+            corrupt_header_word(plane.name, 0, 0)
+            with pytest.raises(ModelError, match="not a repro shared-memory segment"):
+                contract.attach(plane.name)
+        finally:
+            plane.release()
+        assert not segment_exists(plane.name)
+
+
+class TestCrossProcessLifecycle:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_unlink_after_release_across_processes(self, kind, start_method):
+        """A child's attach/release round trip leaves the unlink to the creator."""
+        contract = CONTRACTS[kind]
+        plane = contract.create()
+        try:
+            process, queue = _run_child(
+                start_method, child_attach_verify_release, kind, plane.name
+            )
+            label, fingerprint = queue.get(timeout=_JOIN_SECONDS)
+            process.join(timeout=_JOIN_SECONDS)
+            assert label == "fingerprint"
+            assert fingerprint == contract.fingerprint(plane), (
+                f"{start_method} child saw a different payload"
+            )
+            assert process.exitcode == 0
+            assert segment_exists(plane.name), "child release must not unlink"
+        finally:
+            plane.release()
+        assert not segment_exists(plane.name)
+
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    def test_sigkilled_attacher_leaks_nothing(self, kind, start_method):
+        """An attacher dying without cleanup neither unlinks nor leaks."""
+        contract = CONTRACTS[kind]
+        residue_before = shm_residue()
+        plane = contract.create()
+        process, queue = _run_child(start_method, child_attach_and_sigkill, kind, plane.name)
+        try:
+            label, _ = queue.get(timeout=_JOIN_SECONDS)
+            assert label == "attached"
+            process.join(timeout=_JOIN_SECONDS)
+            assert process.exitcode == -9
+            assert segment_exists(plane.name), "a crashed attacher must not unlink"
+        finally:
+            plane.release()
+        assert not segment_exists(plane.name)
+        assert shm_residue() == residue_before
+
+    def test_no_devshm_residue_after_full_cycle(self, kind):
+        contract = CONTRACTS[kind]
+        residue_before = shm_residue()
+        plane = contract.create()
+        contract.forget()
+        attached = contract.attach(plane.name)
+        attached.release()
+        plane.release()
+        assert shm_residue() == residue_before

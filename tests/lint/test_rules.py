@@ -60,9 +60,26 @@ def test_rl001_quiet_on_plane_api_users(harness):
     assert violations == []
 
 
+def test_rl001_fires_on_planes_touching_shared_memory_directly(harness):
+    """The planes lost their exemption: only core/shm.py may touch SharedMemory."""
+    for plane in ("core/shared_structures.py", "core/results_plane.py"):
+        violations = harness.lint(
+            plane,
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """,
+            RL001,
+        )
+        assert ids(violations) == ["RL001", "RL001"], plane
+        assert "core/shm.py" in violations[0].message
+
+
 def test_rl001_fires_on_unpaired_create_inside_substrate(harness):
     violations = harness.lint(
-        "core/shared_structures.py",
+        "core/shm.py",
         """
         from multiprocessing import shared_memory
 
@@ -81,7 +98,7 @@ def test_rl001_fires_on_unpaired_create_inside_substrate(harness):
 
 def test_rl001_quiet_on_release_paired_create(harness):
     violations = harness.lint(
-        "core/shared_structures.py",
+        "core/shm.py",
         """
         import atexit
         from multiprocessing import shared_memory
@@ -113,7 +130,7 @@ def test_rl001_quiet_on_release_paired_create(harness):
 
 def test_rl001_flags_module_level_create(harness):
     violations = harness.lint(
-        "core/results_plane.py",
+        "core/shm.py",
         """
         import atexit
         from multiprocessing import shared_memory
