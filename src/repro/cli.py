@@ -90,6 +90,7 @@ from dataclasses import replace
 from .config import AnalysisConfig, AttackParams, ProtocolParams, known_scenario_names
 from .core import SelfishMiningAnalyzer, ascii_plot, render_table, write_csv
 from .core.distributed import parse_address, run_worker
+from .core.reporting import ProgressReporter
 from .core.sweep import SweepConfig, run_sweep
 from .lint.engine import add_lint_arguments
 
@@ -370,6 +371,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "'engine.point_transient:2,distributed.result_drop:1:*' "
         "(also read from REPRO_FAULTS)",
     )
+    sweep.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress and summary diagnostics on stderr "
+        "(the plot, failures and CSV path still print)",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="serve a distributed-sweep coordinator as a remote worker"
@@ -531,34 +538,35 @@ def _command_sweep(args: argparse.Namespace) -> int:
         journal_resume=args.resume,
         journal_fsync=args.journal_fsync,
     )
-    progress = lambda message: print(message, file=sys.stderr)  # noqa: E731
+    # One reporter for every diagnostic line: per-point progress from the
+    # execution plane plus the fabric/journal summaries below.  --quiet
+    # silences all of it while stdout keeps the actual results.
+    reporter = ProgressReporter.stderr(quiet=args.quiet)
     if args.distributed:
         from .core.distributed import run_distributed_sweep
 
         sweep = run_distributed_sweep(
             config,
-            progress=progress,
+            progress=reporter,
             heartbeat_seconds=args.heartbeat_seconds,
             straggler_seconds=args.straggler_seconds,
         )
         fabric = sweep.metadata.get("distributed", {})
-        print(
+        reporter(
             f"distributed: {fabric.get('units', 0)} unit(s) over "
             f"{len(fabric.get('workers', {}))} worker(s), "
             f"{fabric.get('reassigned_units', 0)} reassigned, "
-            f"{fabric.get('duplicated_units', 0)} duplicated",
-            file=sys.stderr,
+            f"{fabric.get('duplicated_units', 0)} duplicated"
         )
     else:
-        sweep = run_sweep(config, progress=progress)
+        sweep = run_sweep(config, progress=reporter)
     journal_meta = sweep.metadata.get("journal")
     if journal_meta:
-        print(
+        reporter(
             f"journal: {journal_meta['path']} "
             f"(replayed {journal_meta['replayed']} point(s), "
             f"recorded {journal_meta['recorded']}, "
-            f"skipped {journal_meta['skipped_units']} unit(s))",
-            file=sys.stderr,
+            f"skipped {journal_meta['skipped_units']} unit(s))"
         )
     print(ascii_plot(sweep, args.gamma))
     for failure in sweep.failures:
@@ -574,14 +582,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
 def _command_worker(args: argparse.Namespace) -> int:
     _install_faults(args)
-    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
     summary = run_worker(
         args.connect,
         capacity=args.capacity,
         heartbeat_seconds=args.heartbeat_seconds,
         connect_retry_seconds=args.connect_retry_seconds,
         reconnect_seconds=args.reconnect_seconds,
-        progress=progress,
+        progress=ProgressReporter.stderr(quiet=args.quiet),
     )
     print(
         f"worker done: {summary.units} unit(s), {summary.outcomes} point(s), "

@@ -83,19 +83,21 @@ from ..exceptions import ModelError
 from .engine import (
     AttackTask,
     PointOutcome,
-    _build_tasks,
-    _prewarm_structure_cache,
     _run_attack_task,
-    assemble_sweep_result,
-    describe_outcome,
 )
 from .faults import backoff_delays, maybe_fail
+from .reporting import ProgressReporter
 from .results import SweepResult
-from .shared_structures import pack_structures, unpack_structures
+from .shared_structures import unpack_structures
+
+# Re-exported as a module attribute: the execution plane's DistributedBackend
+# packs the welcome-frame structures via ``fabric.pack_structures`` so tests
+# can monkeypatch the wire encoding on this module.
+from .shared_structures import pack_structures  # noqa: F401  isort: skip
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..mdp.portfolio import PortfolioHistory
-    from .journal import SweepJournal
+    from .execution import MergeSink
     from .sweep import SweepConfig
 
 #: Protocol version spoken by this module; a mismatch refuses the worker.
@@ -113,6 +115,20 @@ DEFAULT_HEARTBEAT_SECONDS = 5.0
 DEFAULT_STRAGGLER_SECONDS = 30.0
 
 _FRAME_PREFIX = struct.Struct(">I")
+
+
+def resolve_heartbeat_seconds(value: Optional[float]) -> float:
+    """``value``, or ``REPRO_HEARTBEAT_SECONDS``, or the built-in default."""
+    if value is not None:
+        return float(value)
+    return float(os.environ.get("REPRO_HEARTBEAT_SECONDS", DEFAULT_HEARTBEAT_SECONDS))
+
+
+def resolve_straggler_seconds(value: Optional[float]) -> float:
+    """``value``, or ``REPRO_STRAGGLER_SECONDS``, or the built-in default."""
+    if value is not None:
+        return float(value)
+    return float(os.environ.get("REPRO_STRAGGLER_SECONDS", DEFAULT_STRAGGLER_SECONDS))
 
 
 class ProtocolError(ModelError):
@@ -310,7 +326,14 @@ class _RemoteWorker:
 
 
 class _Coordinator:
-    """Asyncio coordinator: schedules units, heartbeats workers, merges results."""
+    """Asyncio coordinator: schedules units, heartbeats workers, streams results.
+
+    Scheduling only: dispatch, heartbeat liveness, straggler duplication and
+    requeue live here, while every accepted result is pushed straight into the
+    shared :class:`~repro.core.execution.MergeSink` (unit-level idempotent
+    merge, journal append, progress) -- the coordinator itself never journals
+    or merges.
+    """
 
     def __init__(
         self,
@@ -321,7 +344,7 @@ class _Coordinator:
         heartbeat_seconds: float,
         straggler_seconds: float,
         report: Callable[[str], None],
-        journal: Optional["SweepJournal"] = None,
+        sink: "MergeSink",
     ) -> None:
         self.tasks = tasks
         self.structures_blob = structures_blob
@@ -333,13 +356,14 @@ class _Coordinator:
         self.heartbeat_seconds = heartbeat_seconds
         self.straggler_seconds = straggler_seconds
         self.report = report
-        #: Durable journal of computed outcomes (``None`` = journaling off).
-        #: Written here, in the coordinator, so each outcome is journaled
-        #: exactly once no matter how many workers duplicated its unit.
-        self.journal = journal
+        #: The one merge pipeline: every accepted unit's outcomes flow through
+        #: the sink exactly once, no matter how many workers duplicated it.
+        self.sink = sink
         self.pending: deque[int] = deque(range(len(tasks)))
         self.unit_holders: Dict[int, Set[int]] = {}
-        self.completed: Dict[int, List[PointOutcome]] = {}
+        #: Scheduling state only (which units are done); the outcomes
+        #: themselves live in the sink.
+        self.completed_units: Set[int] = set()
         self.workers: Dict[int, _RemoteWorker] = {}
         self.workers_ever = 0
         self.reassigned_units = 0
@@ -375,7 +399,7 @@ class _Coordinator:
             (assigned_at, unit_id)
             for worker in self.workers.values()
             for unit_id, assigned_at in worker.assigned.items()
-            if unit_id not in self.completed
+            if unit_id not in self.completed_units
         ]
         outstanding.sort()
         for assigned_at, unit_id in outstanding:
@@ -405,7 +429,7 @@ class _Coordinator:
     def _drop_worker(self, worker: _RemoteWorker, reason: str) -> None:
         if self.workers.pop(worker.ident, None) is None:
             return
-        requeue = sorted(unit for unit in worker.assigned if unit not in self.completed)
+        requeue = sorted(unit for unit in worker.assigned if unit not in self.completed_units)
         # Iterate highest-first so repeated appendleft leaves the queue front
         # in ascending unit order: units are numbered in series order, and
         # front-of-queue, in-order reassignment lets a p-axis warm-start chain
@@ -436,47 +460,32 @@ class _Coordinator:
         worker.assigned.pop(unit_id, None)
         self.unit_holders.get(unit_id, set()).discard(worker.ident)
         outcomes = [outcome_from_wire(wire) for wire in header["outcomes"]]
-        if unit_id in self.completed:
-            # Idempotent merge: a duplicate (straggler or reassigned-but-alive
-            # worker) recomputed the same grid keys.  First result wins --
-            # unless it carried errors and this recompute has fewer (a
-            # host-specific transient failure must not outrank a clean value).
-            previous_errors = sum(1 for o in self.completed[unit_id] if o.error is not None)
-            new_errors = sum(1 for o in outcomes if o.error is not None)
-            if previous_errors and new_errors < previous_errors:
-                self.completed[unit_id] = outcomes
-                self._journal(outcomes)
+        if unit_id in self.completed_units:
+            # Duplicate delivery (straggler or reassigned-but-alive worker):
+            # the sink applies first-result-wins / fewer-errors-wins and tells
+            # us how many errored points this recompute replaced, so the
+            # replacement can be attributed to the worker that computed it.
+            replaced = self.sink.accept_unit(unit_id, outcomes)
+            if replaced:
                 self.report(
                     f"unit {unit_id}: recompute on worker {worker.name} replaced "
-                    f"{previous_errors} errored point(s)"
+                    f"{replaced} errored point(s)"
                 )
             if isinstance(header.get("stats"), dict):
                 worker.stats = header["stats"]
                 self.worker_stats[worker.name] = dict(header["stats"], units=worker.completed_units)
             self._dispatch()
             return
-        self.completed[unit_id] = outcomes
-        self._journal(outcomes)
+        self.completed_units.add(unit_id)
+        self.sink.accept_unit(unit_id, outcomes)
         worker.completed_units += 1
         if isinstance(header.get("stats"), dict):
             worker.stats = header["stats"]
             self.worker_stats[worker.name] = dict(header["stats"], units=worker.completed_units)
-        for outcome in outcomes:
-            self.report(describe_outcome(outcome))
-        if len(self.completed) == len(self.tasks):
+        if len(self.completed_units) == len(self.tasks):
             self._finish()
         else:
             self._dispatch()
-
-    def _journal(self, outcomes: List[PointOutcome]) -> None:
-        """Append accepted outcomes to the durable journal (if enabled).
-
-        ``record`` is a no-op for grid keys replayed on resume, so a
-        recomputed tail of a partially journaled series is not re-appended.
-        """
-        if self.journal is not None:
-            for outcome in outcomes:
-                self.journal.record(outcome)
 
     def _finish(self) -> None:
         for worker in self.workers.values():
@@ -577,6 +586,64 @@ class _Coordinator:
             if not self.pending:
                 self._dispatch_stragglers()
 
+    def serve(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: Optional[float] = None,
+        on_listen: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Run the fabric on this thread until every unit has completed.
+
+        Args:
+            host: Address to listen on.
+            port: Port to listen on (0 = ephemeral; the bound port reaches
+                ``on_listen``).
+            timeout: Optional overall deadline (seconds).
+            on_listen: Optional callback invoked with the bound ``(host,
+                port)`` once the coordinator is accepting connections.
+
+        Raises:
+            ModelError: If the listen address cannot be bound or ``timeout``
+                expires before the grid completes.
+        """
+        if not self.tasks:
+            return
+
+        async def _run() -> None:
+            try:
+                server = await asyncio.start_server(self.handle_connection, host, port)
+            except OSError as exc:
+                raise ModelError(f"cannot listen on {host}:{port}: {exc}") from exc
+            bound = server.sockets[0].getsockname()
+            self.report(f"coordinator listening on {bound[0]}:{bound[1]}")
+            if on_listen is not None:
+                on_listen(bound[0], bound[1])
+            monitor = asyncio.ensure_future(self.monitor())
+            try:
+                await asyncio.wait_for(self.done.wait(), timeout)
+            except asyncio.TimeoutError:
+                raise ModelError(
+                    f"distributed sweep did not complete within {timeout}s "
+                    f"({len(self.completed_units)}/{len(self.tasks)} units done, "
+                    f"{len(self.workers)} worker(s) connected)"
+                ) from None
+            finally:
+                monitor.cancel()
+                server.close()
+                await server.wait_closed()
+                # Nudge still-connected workers off the socket and let their
+                # handlers run to completion, so loop teardown never cancels a
+                # handler mid-read (noisy, and it would skip the drop
+                # bookkeeping).
+                for remote in list(self.workers.values()):
+                    remote.writer.close()
+                if self.handler_tasks:
+                    await asyncio.wait(list(self.handler_tasks), timeout=5.0)
+
+        asyncio.run(_run())
+
 
 def run_distributed_sweep(
     config: "SweepConfig",
@@ -620,155 +687,19 @@ def run_distributed_sweep(
         ModelError: If the listen address cannot be bound or ``timeout``
             expires before the grid completes.
     """
-    if heartbeat_seconds is None:
-        heartbeat_seconds = float(
-            os.environ.get("REPRO_HEARTBEAT_SECONDS", DEFAULT_HEARTBEAT_SECONDS)
-        )
-    if straggler_seconds is None:
-        straggler_seconds = float(
-            os.environ.get("REPRO_STRAGGLER_SECONDS", DEFAULT_STRAGGLER_SECONDS)
-        )
-    host, port = parse_address(str(config.coordinator))
+    # Imported lazily to break the distributed <-> execution import cycle.
+    # Everything that used to live here -- journal open/resume, unit merging,
+    # baseline synthesis, result assembly -- now flows through the shared
+    # execution plane; this module only contributes the fabric backend.
+    from .execution import DistributedBackend, execute_plan
 
-    def report(message: str) -> None:
-        if progress is not None:
-            progress(message)
-
-    tasks = _build_tasks(config)
-    structures_blob: Optional[bytes] = None
-    if tasks and config.use_structure_cache:
-        structures = _prewarm_structure_cache(config)
-        if structures:
-            structures_blob = pack_structures(structures)
-            if len(structures_blob) >= MAX_FRAME_BYTES - 4096:
-                # Fail fast: otherwise every worker handshake would raise on
-                # the oversized welcome frame and the sweep would hang with no
-                # worker ever accepted.
-                raise ModelError(
-                    f"packed model structures ({len(structures_blob)} bytes) exceed the "
-                    f"wire frame cap of {MAX_FRAME_BYTES} bytes; reduce the grid or "
-                    f"disable use_structure_cache"
-                )
-
-    # Durable journal: previously journaled grid points pre-complete their
-    # units before the fabric even listens, so a resumed sweep streams only
-    # the delta to workers.  A *partially* journaled unit (a chained series
-    # interrupted mid-block) is recomputed whole -- see the engine's resume
-    # rule -- which is safe because recomputed values are bit-for-bit
-    # identical and re-journaling replayed keys is a no-op.
-    journal: Optional["SweepJournal"] = None
-    journal_path = getattr(config, "journal_path", None)
-    if journal_path is not None:
-        from .journal import SweepJournal
-
-        journal = SweepJournal.open(
-            journal_path,
-            config,
-            resume=config.journal_resume,
-            fsync=config.journal_fsync,
-        )
-
-    coordinator = _Coordinator(
-        tasks,
-        structures_blob,
-        min_workers=int(config.distributed_workers),
+    backend = DistributedBackend(
         heartbeat_seconds=heartbeat_seconds,
         straggler_seconds=straggler_seconds,
-        report=report,
-        journal=journal,
+        timeout=timeout,
+        on_listen=on_listen,
     )
-
-    skipped_units = 0
-    if journal is not None and journal.replayed:
-        replayed = journal.replayed_outcomes()
-        for unit_id, task in enumerate(tasks):
-            keys = [
-                (task.gamma_index, p_index, task.attack_index)
-                for p_index in task.p_indices
-            ]
-            if all(key in replayed for key in keys):
-                coordinator.completed[unit_id] = [replayed[key] for key in keys]
-        skipped_units = len(coordinator.completed)
-        coordinator.pending = deque(
-            unit_id for unit_id in range(len(tasks)) if unit_id not in coordinator.completed
-        )
-        report(
-            f"journal resume: {skipped_units} of {len(tasks)} unit(s) replayed "
-            f"from {journal.path}"
-        )
-
-    async def _run() -> None:
-        if not tasks:
-            return
-        try:
-            server = await asyncio.start_server(coordinator.handle_connection, host, port)
-        except OSError as exc:
-            raise ModelError(f"cannot listen on {host}:{port}: {exc}") from exc
-        bound = server.sockets[0].getsockname()
-        report(f"coordinator listening on {bound[0]}:{bound[1]}")
-        if on_listen is not None:
-            on_listen(bound[0], bound[1])
-        monitor = asyncio.ensure_future(coordinator.monitor())
-        try:
-            await asyncio.wait_for(coordinator.done.wait(), timeout)
-        except asyncio.TimeoutError:
-            raise ModelError(
-                f"distributed sweep did not complete within {timeout}s "
-                f"({len(coordinator.completed)}/{len(tasks)} units done, "
-                f"{len(coordinator.workers)} worker(s) connected)"
-            ) from None
-        finally:
-            monitor.cancel()
-            server.close()
-            await server.wait_closed()
-            # Nudge still-connected workers off the socket and let their
-            # handlers run to completion, so loop teardown never cancels a
-            # handler mid-read (noisy, and it would skip the drop bookkeeping).
-            for remote in list(coordinator.workers.values()):
-                remote.writer.close()
-            if coordinator.handler_tasks:
-                await asyncio.wait(list(coordinator.handler_tasks), timeout=5.0)
-
-    try:
-        if len(coordinator.completed) < len(tasks):
-            asyncio.run(_run())
-        elif tasks:
-            report("journal resume: every unit already journaled; skipping the fabric")
-    finally:
-        if journal is not None:
-            journal.close()
-
-    outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
-    for unit_outcomes in coordinator.completed.values():
-        for outcome in unit_outcomes:
-            outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
-    result = assemble_sweep_result(
-        config,
-        outcomes,
-        report,
-        description=(
-            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
-            f"(distributed over {len(coordinator.worker_stats) or coordinator.workers_ever} "
-            f"worker(s) via {host}:{port})"
-        ),
-    )
-    result.metadata["distributed"] = {
-        "listen": f"{host}:{port}",
-        "workers": coordinator.worker_stats,
-        "reassigned_units": coordinator.reassigned_units,
-        "duplicated_units": coordinator.duplicated_units,
-        "rejoined_workers": coordinator.rejoined_workers,
-        "units": len(tasks),
-    }
-    if journal is not None:
-        result.metadata["journal"] = {
-            "path": str(journal.path),
-            "fsync": journal.fsync,
-            "replayed": journal.replayed,
-            "recorded": journal.recorded,
-            "skipped_units": skipped_units,
-        }
-    return result
+    return execute_plan(config, backend, progress=progress)
 
 
 # --------------------------------------------------------------------- worker
@@ -852,19 +783,14 @@ def run_worker(
     """
     if hasattr(connect, "connect"):  # a SweepConfig-style object
         connect = str(connect.connect)
-    if heartbeat_seconds is None:
-        heartbeat_seconds = float(
-            os.environ.get("REPRO_HEARTBEAT_SECONDS", DEFAULT_HEARTBEAT_SECONDS)
-        )
+    heartbeat_seconds = resolve_heartbeat_seconds(heartbeat_seconds)
     host, port = parse_address(str(connect))
     if capacity < 1:
         raise ValueError(f"capacity must be >= 1, got {capacity}")
     if reconnect_seconds < 0:
         raise ValueError(f"reconnect_seconds must be >= 0, got {reconnect_seconds}")
 
-    def report(message: str) -> None:
-        if progress is not None:
-            progress(message)
+    report = ProgressReporter.wrap(progress)
 
     summary = WorkerSummary()
 

@@ -73,7 +73,6 @@ import os
 import sys
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
@@ -93,16 +92,18 @@ from ..exceptions import ModelError
 from .faults import InjectedFault, is_transient_error, maybe_fail, point_retry_limit
 from .results import SweepFailure, SweepPoint, SweepResult
 from .shared_structures import (
-    SharedStructurePlane,
     attach_and_install,
     forget_inherited_planes,
-    publish_structures,
 )
+
+# Deliberate module attribute, not an unused import: the pool backend
+# (core/execution.py) publishes the model plane via
+# ``engine.publish_structures`` so tests can monkeypatch the engine module, as
+# they always have.
+from .shared_structures import publish_structures  # noqa: F401
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from ..mdp.portfolio import PortfolioHistory
-    from .journal import SweepJournal
-    from .results_plane import ResultsPlane
     from .sweep import SweepConfig
 
 
@@ -572,226 +573,13 @@ def execute_sweep(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {config.workers}")
 
-    def report(message: str) -> None:
-        if progress is not None:
-            progress(message)
+    # Thin orchestration over the execution plane (imported lazily to break
+    # the engine <-> execution import cycle): the plan/backend/sink layers in
+    # core/execution.py own scheduling, journaling, merge and assembly.
+    from .execution import PoolBackend, SerialBackend, execute_plan
 
-    def report_outcome(outcome: PointOutcome) -> None:
-        report(describe_outcome(outcome))
-
-    tasks = _build_tasks(config)
-    outcomes: Dict[Tuple[int, int, int], PointOutcome] = {}
-    plane_stats = {"via_plane": 0, "via_pickle": 0, "in_process": 0, "synthesized": 0}
-
-    # Durable journal: replay previously computed points and skip every unit
-    # whose grid keys are all journaled.  A *partially* journaled unit (a
-    # chained series interrupted mid-block) is recomputed whole -- the chain
-    # must not cross the crash boundary -- which is safe because recomputed
-    # values are bit-for-bit identical and re-journaling them is a no-op.
-    journal: Optional["SweepJournal"] = None
-    skipped_units = 0
-    journal_path = getattr(config, "journal_path", None)
-    if journal_path is not None:
-        from .journal import SweepJournal
-
-        journal = SweepJournal.open(
-            journal_path,
-            config,
-            resume=config.journal_resume,
-            fsync=config.journal_fsync,
-        )
-        replayed = journal.replayed_outcomes()
-        if replayed:
-            outcomes.update(replayed)
-            remaining = [
-                task
-                for task in tasks
-                if not all(
-                    (task.gamma_index, p_index, task.attack_index) in replayed
-                    for p_index in task.p_indices
-                )
-            ]
-            skipped_units = len(tasks) - len(remaining)
-            tasks = remaining
-
-    def collect(task_outcomes: List[PointOutcome], *, channel: str = "via_pickle") -> None:
-        for outcome in task_outcomes:
-            outcomes[(outcome.gamma_index, outcome.p_index, outcome.attack_index)] = outcome
-            plane_stats[channel] += 1
-            if journal is not None:
-                journal.record(outcome)
-            report_outcome(outcome)
-
-    results_plane: Optional["ResultsPlane"] = None
-    if workers == 1 or not tasks:
-        # A per-sweep history (not the per-worker-process global, which would
-        # leak race history across independent serial sweeps in a long-lived
-        # process): every in-process sweep starts with a cold window, exactly
-        # like a fresh pool worker.
-        serial_history: Optional["PortfolioHistory"] = None
-        if tasks and config.analysis.solver == "portfolio":
-            from ..mdp.portfolio import PortfolioHistory
-
-            serial_history = PortfolioHistory()
-        for task in tasks:
-            collect(_run_attack_task(task, serial_history), channel="in_process")
-    else:
-        # The parent builds every skeleton of the grid once, publishes the flat
-        # buffers on the shared-memory model plane, and each worker -- fork- or
-        # spawn-started -- attaches zero-copy in its initializer.  When shared
-        # memory is unavailable the engine degrades to the legacy behaviour:
-        # forked workers inherit the parent's prewarmed cache, spawned workers
-        # prewarm once per worker via the same initializer.
-        start_method = _pool_start_method()
-        pool_kwargs: Dict[str, object] = {
-            "mp_context": multiprocessing.get_context(start_method)
-        }
-        plane: Optional[SharedStructurePlane] = None
-        if config.use_structure_cache:
-            structures = _prewarm_structure_cache(config)
-            if structures and config.use_shared_structures:
-                try:
-                    plane = publish_structures(structures)
-                except ModelError:
-                    plane = None
-        if getattr(config, "use_results_plane", True):
-            # The pickle-free return path: one fixed record per attack grid
-            # point, written by workers, drained by the parent.  Unavailable
-            # shared memory degrades to the pickled future path.
-            from .results_plane import create_results_plane
-
-            try:
-                results_plane = create_results_plane(
-                    len(config.gammas), len(config.p_values), len(config.attack_configs)
-                )
-            except ModelError:
-                results_plane = None
-        if plane is not None or results_plane is not None or (
-            start_method != "fork" and config.use_structure_cache
-        ):
-            # Fresh (spawn) interpreters cannot inherit the parent's cache, and
-            # any shared plane must be attached inside the worker.
-            pool_kwargs["initializer"] = _initialize_worker
-            pool_kwargs["initargs"] = (
-                plane.name if plane is not None else None,
-                config,
-                results_plane.name if results_plane is not None else None,
-            )
-
-        def drain_task_slots(task: AttackTask) -> None:
-            """Consume one task's plane slots (call only after syncing with its writer).
-
-            The per-slot seqlock detects torn records but is not a memory
-            barrier, so slots are only consumed once the writer has
-            synchronized with this process: here via the task's future
-            *result* (queue IPC).  Failed futures don't qualify -- a broken
-            pool fails every in-flight future while sibling workers may still
-            be writing -- so crashed tasks are handled after the pool joins.
-            """
-            if results_plane is None:
-                return
-            ready = []
-            for p_index in task.p_indices:
-                outcome = results_plane.take_new(
-                    results_plane.slot_of(task.gamma_index, p_index, task.attack_index)
-                )
-                if outcome is not None:
-                    ready.append(outcome)
-            collect(ready, channel="via_plane")
-
-        crashed_tasks: List[Tuple[AttackTask, str]] = []
-        try:
-            with ProcessPoolExecutor(max_workers=workers, **pool_kwargs) as pool:
-                futures = {pool.submit(_run_attack_task, task): task for task in tasks}
-                for future in as_completed(futures):
-                    task = futures[future]
-                    try:
-                        spilled = future.result()
-                        # Outcomes the plane absorbed are drained here, once
-                        # their task's future confirms the records are
-                        # published; anything the plane refused (oversized
-                        # strings, no plane at all) arrives pickled.
-                        drain_task_slots(task)
-                        collect(spilled)
-                    except Exception as exc:
-                        # A worker that died (OOM kill, segfault, broken pool)
-                        # must not discard the outcomes already collected from
-                        # others.  A broken pool marks *every* in-flight future
-                        # failed while sibling workers may still be writing, so
-                        # neither plane slots nor failure placeholders may be
-                        # touched here -- both wait for the post-join drain,
-                        # where no concurrent writer can exist.
-                        crashed_tasks.append(
-                            (task, f"worker crashed: {type(exc).__name__}: {exc}")
-                        )
-            # The pool has joined: every worker is gone, so a full drain is
-            # race-free and catches anything published by crashed or
-            # interrupted workers; only grid keys that never made it anywhere
-            # become synthesized failures (each key is collected exactly once).
-            if results_plane is not None:
-                collect(results_plane.drain_new(), channel="via_plane")
-            for task, message in crashed_tasks:
-                collect(
-                    [
-                        PointOutcome(
-                            gamma_index=task.gamma_index,
-                            p_index=p_index,
-                            attack_index=task.attack_index,
-                            p=p,
-                            gamma=task.gamma,
-                            series=task.series,
-                            errev=None,
-                            seconds=0.0,
-                            solver_iterations=0,
-                            num_states=0,
-                            error=message,
-                        )
-                        for p, p_index in zip(task.p_values, task.p_indices)
-                        if (task.gamma_index, p_index, task.attack_index) not in outcomes
-                    ],
-                    channel="synthesized",
-                )
-        finally:
-            # The parent owns the shared segments: release (and hence unlink)
-            # them whether the pool exited cleanly, a worker crashed, or the
-            # sweep raised.  Workers merely drop their mappings.
-            if plane is not None:
-                plane.release()
-            if results_plane is not None:
-                results_plane.release()
-            if journal is not None:
-                journal.close()
-
-    # Seal the journal (idempotent; the pool branch already closed on its
-    # error paths) so its durability policy runs before the result exists.
-    if journal is not None:
-        journal.close()
-    result = assemble_sweep_result(
-        config,
-        outcomes,
-        report,
-        description=(
-            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
-            f"(workers={workers})"
-        ),
-    )
-    if workers > 1 and tasks:
-        result.metadata["results_plane"] = {
-            "enabled": results_plane is not None,
-            "slots": results_plane.num_slots if results_plane is not None else 0,
-            "via_plane": plane_stats["via_plane"],
-            "via_pickle": plane_stats["via_pickle"],
-            "synthesized": plane_stats["synthesized"],
-        }
-    if journal is not None:
-        result.metadata["journal"] = {
-            "path": str(journal.path),
-            "fsync": journal.fsync,
-            "replayed": journal.replayed,
-            "recorded": journal.recorded,
-            "skipped_units": skipped_units,
-        }
-    return result
+    backend = SerialBackend() if workers == 1 else PoolBackend()
+    return execute_plan(config, backend, progress=progress)
 
 
 def assemble_sweep_result(

@@ -1,0 +1,809 @@
+"""One execution plane: sweep scheduling, backend protocol and merge pipeline.
+
+Historically the sweep machinery lived twice: ``execute_sweep``
+(:mod:`repro.core.engine`) and ``run_distributed_sweep``
+(:mod:`repro.core.distributed`) each reimplemented scheduling, journaling,
+retry bookkeeping, baseline synthesis and progress reporting inside one big
+batch driver.  This module decomposes that machinery into three explicit
+layers, shared by every way a sweep can run:
+
+1. :class:`SweepPlan` -- the *schedulable* form of a sweep grid.  The plan
+   owns the task list (one unit per grid point, or one unit per ``(gamma,
+   attack)`` series under chaining) and makes the implicit ordering of
+   ``_build_tasks`` explicit data: :meth:`SweepPlan.dependencies` is the
+   chain-edge graph induced by ``warm_start_across_points`` /
+   ``reuse_p_axis_bounds``, and "what may run concurrently" is exactly
+   "units are independent; points inside a unit are chained in p order".
+   Resume filtering (:meth:`SweepPlan.with_replayed`) is a plan-to-plan
+   transform, so every backend skips journal-replayed units the same way.
+
+2. :class:`ExecutionBackend` -- the protocol that turns a plan's tasks into
+   :class:`~repro.core.engine.PointOutcome`\\ s, and *nothing else*:
+   ``start(plan)`` acquires resources, ``outcomes()`` streams outcome events,
+   ``close()`` releases resources (idempotent).  :class:`SerialBackend` runs
+   units in-process in submission order, :class:`PoolBackend` fans them over a
+   :class:`~concurrent.futures.ProcessPoolExecutor` with the shared-memory
+   model plane and results-plane drain, and :class:`DistributedBackend` wraps
+   the TCP coordinator fabric.  Backends never journal, never merge, never
+   synthesize failures.
+
+3. :class:`MergeSink` -- the single merge pipeline that the engine's old
+   ``collect()`` closure and the coordinator's ``_record_result`` /
+   ``_journal`` used to duplicate: idempotent grid-key merge, journal append
+   (a no-op for replayed keys), unit-level first-result-wins with
+   fewer-errors-wins recompute replacement, per-channel counters
+   (``in_process`` / ``via_plane`` / ``via_pickle`` / ``synthesized``),
+   synthesized failures for crashed units, progress reporting through
+   :class:`~repro.core.reporting.ProgressReporter`, and final assembly into a
+   :class:`~repro.core.results.SweepResult`.  The sink is also the streaming
+   seam a future query API will sit on: every outcome flows through
+   :meth:`MergeSink.accept` (or :meth:`MergeSink.accept_unit`) the moment it
+   exists, so an observer can serve certified bounds *while* the sweep runs.
+
+:func:`execute_plan` is the thin orchestration over the three layers::
+
+    plan -> journal resume-filter -> backend.run(plan, sink) -> assemble
+
+and is what :func:`repro.core.engine.execute_sweep` and
+:func:`repro.core.distributed.run_distributed_sweep` now delegate to.  Lint
+rule RL007 (:mod:`repro.lint.rules.merge_pipeline`) pins the design: no module
+outside this one may append to a sweep journal, mutate sweep-result metadata
+or call ``assemble_sweep_result``.
+
+Behavioral contract: every backend produces bit-for-bit the values of the
+pre-refactor serial path (certified bounds, ERRev, CSV value columns, journal
+records); only wall-clock metadata may differ.  The conformance suite
+(``tests/core/execution_conformance.py``) asserts this for all three backends
+under fork and spawn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import ModelError
+from . import engine as _engine
+from .journal import GridKey
+from .reporting import ProgressReporter
+from .results import SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycles broken at runtime
+    from ..mdp.portfolio import PortfolioHistory
+    from .engine import AttackTask, PointOutcome
+    from .journal import SweepJournal
+    from .results_plane import ResultsPlane
+    from .shared_structures import SharedStructurePlane
+    from .sweep import SweepConfig
+
+
+# ----------------------------------------------------------------- sweep plan
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The schedulable form of a sweep grid: tasks plus explicit dependencies.
+
+    ``tasks`` are the engine's :class:`~repro.core.engine.AttackTask` units in
+    deterministic grid order; the unit id of a task is its index.  Units are
+    mutually independent and may run concurrently on any backend; the only
+    ordering constraints are *inside* a unit, where chained warm starts /
+    certified-bound reuse tie each point to its predecessor on the p axis --
+    :meth:`dependencies` returns exactly those edges.  ``replayed_units`` are
+    the units a journal resume already completed; backends schedule only
+    :attr:`pending_units`.
+    """
+
+    config: "SweepConfig"
+    tasks: Tuple["AttackTask", ...]
+    replayed_units: FrozenSet[int] = frozenset()
+
+    @classmethod
+    def build(cls, config: "SweepConfig") -> "SweepPlan":
+        """Decompose ``config``'s grid into a plan (series-ordered under chaining)."""
+        return cls(config=config, tasks=tuple(_engine._build_tasks(config)))
+
+    def unit_keys(self, unit_id: int) -> Tuple[GridKey, ...]:
+        """Grid keys ``(gamma_index, p_index, attack_index)`` of one unit, in p order."""
+        task = self.tasks[unit_id]
+        return tuple(
+            (task.gamma_index, p_index, task.attack_index) for p_index in task.p_indices
+        )
+
+    def dependencies(self) -> Dict[GridKey, GridKey]:
+        """Chain edges: each chained grid key mapped to its p-axis predecessor.
+
+        Non-empty only when ``warm_start_across_points`` or
+        ``reuse_p_axis_bounds`` chains a series, in which case every point of a
+        unit (except the first) depends on the previous p point -- the reason
+        a whole series travels as one unit and never crosses a process or host
+        boundary.  Keys absent from the mapping may start immediately.
+        """
+        edges: Dict[GridKey, GridKey] = {}
+        for unit_id, task in enumerate(self.tasks):
+            if not (task.warm_start_across_points or task.reuse_p_axis_bounds):
+                continue
+            keys = self.unit_keys(unit_id)
+            for previous, current in zip(keys, keys[1:]):
+                edges[current] = previous
+        return edges
+
+    @property
+    def pending_units(self) -> Tuple[int, ...]:
+        """Unit ids still to be executed (everything not replayed), in order."""
+        return tuple(
+            unit_id for unit_id in range(len(self.tasks)) if unit_id not in self.replayed_units
+        )
+
+    def pending_tasks(self) -> List[Tuple[int, "AttackTask"]]:
+        """``(unit_id, task)`` pairs of the pending units, in submission order."""
+        return [(unit_id, self.tasks[unit_id]) for unit_id in self.pending_units]
+
+    def with_replayed(self, replayed: Mapping[GridKey, "PointOutcome"]) -> "SweepPlan":
+        """Resume filter: mark every unit whose grid keys are all replayed.
+
+        A *partially* journaled unit (a chained series interrupted mid-block)
+        stays pending and is recomputed whole -- the chain must not cross the
+        crash boundary -- which is safe because recomputed values are
+        bit-for-bit identical and re-journaling replayed keys is a no-op.
+        """
+        if not replayed:
+            return self
+        done = frozenset(
+            unit_id
+            for unit_id in range(len(self.tasks))
+            if all(key in replayed for key in self.unit_keys(unit_id))
+        )
+        if not done:
+            return self
+        return SweepPlan(config=self.config, tasks=self.tasks, replayed_units=done)
+
+
+# ----------------------------------------------------------------- merge sink
+
+
+class MergeSink:
+    """The one merge pipeline: journal, retry accounting, counters, assembly.
+
+    Every computed :class:`~repro.core.engine.PointOutcome` -- whatever backend
+    produced it, whatever channel carried it -- flows through this object
+    exactly once.  The sink owns the idempotent grid-key merge (last write
+    wins at key level; :meth:`accept_unit` adds the coordinator's unit-level
+    first-result-wins / fewer-errors-wins discipline on top), the durable
+    journal append (``record`` is a no-op for replayed keys), the per-channel
+    delivery counters behind ``metadata["results_plane"]``, synthesized
+    failures for units whose worker died, and progress reporting.  Baseline
+    synthesis and per-point transient-retry accounting
+    (``metadata["recovery"]``) happen in :meth:`assemble`, which re-orders the
+    merged outcomes into the canonical ``gamma -> p -> series``
+    :class:`~repro.core.results.SweepResult`.
+    """
+
+    def __init__(
+        self,
+        plan: SweepPlan,
+        *,
+        reporter: ProgressReporter,
+        journal: Optional["SweepJournal"] = None,
+    ) -> None:
+        """Create the sink for one sweep run (one plan, one optional journal)."""
+        self.plan = plan
+        self.reporter = reporter
+        self.journal = journal
+        self.outcomes: Dict[GridKey, "PointOutcome"] = {}
+        self.channels: Dict[str, int] = {
+            "via_plane": 0,
+            "via_pickle": 0,
+            "in_process": 0,
+            "synthesized": 0,
+        }
+        self._unit_outcomes: Dict[int, List["PointOutcome"]] = {}
+
+    @staticmethod
+    def key_of(outcome: "PointOutcome") -> GridKey:
+        """Grid key ``(gamma_index, p_index, attack_index)`` of one outcome."""
+        return (outcome.gamma_index, outcome.p_index, outcome.attack_index)
+
+    def replay(self, replayed: Mapping[GridKey, "PointOutcome"]) -> None:
+        """Seed journal-replayed outcomes: merged silently, never re-journaled."""
+        self.outcomes.update(replayed)
+
+    def accept(
+        self, outcomes: Iterable["PointOutcome"], *, channel: str = "via_pickle"
+    ) -> None:
+        """Merge computed outcomes at key level: count, journal, report each one."""
+        for outcome in outcomes:
+            self.outcomes[self.key_of(outcome)] = outcome
+            self.channels[channel] += 1
+            if self.journal is not None:
+                self.journal.record(outcome)
+            self.reporter(_engine.describe_outcome(outcome))
+
+    def accept_unit(self, unit_id: int, outcomes: List["PointOutcome"]) -> int:
+        """Merge one whole unit's outcomes with duplicate-delivery discipline.
+
+        The first result per unit wins -- a straggler-duplicated or
+        reassigned-but-alive worker recomputes the same grid keys to the same
+        values -- unless the accepted result carried errors and the recompute
+        has fewer (a host-specific transient failure must not outrank a clean
+        value), in which case the recompute replaces it.
+
+        Returns:
+            The number of errored points replaced (0 for a first delivery or
+            an ignored duplicate), so the caller can attribute the replacement
+            to the worker that computed it.
+        """
+        previous = self._unit_outcomes.get(unit_id)
+        if previous is not None:
+            previous_errors = sum(1 for o in previous if o.error is not None)
+            new_errors = sum(1 for o in outcomes if o.error is not None)
+            if previous_errors and new_errors < previous_errors:
+                self._unit_outcomes[unit_id] = list(outcomes)
+                for outcome in outcomes:
+                    self.outcomes[self.key_of(outcome)] = outcome
+                    if self.journal is not None:
+                        self.journal.record(outcome)
+                return previous_errors
+            return 0
+        self._unit_outcomes[unit_id] = list(outcomes)
+        for outcome in outcomes:
+            self.outcomes[self.key_of(outcome)] = outcome
+            if self.journal is not None:
+                self.journal.record(outcome)
+        for outcome in outcomes:
+            self.reporter(_engine.describe_outcome(outcome))
+        return 0
+
+    def synthesize_missing(self, task: "AttackTask", message: str) -> None:
+        """Record synthesized failures for a crashed unit's unreported keys.
+
+        Only grid keys that never made it anywhere (no plane record, no
+        pickled result, no duplicate delivery) become failures, so each key is
+        merged exactly once.
+        """
+        self.accept(
+            [
+                _engine.PointOutcome(
+                    gamma_index=task.gamma_index,
+                    p_index=p_index,
+                    attack_index=task.attack_index,
+                    p=p,
+                    gamma=task.gamma,
+                    series=task.series,
+                    errev=None,
+                    seconds=0.0,
+                    solver_iterations=0,
+                    num_states=0,
+                    error=message,
+                )
+                for p, p_index in zip(task.p_values, task.p_indices)
+                if (task.gamma_index, p_index, task.attack_index) not in self.outcomes
+            ],
+            channel="synthesized",
+        )
+
+    def assemble(self, *, description: str) -> SweepResult:
+        """Assemble the merged outcomes (plus inline baselines) into the result."""
+        return _engine.assemble_sweep_result(
+            self.plan.config, self.outcomes, self.reporter, description=description
+        )
+
+    def journal_metadata(self) -> Optional[Dict[str, object]]:
+        """The ``metadata["journal"]`` block (``None`` when journaling is off)."""
+        if self.journal is None:
+            return None
+        return {
+            "path": str(self.journal.path),
+            "fsync": self.journal.fsync,
+            "replayed": self.journal.replayed,
+            "recorded": self.journal.recorded,
+            "skipped_units": len(self.plan.replayed_units),
+        }
+
+
+# ------------------------------------------------------------ backend events
+
+
+@dataclass(frozen=True)
+class OutcomeBatch:
+    """One streamed batch of computed outcomes plus the channel that carried it."""
+
+    outcomes: Tuple["PointOutcome", ...]
+    channel: str
+
+
+@dataclass(frozen=True)
+class UnitCrash:
+    """A unit whose worker died; unreported keys become synthesized failures."""
+
+    unit_id: int
+    message: str
+
+
+#: Events an :meth:`ExecutionBackend.outcomes` iterator may stream.
+BackendEvent = Union[OutcomeBatch, UnitCrash]
+
+
+# -------------------------------------------------------------------- backends
+
+
+class ExecutionBackend:
+    """Protocol of every sweep execution backend: tasks in, outcomes out.
+
+    A backend's only job is turning a plan's pending tasks into
+    :class:`~repro.core.engine.PointOutcome`\\ s; it never journals, merges or
+    assembles.  The contract is
+
+    * :meth:`start` -- acquire resources for a plan (pools, planes, sockets),
+    * :meth:`outcomes` -- stream :class:`OutcomeBatch` / :class:`UnitCrash`
+      events as units complete,
+    * :meth:`close` -- release every resource; must be idempotent and safe
+      after a partial :meth:`start`,
+
+    and :meth:`run` is the pull-mode driver over those three, feeding each
+    event into the :class:`MergeSink`.  :class:`DistributedBackend` overrides
+    :meth:`run` to push outcomes into the sink from its event loop instead
+    (same seam, push mode).  :meth:`describe` and :meth:`metadata` supply the
+    backend-specific result description and metadata blocks, so the
+    orchestration in :func:`execute_plan` stays backend-agnostic.
+    """
+
+    #: Short identifier used by harnesses and benchmarks.
+    name: str = "backend"
+
+    def start(self, plan: SweepPlan) -> None:
+        """Acquire the resources needed to execute ``plan``'s pending units."""
+        raise NotImplementedError
+
+    def outcomes(self) -> Iterator[BackendEvent]:
+        """Stream outcome events until every pending unit is accounted for."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release every resource acquired by :meth:`start` (idempotent)."""
+
+    def describe(self, plan: SweepPlan) -> str:
+        """One-line description of how the sweep ran (``SweepResult.description``)."""
+        config = plan.config
+        return (
+            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
+            f"(workers={int(config.workers)})"
+        )
+
+    def metadata(self, plan: SweepPlan, sink: MergeSink) -> Dict[str, object]:
+        """Backend-specific ``SweepResult.metadata`` entries (may be empty)."""
+        return {}
+
+    def run(self, plan: SweepPlan, sink: MergeSink) -> None:
+        """Default driver: start, feed every streamed event to the sink, close."""
+        self.start(plan)
+        stream = self.outcomes()
+        try:
+            for event in stream:
+                if isinstance(event, UnitCrash):
+                    sink.synthesize_missing(plan.tasks[event.unit_id], event.message)
+                else:
+                    sink.accept(event.outcomes, channel=event.channel)
+        finally:
+            close_stream = getattr(stream, "close", None)
+            if close_stream is not None:
+                close_stream()
+            self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: units run in submission order on this thread.
+
+    The reference backend: deterministic ordering, no IPC, no shared memory.
+    A per-sweep :class:`~repro.mdp.portfolio.PortfolioHistory` (portfolio
+    solver only) starts cold, exactly like a fresh pool worker, so independent
+    serial sweeps in a long-lived process never share race history.
+    """
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        """Create an idle serial backend (resources acquired by ``start``)."""
+        self._plan: Optional[SweepPlan] = None
+        self._history: Optional["PortfolioHistory"] = None
+
+    def start(self, plan: SweepPlan) -> None:
+        """Prepare in-process execution (cold per-sweep portfolio history)."""
+        self._plan = plan
+        self._history = None
+        if plan.pending_units and plan.config.analysis.solver == "portfolio":
+            from ..mdp.portfolio import PortfolioHistory
+
+            self._history = PortfolioHistory()
+
+    def outcomes(self) -> Iterator[BackendEvent]:
+        """Compute each pending unit inline and stream its outcomes."""
+        assert self._plan is not None  # start() ran
+        for _unit_id, task in self._plan.pending_tasks():
+            yield OutcomeBatch(
+                outcomes=tuple(_engine._run_attack_task(task, self._history)),
+                channel="in_process",
+            )
+
+    def close(self) -> None:
+        """Drop the per-sweep portfolio history."""
+        self._history = None
+
+
+class PoolBackend(ExecutionBackend):
+    """Process-pool execution with the shared model plane and results plane.
+
+    The parent builds every skeleton of the grid once, publishes the flat
+    buffers on the shared-memory model plane, and each worker -- fork- or
+    spawn-started -- attaches zero-copy in its initializer (zero explorations;
+    ``structure_cache_stats()["builds"] == 0`` in workers).  Outcomes return
+    through the pickle-free results plane where possible, drained per task
+    once the task's future result provides the memory barrier the per-slot
+    seqlock does not; a post-join full drain catches records published by
+    crashed workers, and only keys that never made it anywhere become
+    :class:`UnitCrash` synthesized failures.
+    """
+
+    name = "pool"
+
+    def __init__(self) -> None:
+        """Create an idle pool backend (resources acquired by ``start``)."""
+        self._plan: Optional[SweepPlan] = None
+        self._plane: Optional["SharedStructurePlane"] = None
+        self._results_plane: Optional["ResultsPlane"] = None
+        self._pool_kwargs: Dict[str, object] = {}
+        self._workers: int = 0
+        self._released = False
+
+    def start(self, plan: SweepPlan) -> None:
+        """Publish the model plane, create the results plane, size the pool.
+
+        When shared memory is unavailable the backend degrades to the legacy
+        behaviour: forked workers inherit the parent's prewarmed cache,
+        spawned workers prewarm once per worker via the same initializer, and
+        outcomes return by pickling.
+        """
+        self._plan = plan
+        config = plan.config
+        self._workers = int(config.workers)
+        self._released = False
+        if not plan.pending_units:
+            return
+        start_method = _engine._pool_start_method()
+        pool_kwargs: Dict[str, object] = {
+            "mp_context": multiprocessing.get_context(start_method)
+        }
+        plane: Optional["SharedStructurePlane"] = None
+        if config.use_structure_cache:
+            structures = _engine._prewarm_structure_cache(config)
+            if structures and config.use_shared_structures:
+                try:
+                    plane = _engine.publish_structures(structures)
+                except ModelError:
+                    plane = None
+        self._plane = plane
+        results_plane: Optional["ResultsPlane"] = None
+        if getattr(config, "use_results_plane", True):
+            from .results_plane import create_results_plane
+
+            try:
+                results_plane = create_results_plane(
+                    len(config.gammas), len(config.p_values), len(config.attack_configs)
+                )
+            except ModelError:
+                results_plane = None
+        self._results_plane = results_plane
+        if plane is not None or results_plane is not None or (
+            start_method != "fork" and config.use_structure_cache
+        ):
+            # Fresh (spawn) interpreters cannot inherit the parent's cache, and
+            # any shared plane must be attached inside the worker.
+            pool_kwargs["initializer"] = _engine._initialize_worker
+            pool_kwargs["initargs"] = (
+                plane.name if plane is not None else None,
+                config,
+                results_plane.name if results_plane is not None else None,
+            )
+        self._pool_kwargs = pool_kwargs
+
+    def outcomes(self) -> Iterator[BackendEvent]:
+        """Fan pending units over the pool and stream outcomes as they land."""
+        assert self._plan is not None  # start() ran
+        plan = self._plan
+        pending = plan.pending_tasks()
+        if not pending:
+            return
+        results_plane = self._results_plane
+
+        def drain_task_slots(task: "AttackTask") -> Tuple["PointOutcome", ...]:
+            """Consume one task's plane slots (call only after syncing with its writer).
+
+            The per-slot seqlock detects torn records but is not a memory
+            barrier, so slots are only consumed once the writer has
+            synchronized with this process: here via the task's future
+            *result* (queue IPC).  Failed futures don't qualify -- a broken
+            pool fails every in-flight future while sibling workers may still
+            be writing -- so crashed units are handled after the pool joins.
+            """
+            if results_plane is None:
+                return ()
+            ready = []
+            for p_index in task.p_indices:
+                outcome = results_plane.take_new(
+                    results_plane.slot_of(task.gamma_index, p_index, task.attack_index)
+                )
+                if outcome is not None:
+                    ready.append(outcome)
+            return tuple(ready)
+
+        crashed: List[Tuple[int, str]] = []
+        with ProcessPoolExecutor(max_workers=self._workers, **self._pool_kwargs) as pool:  # type: ignore[arg-type]
+            futures = {
+                pool.submit(_engine._run_attack_task, task): unit_id
+                for unit_id, task in pending
+            }
+            for future in as_completed(futures):
+                unit_id = futures[future]
+                task = plan.tasks[unit_id]
+                try:
+                    spilled = future.result()
+                except Exception as exc:
+                    # A worker that died (OOM kill, segfault, broken pool)
+                    # must not discard the outcomes already collected from
+                    # others.  A broken pool marks *every* in-flight future
+                    # failed while sibling workers may still be writing, so
+                    # neither plane slots nor failure placeholders may be
+                    # touched here -- both wait for the post-join drain,
+                    # where no concurrent writer can exist.
+                    crashed.append((unit_id, f"worker crashed: {type(exc).__name__}: {exc}"))
+                    continue
+                # Outcomes the plane absorbed are drained here, once their
+                # task's future confirms the records are published; anything
+                # the plane refused (oversized strings, no plane at all)
+                # arrives pickled.
+                yield OutcomeBatch(outcomes=drain_task_slots(task), channel="via_plane")
+                yield OutcomeBatch(outcomes=tuple(spilled), channel="via_pickle")
+        # The pool has joined: every worker is gone, so a full drain is
+        # race-free and catches anything published by crashed or interrupted
+        # workers; only grid keys that never made it anywhere become
+        # synthesized failures (each key is collected exactly once).
+        if results_plane is not None:
+            yield OutcomeBatch(outcomes=tuple(results_plane.drain_new()), channel="via_plane")
+        for unit_id, message in crashed:
+            yield UnitCrash(unit_id=unit_id, message=message)
+
+    def close(self) -> None:
+        """Release both shared segments (parent-owned: release means unlink)."""
+        if self._released:
+            return
+        self._released = True
+        plane, self._plane = self._plane, None
+        if plane is not None:
+            plane.release()
+        if self._results_plane is not None:
+            # Keep the handle for metadata (num_slots) but release the segment.
+            self._results_plane.release()
+
+    def metadata(self, plan: SweepPlan, sink: MergeSink) -> Dict[str, object]:
+        """The ``metadata["results_plane"]`` block (only when the pool ran)."""
+        if not plan.pending_units:
+            return {}
+        results_plane = self._results_plane
+        return {
+            "results_plane": {
+                "enabled": results_plane is not None,
+                "slots": results_plane.num_slots if results_plane is not None else 0,
+                "via_plane": sink.channels["via_plane"],
+                "via_pickle": sink.channels["via_pickle"],
+                "synthesized": sink.channels["synthesized"],
+            }
+        }
+
+
+class DistributedBackend(ExecutionBackend):
+    """TCP coordinator execution: units stream to remote ``repro worker``\\ s.
+
+    Wraps the fabric of :mod:`repro.core.distributed`.  This backend is
+    *push-mode*: outcome frames arrive inside the coordinator's asyncio event
+    loop, which feeds them to :meth:`MergeSink.accept_unit` the moment they
+    land (unit-level merge: first result wins, fewer-errors-wins recompute
+    replacement) -- so journal appends stay crash-safe mid-sweep instead of
+    buffering until the loop exits.  :meth:`run` is overridden accordingly;
+    :meth:`outcomes` therefore never yields and raises if called.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        *,
+        heartbeat_seconds: Optional[float] = None,
+        straggler_seconds: Optional[float] = None,
+        timeout: Optional[float] = None,
+        on_listen: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
+        """Configure the fabric (``None`` tunables resolve to env defaults)."""
+        self._heartbeat_seconds = heartbeat_seconds
+        self._straggler_seconds = straggler_seconds
+        self._timeout = timeout
+        self._on_listen = on_listen
+        self._listen: Optional[Tuple[str, int]] = None
+        self._coordinator: Optional[object] = None
+
+    def start(self, plan: SweepPlan) -> None:
+        """No-op: the fabric's lifetime is contained in :meth:`run`."""
+
+    def outcomes(self) -> Iterator[BackendEvent]:
+        """Unused: outcomes are pushed into the sink from the event loop."""
+        raise RuntimeError(
+            "DistributedBackend streams outcomes by pushing into the MergeSink "
+            "from the coordinator event loop; drive it with run(plan, sink)"
+        )
+
+    def run(self, plan: SweepPlan, sink: MergeSink) -> None:
+        """Serve the coordinator fabric until every pending unit completes."""
+        from . import distributed as fabric
+
+        config = plan.config
+        heartbeat_seconds = fabric.resolve_heartbeat_seconds(self._heartbeat_seconds)
+        straggler_seconds = fabric.resolve_straggler_seconds(self._straggler_seconds)
+        host, port = fabric.parse_address(str(config.coordinator))
+        self._listen = (host, port)
+        tasks = list(plan.tasks)
+        structures_blob: Optional[bytes] = None
+        if tasks and config.use_structure_cache:
+            structures = _engine._prewarm_structure_cache(config)
+            if structures:
+                structures_blob = fabric.pack_structures(structures)
+                if len(structures_blob) >= fabric.MAX_FRAME_BYTES - 4096:
+                    # Fail fast: otherwise every worker handshake would raise
+                    # on the oversized welcome frame and the sweep would hang
+                    # with no worker ever accepted.
+                    raise ModelError(
+                        f"packed model structures ({len(structures_blob)} bytes) exceed the "
+                        f"wire frame cap of {fabric.MAX_FRAME_BYTES} bytes; reduce the grid "
+                        f"or disable use_structure_cache"
+                    )
+        coordinator = fabric._Coordinator(
+            tasks,
+            structures_blob,
+            min_workers=int(config.distributed_workers),
+            heartbeat_seconds=heartbeat_seconds,
+            straggler_seconds=straggler_seconds,
+            report=sink.reporter,
+            sink=sink,
+        )
+        self._coordinator = coordinator
+        # Journal resume: replayed units pre-complete before the fabric even
+        # listens, so a resumed sweep streams only the delta to workers.
+        if plan.replayed_units:
+            coordinator.completed_units.update(plan.replayed_units)
+            coordinator.pending = deque(
+                unit_id
+                for unit_id in range(len(tasks))
+                if unit_id not in coordinator.completed_units
+            )
+        if sink.journal is not None and sink.journal.replayed:
+            sink.reporter(
+                f"journal resume: {len(plan.replayed_units)} of {len(tasks)} unit(s) "
+                f"replayed from {sink.journal.path}"
+            )
+        if len(coordinator.completed_units) < len(tasks):
+            coordinator.serve(host, port, timeout=self._timeout, on_listen=self._on_listen)
+        elif tasks:
+            sink.reporter("journal resume: every unit already journaled; skipping the fabric")
+
+    def describe(self, plan: SweepPlan) -> str:
+        """Distributed description: worker count and the listen address."""
+        from .distributed import _Coordinator
+
+        config = plan.config
+        coordinator = self._coordinator
+        assert isinstance(coordinator, _Coordinator) and self._listen is not None  # run() ran
+        host, port = self._listen
+        return (
+            f"figure-2 sweep over p={list(config.p_values)} and gamma={list(config.gammas)} "
+            f"(distributed over {len(coordinator.worker_stats) or coordinator.workers_ever} "
+            f"worker(s) via {host}:{port})"
+        )
+
+    def metadata(self, plan: SweepPlan, sink: MergeSink) -> Dict[str, object]:
+        """The ``metadata["distributed"]`` fabric-statistics block."""
+        from .distributed import _Coordinator
+
+        coordinator = self._coordinator
+        assert isinstance(coordinator, _Coordinator) and self._listen is not None  # run() ran
+        host, port = self._listen
+        return {
+            "distributed": {
+                "listen": f"{host}:{port}",
+                "workers": coordinator.worker_stats,
+                "reassigned_units": coordinator.reassigned_units,
+                "duplicated_units": coordinator.duplicated_units,
+                "rejoined_workers": coordinator.rejoined_workers,
+                "units": len(plan.tasks),
+            }
+        }
+
+
+# -------------------------------------------------------------- orchestration
+
+
+def execute_plan(
+    config: "SweepConfig",
+    backend: ExecutionBackend,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Thin orchestration: plan -> resume filter -> ``backend.run`` -> assemble.
+
+    The only function in the package that opens a sweep journal, constructs a
+    :class:`MergeSink` and attaches result metadata -- every execution path
+    (:func:`repro.core.engine.execute_sweep`,
+    :func:`repro.core.distributed.run_distributed_sweep`) funnels through it,
+    so resume semantics, channel counters and metadata shapes cannot drift
+    between backends.  The journal is sealed in a ``finally`` *before* the
+    result is assembled, so its durability policy runs even when the backend
+    (or a progress callback used for cancellation) raises.
+    """
+    reporter = ProgressReporter.wrap(progress)
+    plan = SweepPlan.build(config)
+    journal: Optional["SweepJournal"] = None
+    journal_path = getattr(config, "journal_path", None)
+    if journal_path is not None:
+        from .journal import SweepJournal
+
+        journal = SweepJournal.open(
+            journal_path,
+            config,
+            resume=config.journal_resume,
+            fsync=config.journal_fsync,
+        )
+    replayed: Mapping[GridKey, "PointOutcome"] = {}
+    if journal is not None:
+        replayed = journal.replayed_outcomes()
+        plan = plan.with_replayed(replayed)
+    sink = MergeSink(plan, reporter=reporter, journal=journal)
+    if replayed:
+        sink.replay(replayed)
+    try:
+        backend.run(plan, sink)
+    finally:
+        if journal is not None:
+            journal.close()
+    result = sink.assemble(description=backend.describe(plan))
+    for key, value in backend.metadata(plan, sink).items():
+        result.metadata[key] = value
+    journal_meta = sink.journal_metadata()
+    if journal_meta is not None:
+        result.metadata["journal"] = journal_meta
+    return result
+
+
+__all__ = [
+    "BackendEvent",
+    "DistributedBackend",
+    "ExecutionBackend",
+    "MergeSink",
+    "OutcomeBatch",
+    "PoolBackend",
+    "SerialBackend",
+    "SweepPlan",
+    "UnitCrash",
+    "execute_plan",
+]

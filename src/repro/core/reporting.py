@@ -3,16 +3,72 @@
 The benchmark harness and the CLI use these helpers to render the paper's
 figures as ASCII plots (one chart per gamma, one marker per series) and to dump
 machine-readable CSV files next to the benchmark output.
+
+:class:`ProgressReporter` is the one progress channel of the execution plane
+(:mod:`repro.core.execution`): the engine, the distributed coordinator and the
+remote worker all report through it instead of each wrapping its own
+``if progress is not None`` closure, and the CLI builds it once with consistent
+``--quiet`` semantics (progress always goes to stderr, never stdout).
 """
 
 from __future__ import annotations
 
 import csv
 import math
+import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 from .results import SweepResult
+
+
+def _print_stderr(message: str) -> None:
+    """Default sink of :meth:`ProgressReporter.stderr`: one line to stderr."""
+    print(message, file=sys.stderr)
+
+
+class ProgressReporter:
+    """Uniform per-event progress channel of every sweep execution backend.
+
+    Wraps an optional ``Callable[[str], None]`` callback so reporting sites
+    can simply call the reporter (``reporter("gamma=... p=...")``) without the
+    ``if progress is not None`` guard that used to be copy-pasted into the
+    engine, the distributed coordinator and the remote worker.  A reporter
+    whose callback is ``None`` is *disabled* and swallows every message --
+    exactly what ``--quiet`` means.
+
+    Progress is diagnostics, not output: :meth:`stderr` always prints to
+    ``sys.stderr``, keeping stdout reserved for results (plots, tables, final
+    summaries) on every CLI subcommand.
+    """
+
+    __slots__ = ("_callback",)
+
+    def __init__(self, callback: Optional[Callable[[str], None]] = None) -> None:
+        """Wrap ``callback`` (``None`` = disabled: every message is dropped)."""
+        self._callback = callback
+
+    @classmethod
+    def wrap(cls, progress: Optional[Callable[[str], None]]) -> "ProgressReporter":
+        """Adapt a legacy ``progress`` callback (idempotent for reporters)."""
+        if isinstance(progress, ProgressReporter):
+            return progress
+        return cls(progress)
+
+    @classmethod
+    def stderr(cls, *, quiet: bool = False) -> "ProgressReporter":
+        """CLI reporter: one line per event on stderr, or silent with ``quiet``."""
+        return cls(None if quiet else _print_stderr)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether messages reach a callback (``False`` under ``--quiet``)."""
+        return self._callback is not None
+
+    def __call__(self, message: str) -> None:
+        """Report one progress line (no-op when disabled)."""
+        if self._callback is not None:
+            self._callback(message)
 
 
 def round_significant(value: float, digits: int = 4) -> float:

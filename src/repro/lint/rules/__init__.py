@@ -10,6 +10,7 @@ from ..engine import Rule
 from .async_safety import ForkAsyncSafetyRule
 from .determinism import CertifiedPathDeterminismRule
 from .fault_sites import FaultSiteRegistrationRule
+from .merge_pipeline import MergePipelineRule
 from .scenario_contract import ScenarioContractRule
 from .shm_lifecycle import SharedMemoryLifecycleRule
 from .wire_schema import WireSchemaAgreementRule
@@ -22,6 +23,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     WireSchemaAgreementRule(),
     ScenarioContractRule(),
     FaultSiteRegistrationRule(),
+    MergePipelineRule(),
 )
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "CertifiedPathDeterminismRule",
     "FaultSiteRegistrationRule",
     "ForkAsyncSafetyRule",
+    "MergePipelineRule",
     "ScenarioContractRule",
     "SharedMemoryLifecycleRule",
     "WireSchemaAgreementRule",

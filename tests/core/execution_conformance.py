@@ -1,0 +1,312 @@
+"""Reusable conformance harness for sweep execution backends.
+
+Every backend of the execution plane (:mod:`repro.core.execution`) must
+satisfy the same observable contract: bit-for-bit equality with the serial
+reference on every certified value, zero structure builds inside worker
+processes, journal resume that recomputes only the missing delta, per-point
+failure isolation, and graceful cancellation that leaks no shared memory and
+leaves a resumable journal behind.
+
+Instead of every backend re-proving these with a hand-rolled copy of the same
+tests, a backend registers a :class:`BackendContract` here and
+``tests/core/test_execution_conformance.py`` runs the whole invariant suite
+against it -- cross-process backends additionally under both the ``fork`` and
+``spawn`` start methods.  A future backend (a remote batch queue, a GPU
+dispatcher) picks the entire suite up by adding one contract.
+
+This module is deliberately *not* named ``test_*``: it is imported by the
+conformance test module, and its probe targets must be importable at module
+top level so spawn-started pool workers can unpickle them by qualified name.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.attacks.structure import structure_cache_stats
+from repro.config import AnalysisConfig, AttackParams
+from repro.core.execution import PoolBackend, SweepPlan
+from repro.core.results import SweepResult
+from repro.core.sweep import SweepConfig, run_sweep
+from repro.exceptions import ModelError
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+class SweepCancelled(Exception):
+    """Raised from a progress callback to cancel a running sweep."""
+
+
+# ------------------------------------------------------------------- the grid
+
+
+def base_grid(**overrides) -> dict:
+    """The tiny conformance grid: 2 p-values x 1 gamma x 2 attack series."""
+    grid = dict(
+        p_values=(0.0, 0.1),
+        gammas=(0.5,),
+        attack_configs=(
+            AttackParams(depth=1, forks=1, max_fork_length=4),
+            AttackParams(depth=2, forks=1, max_fork_length=4),
+        ),
+        analysis=AnalysisConfig(epsilon=1e-2),
+    )
+    grid.update(overrides)
+    return grid
+
+
+def failing_grid() -> dict:
+    """A grid whose middle point (p = 1.5) raises inside the worker."""
+    return dict(
+        p_values=(0.1, 1.5, 0.3),
+        gammas=(0.5,),
+        attack_configs=(AttackParams(depth=1, forks=1, max_fork_length=4),),
+        include_honest=False,
+        include_single_tree=False,
+        analysis=AnalysisConfig(epsilon=1e-2),
+    )
+
+
+@lru_cache(maxsize=None)
+def serial_reference(chained: bool = False) -> SweepResult:
+    """The uninterrupted serial run every backend must reproduce bit-for-bit."""
+    grid = base_grid(reuse_p_axis_bounds=True) if chained else base_grid()
+    return run_sweep(SweepConfig(**grid, workers=1))
+
+
+def value_rows(result: SweepResult) -> List[Dict[str, object]]:
+    """CSV rows minus wall-clock columns: the bit-for-bit comparable surface."""
+    return [
+        {key: value for key, value in point.to_row().items() if "seconds" not in key}
+        for point in result.points
+    ]
+
+
+def assert_bit_for_bit(reference: SweepResult, result: SweepResult) -> None:
+    """Every certified value (and the CSV value columns) agrees exactly."""
+    assert value_rows(result) == value_rows(reference)
+    for ours, theirs in zip(reference.points, result.points):
+        assert (ours.p, ours.gamma, ours.series) == (theirs.p, theirs.gamma, theirs.series)
+        assert ours.errev == theirs.errev
+        assert ours.beta_low == theirs.beta_low
+        assert ours.beta_up == theirs.beta_up
+        assert ours.solver_iterations == theirs.solver_iterations
+
+
+# -------------------------------------------------------------- config helper
+
+
+def _config(grid: dict, *, journal_path=None, resume: bool = False, **extra) -> SweepConfig:
+    kwargs = dict(grid)
+    kwargs.update(extra)
+    if journal_path is not None:
+        kwargs.update(journal_path=str(journal_path), journal_resume=resume)
+    return SweepConfig(**kwargs)
+
+
+# --------------------------------------------------------------------- serial
+
+
+def _serial_execute(grid: dict, *, progress=None, journal_path=None, resume=False):
+    return run_sweep(
+        _config(grid, journal_path=journal_path, resume=resume, workers=1),
+        progress=progress,
+    )
+
+
+# ----------------------------------------------------------------------- pool
+
+
+def _pool_execute(grid: dict, *, progress=None, journal_path=None, resume=False):
+    return run_sweep(
+        _config(grid, journal_path=journal_path, resume=resume, workers=2),
+        progress=progress,
+    )
+
+
+def _pool_worker_builds(grid: dict) -> List[int]:
+    """Per-worker build counts under the pool backend's own worker wiring.
+
+    Uses the backend's ``start()`` to publish the model plane and derive the
+    exact pool configuration a sweep would use (start method included, via
+    ``REPRO_TEST_START_METHOD``), then asks every worker for its
+    ``structure_cache_stats()`` instead of computing points.
+    """
+    backend = PoolBackend()
+    backend.start(SweepPlan.build(_config(grid, workers=2)))
+    try:
+        kwargs = dict(backend._pool_kwargs)
+        assert "initializer" in kwargs, "the pool backend must configure its workers"
+        with ProcessPoolExecutor(max_workers=2, **kwargs) as pool:
+            stats = [
+                future.result()
+                for future in [pool.submit(structure_cache_stats) for _ in range(4)]
+            ]
+    finally:
+        backend.close()
+    assert all(entry["attaches"] > 0 for entry in stats)
+    return [entry["builds"] for entry in stats]
+
+
+# -------------------------------------------------------------- distributed
+
+
+def _free_port() -> int:
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def _spawn_worker(port: int) -> subprocess.Popen:
+    env = dict(os.environ, PYTHONPATH=str(_SRC))
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--heartbeat-seconds",
+            "1",
+            "--connect-retry-seconds",
+            "30",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _distributed_execute(grid: dict, *, progress=None, journal_path=None, resume=False):
+    port = _free_port()
+    workers = [_spawn_worker(port) for _ in range(2)]
+    try:
+        return run_sweep(
+            _config(
+                grid,
+                journal_path=journal_path,
+                resume=resume,
+                coordinator=f"127.0.0.1:{port}",
+                distributed_workers=2,
+            ),
+            progress=progress,
+        )
+    finally:
+        for worker in workers:
+            # A resume that replays every unit never opens the fabric, so
+            # workers may still be dialling; a terminate triggers their
+            # graceful drain instead of a 30 s connect-retry wait.
+            if worker.poll() is None:
+                worker.terminate()
+            worker.wait(timeout=60)
+
+
+def _distributed_worker_builds(grid: dict) -> List[int]:
+    """Per-worker build counts reported by the fabric after a loopback sweep."""
+    result = _distributed_execute(grid)
+    stats = result.metadata["distributed"]["workers"]
+    assert stats and all(entry["attaches"] > 0 for entry in stats.values())
+    return [entry["builds"] for entry in stats.values()]
+
+
+# -------------------------------------------------------------- cancellation
+
+
+def _cancel_via_progress(execute: Callable[..., SweepResult]):
+    """Cancel by raising from the progress callback on the first outcome."""
+
+    def cancel(grid: dict, journal_path) -> BaseException:
+        def explode(message: str) -> None:
+            if "ERRev=" in message:
+                raise SweepCancelled(message)
+
+        try:
+            execute(grid, progress=explode, journal_path=journal_path)
+        except SweepCancelled as exc:
+            return exc
+        raise AssertionError("sweep completed without reporting any outcome")
+
+    return cancel
+
+
+def _distributed_cancel(grid: dict, journal_path) -> BaseException:
+    """Cancel by deadline: no worker ever connects, the coordinator times out."""
+    config = _config(
+        grid,
+        journal_path=journal_path,
+        coordinator="127.0.0.1:0",
+        distributed_workers=1,
+    )
+    from repro.core.distributed import run_distributed_sweep
+
+    try:
+        run_distributed_sweep(config, timeout=0.5)
+    except ModelError as exc:
+        return exc
+    raise AssertionError("coordinator finished without any worker")
+
+
+# -------------------------------------------------------------------- registry
+
+
+@dataclass(frozen=True)
+class BackendContract:
+    """What one execution backend must provide to inherit the suite.
+
+    ``execute`` runs a sweep end-to-end (spawning loopback workers if the
+    backend needs them); ``cancel`` provokes a mid-sweep cancellation and
+    returns the exception that aborted it; ``worker_builds`` reports the
+    structure builds performed inside worker processes (``None`` for backends
+    without workers); ``cross_process`` opts the contract into the fork/spawn
+    start-method matrix; ``journals_before_cancel`` states whether a
+    cancellation can leave already-merged points in the journal.
+    """
+
+    kind: str
+    cross_process: bool
+    execute: Callable[..., SweepResult]
+    cancel: Callable[[dict, Any], BaseException]
+    cancelled_type: type
+    journals_before_cancel: bool
+    worker_builds: Optional[Callable[[dict], List[int]]] = None
+
+
+CONTRACTS: Dict[str, BackendContract] = {
+    "serial": BackendContract(
+        kind="serial",
+        cross_process=False,
+        execute=_serial_execute,
+        cancel=_cancel_via_progress(_serial_execute),
+        cancelled_type=SweepCancelled,
+        journals_before_cancel=True,
+    ),
+    "pool": BackendContract(
+        kind="pool",
+        cross_process=True,
+        execute=_pool_execute,
+        cancel=_cancel_via_progress(_pool_execute),
+        cancelled_type=SweepCancelled,
+        journals_before_cancel=True,
+        worker_builds=_pool_worker_builds,
+    ),
+    "distributed": BackendContract(
+        kind="distributed",
+        cross_process=False,
+        execute=_distributed_execute,
+        cancel=_distributed_cancel,
+        cancelled_type=ModelError,
+        journals_before_cancel=False,
+        worker_builds=_distributed_worker_builds,
+    ),
+}

@@ -11,6 +11,7 @@ from repro.lint.rules import ALL_RULES
 from repro.lint.rules.async_safety import ForkAsyncSafetyRule
 from repro.lint.rules.determinism import CertifiedPathDeterminismRule
 from repro.lint.rules.fault_sites import FaultSiteRegistrationRule
+from repro.lint.rules.merge_pipeline import MergePipelineRule
 from repro.lint.rules.scenario_contract import REQUIRED_HOOKS, ScenarioContractRule
 from repro.lint.rules.shm_lifecycle import SharedMemoryLifecycleRule
 from repro.lint.rules.wire_schema import WireSchemaAgreementRule
@@ -21,6 +22,7 @@ RL003 = [CertifiedPathDeterminismRule()]
 RL004 = [WireSchemaAgreementRule()]
 RL005 = [ScenarioContractRule()]
 RL006 = [FaultSiteRegistrationRule()]
+RL007 = [MergePipelineRule()]
 
 
 def ids(violations):
@@ -613,6 +615,93 @@ def test_rl006_applies_outside_core(harness):
     assert ids(violations) == ["RL006"]
 
 
+# --------------------------------------------------------------------- RL007
+
+
+def test_rl007_fires_on_direct_assembly(harness):
+    violations = harness.lint(
+        "core/custom_backend.py",
+        """
+        from repro.core.engine import assemble_sweep_result
+
+        def finish(config, outcomes, report):
+            return assemble_sweep_result(config, outcomes, report, description="x")
+        """,
+        RL007,
+    )
+    assert ids(violations) == ["RL007"]
+    assert "MergeSink.assemble" in violations[0].message
+    assert violations[0].fix_hint
+
+
+def test_rl007_fires_on_side_channel_journal_append(harness):
+    violations = harness.lint(
+        "core/custom_backend.py",
+        """
+        def merge(self, outcome):
+            self.journal.record(outcome)
+        """,
+        RL007,
+    )
+    assert ids(violations) == ["RL007"]
+    assert "journal" in violations[0].message
+
+
+def test_rl007_fires_on_ad_hoc_metadata_counters(harness):
+    violations = harness.lint(
+        "core/custom_backend.py",
+        """
+        def attach(result, stats):
+            result.metadata["fabric"] = stats
+            result.metadata.update(stats)
+        """,
+        RL007,
+    )
+    assert ids(violations) == ["RL007", "RL007"]
+    assert all("ExecutionBackend.metadata" in v.message for v in violations)
+
+
+def test_rl007_quiet_inside_the_execution_plane(harness):
+    violations = harness.lint(
+        "core/execution.py",
+        """
+        def assemble(self, result, journal, outcome):
+            journal.record(outcome)
+            result.metadata["journal"] = {"recorded": journal.recorded}
+        """,
+        RL007,
+    )
+    assert violations == []
+
+
+def test_rl007_quiet_inside_the_assembler_itself(harness):
+    # assemble_sweep_result owns the portfolio/recovery summaries it builds.
+    violations = harness.lint(
+        "core/engine.py",
+        """
+        def assemble_sweep_result(config, outcomes, report, description):
+            result = build(config, outcomes, description)
+            result.metadata["portfolio"] = {"races": 0}
+            return result
+        """,
+        RL007,
+    )
+    assert violations == []
+
+
+def test_rl007_quiet_on_non_journal_record_calls(harness):
+    # algorithm1's probe scheduler has a record() too -- not a journal.
+    violations = harness.lint(
+        "analysis/algorithm1.py",
+        """
+        def solve(scheduler, probes, elapsed):
+            scheduler.record(probes, elapsed)
+        """,
+        RL007,
+    )
+    assert violations == []
+
+
 # ------------------------------------------------------------------ registry
 
 
@@ -622,4 +711,12 @@ def test_all_rules_have_unique_ids_and_metadata():
         assert rule.rule_id.startswith("RL") and rule.rule_id not in seen
         seen.add(rule.rule_id)
         assert rule.title and rule.invariant and rule.fix_hint
-    assert sorted(seen) == ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+    assert sorted(seen) == [
+        "RL001",
+        "RL002",
+        "RL003",
+        "RL004",
+        "RL005",
+        "RL006",
+        "RL007",
+    ]
